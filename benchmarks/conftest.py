@@ -1,0 +1,57 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables or figures,
+prints it to the real stdout (so it lands in ``bench_output.txt``
+even under pytest's capture), and saves a copy under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_CAPTURE_MANAGER = []
+
+
+@pytest.fixture(autouse=True)
+def _grab_capture_manager(request):
+    """Remember pytest's capture manager so emit() can suspend it.
+
+    pytest captures at the file-descriptor level, so even
+    ``sys.__stdout__`` writes would vanish into the capture buffer;
+    the artifacts must be printed with capturing suspended to reach
+    the terminal (and ``bench_output.txt``)."""
+    manager = request.config.pluginmanager.getplugin("capturemanager")
+    if manager is not None and manager not in _CAPTURE_MANAGER:
+        _CAPTURE_MANAGER.append(manager)
+    yield
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact to the real stdout and save it to disk."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    if _CAPTURE_MANAGER:
+        with _CAPTURE_MANAGER[0].global_and_fixture_disabled():
+            sys.stdout.write(banner + text + "\n")
+            sys.stdout.flush()
+    else:
+        sys.stdout.write(banner + text + "\n")
+        sys.stdout.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = name.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (these are simulations
+    measured in simulated time; wall-clock repetition adds nothing)."""
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

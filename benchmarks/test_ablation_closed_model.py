@@ -1,0 +1,82 @@
+"""Ablation A11 — open vs. closed queueing model vs. cycle simulation.
+
+Paper §5.2, of its open-network approximation: "This is not accurate
+at high loads, since the number of caches requesting service is
+bounded, but it is fairly accurate at the moderate loads at which the
+system actually operates."
+
+This bench quantifies that sentence: the open model, an exact-MVA
+closed model (bounded population — the refinement the paper skipped),
+and the cycle simulator, across processor counts.  Asserted shape:
+the models agree at moderate load; at high processor counts the open
+model over-predicts TPI, the closed model sits between it and the
+simulation, and the closed model saturates at the asymptotic bus
+bound (~10.4 no-wait processors' worth) instead of diverging.
+"""
+
+import pytest
+
+from repro.analytic.closed_model import ClosedFireflyModel
+from repro.analytic.queueing import FireflyAnalyticModel
+from repro.reporting import Column, TextTable
+from repro.system import FireflyConfig, FireflyMachine
+
+from conftest import emit
+
+SIMULATED_COUNTS = (2, 5, 8, 12)
+MODEL_COUNTS = (2, 5, 8, 12, 16, 24)
+
+
+def simulate(np):
+    machine = FireflyMachine(FireflyConfig(processors=np))
+    metrics = machine.run(warmup_cycles=200_000, measure_cycles=250_000)
+    return {"load": metrics.bus_load, "tpi": metrics.mean_tpi}
+
+
+def test_ablation_closed_model(once):
+    sim_results = once(lambda: {np: simulate(np) for np in SIMULATED_COUNTS})
+
+    open_model = FireflyAnalyticModel()
+    closed = ClosedFireflyModel()
+    table = TextTable([
+        Column("NP", "d"),
+        Column("L open", ".2f"), Column("L closed", ".2f"),
+        Column("L sim", "s"),
+        Column("TPI open", ".1f"), Column("TPI closed", ".1f"),
+        Column("TPI sim", "s"),
+        Column("TP open", ".2f"), Column("TP closed", ".2f"),
+    ])
+    for np in MODEL_COUNTS:
+        c = closed.operating_point(np)
+        try:
+            o = open_model.operating_point(np)
+            o_load, o_tpi, o_tp = o.load, o.tpi, o.total_performance
+        except Exception:
+            o_load = o_tpi = o_tp = float("nan")
+        sim = sim_results.get(np)
+        table.add_row(np, o_load, c.load,
+                      f"{sim['load']:.2f}" if sim else "-",
+                      o_tpi, c.tpi,
+                      f"{sim['tpi']:.1f}" if sim else "-",
+                      o_tp, c.total_performance)
+    bound = closed.asymptotic_bound()
+    emit("Ablation A11: open vs closed queueing model vs simulation",
+         table.render() + f"\nasymptotic bus bound: TP <= {bound:.1f}")
+
+    # Moderate loads: all three agree on L to slide-rule accuracy.
+    for np in (2, 5):
+        c, o, s = (closed.operating_point(np), open_model.operating_point(np),
+                   sim_results[np])
+        assert c.load == pytest.approx(o.load, abs=0.03)
+        assert s["load"] == pytest.approx(o.load, abs=0.12)
+
+    # High population: open >= closed >= simulated TPI (the paper's
+    # "not accurate at high loads", quantified).
+    for np in (8, 12):
+        c, o, s = (closed.operating_point(np), open_model.operating_point(np),
+                   sim_results[np])
+        assert o.tpi >= c.tpi >= s["tpi"] - 0.2
+
+    # The closed model saturates at the bus bound instead of diverging.
+    assert closed.operating_point(64).total_performance <= bound + 1e-6
+    assert closed.operating_point(64).total_performance > 0.95 * bound

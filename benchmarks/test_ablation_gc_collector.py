@@ -1,0 +1,72 @@
+"""Ablation A8 — the concurrent garbage collector (§6).
+
+"Single threaded applications that use garbage collection also
+benefit.  The application must pay the in-line cost of reference
+counted assignments, but the collector itself runs as a separate
+thread on another processor."
+
+Three configurations of the same reference-counted application:
+
+- one processor, stop-the-world collection (the uniprocessor world);
+- one processor, 'concurrent' collector thread (no benefit possible —
+  the collector steals the only CPU);
+- two processors, concurrent collector (the Firefly experience).
+"""
+
+import pytest
+
+from repro.reporting import Column, TextTable
+from repro.topaz.kernel import TopazKernel
+from repro.workloads.gc_app import GcApplication, GcParams
+
+from conftest import emit
+
+
+def run_case(processors, concurrent):
+    kernel = TopazKernel.build(processors=processors, threads_hint=6,
+                               seed=43, shared_region_words=4096)
+    app = GcApplication(kernel, GcParams(), concurrent_collector=concurrent)
+    elapsed = app.run()
+    return {
+        "elapsed": elapsed,
+        "collections": app.collections,
+        "units_per_ms": GcParams().work_units / (elapsed * 1e-7 * 1e3),
+    }
+
+
+def test_ablation_gc_collector(once):
+    results = once(lambda: {
+        "1cpu stop-world": run_case(1, concurrent=False),
+        "1cpu concurrent": run_case(1, concurrent=True),
+        "2cpu concurrent": run_case(2, concurrent=True),
+    })
+
+    table = TextTable([
+        Column("configuration", "s", align_left=True),
+        Column("elapsed (ms)", ".2f"),
+        Column("collections", "d"),
+        Column("work units / ms", ".2f"),
+    ])
+    for label, r in results.items():
+        table.add_row(label, r["elapsed"] * 1e-7 * 1e3, r["collections"],
+                      r["units_per_ms"])
+    emit("Ablation A8: concurrent garbage collection (paper §6)",
+         table.render())
+
+    stop_world = results["1cpu stop-world"]
+    one_concurrent = results["1cpu concurrent"]
+    two_concurrent = results["2cpu concurrent"]
+
+    # Collection happened in every configuration.
+    assert stop_world["collections"] >= 1
+    assert two_concurrent["collections"] >= 1
+
+    # The paper's claim: with a second processor, the collector runs
+    # off the application's critical path — the app finishes faster
+    # than stop-the-world on one CPU.
+    assert two_concurrent["elapsed"] < 0.92 * stop_world["elapsed"]
+
+    # And the benefit genuinely comes from the extra processor, not
+    # from the threading structure: one CPU + concurrent collector is
+    # no faster than stop-the-world (the collector steals the CPU).
+    assert one_concurrent["elapsed"] >= 0.95 * stop_world["elapsed"]

@@ -1,0 +1,92 @@
+"""Ablation A6 — I/O subsystem: the MDC's rates and the QBus's appetite.
+
+Paper claims measured here:
+
+- "The MDC can paint a large area of the screen at 16 megapixels per
+  second, and can paint approximately 20,000 10-point characters per
+  second" (§5);
+- "Sixty times per second, the controller deposits in Firefly memory
+  the current mouse position and an unencoded bitmap representing the
+  current state of the keyboard" (§5);
+- "When fully loaded, the QBus consumes about 30% of the main memory
+  bandwidth" (§5).
+"""
+
+import pytest
+
+from repro.io import DisplayCommand, IoSubsystem
+from repro.reporting import Column, TextTable
+from repro.system import FireflyConfig, FireflyMachine
+
+from conftest import emit
+
+
+def measure_display():
+    machine = FireflyMachine(FireflyConfig(processors=2, io_enabled=True))
+    io = IoSubsystem(machine, mdc_queue_entries=256)
+    memory = machine.memory
+    # Large-area paint: refill the queue with full-screen fills.
+    for i in range(40):
+        io.mdc_queue.enqueue_direct(memory, DisplayCommand.FILL_RECT,
+                                    (0, 0, 1024, 768))
+    io.start()
+    machine.mbus.mark_window()
+    machine.sim.run_until(20_000_000)   # 2 seconds simulated
+    window_seconds = machine.sim.now * 1e-7
+    pixels_per_second = io.mdc.stats["pixels_painted"].total / window_seconds
+
+    # Character paint on a fresh machine.
+    machine2 = FireflyMachine(FireflyConfig(processors=2, io_enabled=True))
+    io2 = IoSubsystem(machine2, mdc_queue_entries=256)
+    for i in range(200):
+        io2.mdc_queue.enqueue_direct(machine2.memory,
+                                     DisplayCommand.PAINT_CHARS,
+                                     (0, (i * 13) % 700, 120))
+    io2.start()
+    machine2.sim.run_until(10_000_000)  # 1 second simulated
+    chars_per_second = (io2.mdc.stats["chars_painted"].total
+                        / (machine2.sim.now * 1e-7))
+    deposits_per_second = (io2.mdc.stats["input_deposits"].total
+                           / (machine2.sim.now * 1e-7))
+    return pixels_per_second, chars_per_second, deposits_per_second
+
+
+def measure_qbus_saturation():
+    machine = FireflyMachine(FireflyConfig(processors=1, io_enabled=True))
+    io = IoSubsystem(machine)
+    _, qbus_addr = io.alloc(1024, "flood buffer")
+
+    def flood():
+        for _ in range(40):
+            yield from machine.qbus.dma_write_block(qbus_addr,
+                                                    list(range(256)))
+
+    machine.mbus.mark_window()
+    proc = machine.sim.process(flood(), "flood")
+    machine.sim.run()
+    return machine.mbus.load()
+
+
+def test_ablation_io_display(once):
+    (pixels, chars, deposits), qbus_load = once(
+        lambda: (measure_display(), measure_qbus_saturation()))
+
+    table = TextTable([
+        Column("quantity", "s", align_left=True),
+        Column("paper", "s"), Column("measured", ".3g"),
+    ])
+    table.add_row("area paint (Mpixel/s)", "16", pixels / 1e6)
+    table.add_row("character paint (chars/s)", "20,000", chars)
+    table.add_row("input deposits (Hz)", "60", deposits)
+    table.add_row("saturated-QBus MBus load", "~0.30", qbus_load)
+    emit("Ablation A6: display controller rates and QBus bandwidth",
+         table.render())
+
+    # 16 Mpixel/s large-area paint (polling overhead eats a little).
+    assert 13e6 < pixels <= 16.5e6
+    # ~20,000 characters per second.
+    assert 17_000 < chars <= 21_000
+    # 60 Hz keyboard/mouse deposits.
+    assert 55 <= deposits <= 65
+    # "about 30%" of MBus bandwidth when the QBus is saturated.
+    assert 0.25 < qbus_load < 0.35

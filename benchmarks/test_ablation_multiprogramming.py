@@ -1,0 +1,75 @@
+"""Ablation A9 — multiprogramming predictability (§6).
+
+"When a user carries out a few unrelated activities simultaneously,
+the performance of the system is much more predictable than that of a
+time-shared uniprocessor."
+
+Three independent single-threaded applications (the intro's profiler /
+compiler / mail scenario, each in its own Ultrix address space) run
+together on a one-processor machine and on a four-processor Firefly,
+against a solo baseline.  On the multiprocessor each application keeps
+nearly its solo pace; on the uniprocessor each gets roughly a third.
+"""
+
+import pytest
+
+from repro.reporting import Column, TextTable
+from repro.topaz.kernel import TopazKernel
+from repro.workloads.multiprogramming import MultiprogrammingMix
+
+from conftest import emit
+
+HORIZON = 600_000
+
+
+def run_mix(processors, apps):
+    kernel = TopazKernel.build(processors=processors, threads_hint=8,
+                               seed=53)
+    mix = MultiprogrammingMix(kernel, independent_apps=apps,
+                              pipeline_items=0)
+    kernel.machine.start()
+    kernel.sim.run_until(HORIZON)
+    return {name: p.iterations for name, p in mix.progress.items()}
+
+
+def test_ablation_multiprogramming(once):
+    results = once(lambda: {
+        "solo": run_mix(1, apps=1),
+        "1cpu x3": run_mix(1, apps=3),
+        "4cpu x3": run_mix(4, apps=3),
+    })
+    solo = results["solo"]["profiler"]
+    shared = results["1cpu x3"]
+    parallel = results["4cpu x3"]
+
+    table = TextTable([
+        Column("configuration", "s", align_left=True),
+        Column("app", "s", align_left=True),
+        Column("iterations", "d"),
+        Column("vs solo", ".2f"),
+    ])
+    table.add_row("solo baseline (1 CPU, 1 app)", "profiler", solo, 1.0)
+    table.add_separator()
+    for name, iterations in shared.items():
+        table.add_row("time-shared (1 CPU, 3 apps)", name, iterations,
+                      iterations / solo)
+    table.add_separator()
+    for name, iterations in parallel.items():
+        table.add_row("Firefly (4 CPUs, 3 apps)", name, iterations,
+                      iterations / solo)
+    emit("Ablation A9: multiprogramming predictability (paper §6)",
+         table.render())
+
+    # Time-shared uniprocessor: each app gets roughly a third.
+    for name, iterations in shared.items():
+        assert 0.2 < iterations / solo < 0.45, name
+
+    # The Firefly: each app keeps nearly its solo pace (a little bus
+    # interference is honest).
+    for name, iterations in parallel.items():
+        assert iterations / solo > 0.85, name
+
+    # Predictability: the spread between luckiest and unluckiest app is
+    # small on the multiprocessor.
+    values = list(parallel.values())
+    assert max(values) - min(values) <= 0.15 * solo

@@ -1,0 +1,49 @@
+"""Figure 1 — the Firefly system diagram.
+
+Rendered from the *built machine's object graph* (boards derived from
+the CPU list, memory modules from the installed array, devices from
+the attached QBus complement), not from a stored drawing — so the
+figure documents what the model actually instantiates.
+"""
+
+from repro.io import IoSubsystem
+from repro.reporting import render_system_diagram
+from repro.system import FireflyConfig, FireflyMachine, Generation
+
+from conftest import emit
+
+
+def build_and_render():
+    machine = FireflyMachine(FireflyConfig(io_enabled=True))
+    IoSubsystem(machine)
+    micro = render_system_diagram(machine)
+    cvax_machine = FireflyMachine(FireflyConfig(
+        generation=Generation.CVAX, processors=5, memory_megabytes=128,
+        io_enabled=True))
+    IoSubsystem(cvax_machine)
+    cvax = render_system_diagram(cvax_machine)
+    return micro, cvax
+
+
+def test_figure1_system_diagram(once):
+    micro, cvax = once(build_and_render)
+    emit("Figure 1: Firefly System (MicroVAX, standard 5-CPU)", micro)
+    emit("Figure 1 (second generation): CVAX Firefly, 128 MB", cvax)
+
+    # The standard machine of the paper: primary board + two dual-CPU
+    # secondary boards, four 4 MB memory modules, the QBus devices.
+    assert "primary processor board: CPU 0 (MicroVAX 78032)" in micro
+    assert "secondary board 1: CPU 1 + CPU 2" in micro
+    assert "secondary board 2: CPU 3 + CPU 4" in micro
+    assert micro.count("memory module") == 4
+    assert "4 MB" in micro
+    assert "16 KB cache" in micro
+    assert "10 MB/s" in micro
+    for device in ("DEQNA Ethernet", "RQDX3 disk", "MDC display"):
+        assert device in micro
+
+    # The CVAX generation: 64 KB caches, 32 MB modules to 128 MB.
+    assert "CVAX 78034" in cvax
+    assert "64 KB cache" in cvax
+    assert cvax.count("memory module") == 4
+    assert "32 MB" in cvax

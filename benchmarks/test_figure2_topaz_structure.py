@@ -1,0 +1,46 @@
+"""Figure 2 — the internal structure of Topaz.
+
+Rendered from a live kernel: the Nub, the standing address spaces
+(Taos, UserTTD, Trestle), plus application spaces — with real threads
+placed in them, including a single-threaded Ultrix space (which the
+runtime enforces can hold only one thread, per §4.1).
+"""
+
+from repro.reporting import render_topaz_diagram
+from repro.topaz import Compute, SpaceKind, TopazKernel
+
+from conftest import emit
+
+
+def build_and_render():
+    kernel = TopazKernel.build(processors=5, threads_hint=16, seed=2)
+
+    def app_thread():
+        yield Compute(10)
+
+    ultrix = kernel.create_space("ultrix:sh", SpaceKind.ULTRIX_APP)
+    kernel.fork(app_thread, name="sh", space=ultrix)
+    for i in range(3):
+        kernel.fork(app_thread, name=f"server{i}")
+    return kernel, render_topaz_diagram(kernel)
+
+
+def test_figure2_topaz_structure(once):
+    kernel, text = once(build_and_render)
+    emit("Figure 2: Internal Structure of Topaz", text)
+
+    assert "Nub (VAX kernel mode)" in text
+    assert "thread scheduler" in text
+    assert "RPC" in text
+    for space in ("Taos", "UserTTD", "Trestle"):
+        assert space in text
+    assert "ultrix:sh" in text and "[ultrix" in text
+    assert "3 thread(s)" in text      # the Topaz app space
+    assert "5 processors" in text
+
+    # The structural facts behind the figure:
+    kinds = {s.kind.value for s in kernel.address_spaces}
+    assert {"nub", "taos", "ttd", "trestle", "topaz", "ultrix"} <= kinds
+    ultrix_spaces = [s for s in kernel.address_spaces
+                     if s.kind is SpaceKind.ULTRIX_APP]
+    assert all(not s.multi_threaded for s in ultrix_spaces)

@@ -1,0 +1,54 @@
+"""Table 1 — Firefly Estimated Performance (the analytic model).
+
+Regenerates the paper's table exactly: bus loading L, ticks per
+instruction TPI, relative per-processor performance RP and total
+system performance TP for NP = 2..12 processors, from the open
+queueing model with the paper's parameters (M=0.2, D=0.25, S=0.1).
+"""
+
+import pytest
+
+from repro.analytic.queueing import FireflyAnalyticModel, PAPER_TABLE_1
+from repro.reporting import Column, TextTable
+
+from conftest import emit
+
+
+def build_table1():
+    model = FireflyAnalyticModel()
+    points = model.table1()
+    table = TextTable([
+        Column("NP (number of processors):", "s", align_left=True),
+        *[Column(f"{int(p.processors)}", ".2f") for p in points],
+    ])
+    table.add_row("L (bus loading):",
+                  *[p.load for p in points])
+    table.add_row("TPI (ticks per instruction):",
+                  *[round(p.tpi, 1) for p in points])
+    table.add_row("RP (relative performance):",
+                  *[p.relative_performance for p in points])
+    table.add_row("TP (total performance):",
+                  *[p.total_performance for p in points])
+    return points, table.render()
+
+
+def test_table1_estimated_performance(once):
+    points, text = once(build_table1)
+    emit("Table 1: Firefly Estimated Performance", text)
+
+    for point in points:
+        paper = PAPER_TABLE_1[int(point.processors)]
+        assert point.load == pytest.approx(paper.load, abs=0.006)
+        assert point.tpi == pytest.approx(paper.tpi, abs=0.06)
+        assert point.relative_performance == pytest.approx(
+            paper.relative_performance, abs=0.01)
+        assert point.total_performance == pytest.approx(
+            paper.total_performance, abs=0.011)
+
+    # The headline conclusions drawn from the table:
+    model = FireflyAnalyticModel()
+    assert model.knee_processors() in (8, 9, 10)   # "perhaps nine"
+    five = model.operating_point(5)
+    assert five.total_performance > 4.0            # "more than four times"
+    assert 0.38 < five.load < 0.42                 # "bus load ... 0.4"
+    assert 0.83 < five.relative_performance < 0.87  # "about 85%"

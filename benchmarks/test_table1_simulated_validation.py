@@ -1,0 +1,94 @@
+"""Table 1 cross-validation — the cycle simulator against the model.
+
+Runs the calibrated synthetic workload on machines of 1..12 processors
+and prints the simulated L, TPI, RP and TP next to the analytic
+predictions.  The simulator is systematically a little *faster* than
+the model — the model charges a full 2-tick bus operation per miss
+while the hardware (and the simulator) overlap one tick with the
+normal access, and the open queueing assumption over-penalises high
+load — the same directions of error the paper acknowledges.  What must
+agree is the shape: L monotone in NP, RP monotone down, TP rising with
+diminishing returns, and the standard 5-CPU machine at > 4x.
+"""
+
+import pytest
+
+from repro.analytic.queueing import FireflyAnalyticModel
+from repro.reporting import Column, TextTable
+from repro.system import FireflyConfig, FireflyMachine
+
+from conftest import emit
+
+PROCESSOR_COUNTS = (1, 2, 4, 5, 6, 8, 10, 12)
+
+
+def simulate_sweep():
+    model = FireflyAnalyticModel()
+    rows = []
+    baseline_rate = None
+    for np in PROCESSOR_COUNTS:
+        machine = FireflyMachine(FireflyConfig(processors=np))
+        metrics = machine.run(warmup_cycles=200_000, measure_cycles=300_000)
+        tpi = metrics.mean_tpi
+        rp = 11.9 / tpi if tpi else 0.0
+        instr_rate = metrics.total_instruction_krate
+        if np == 1:
+            baseline_rate = instr_rate / rp  # no-wait-normalised
+        tp = instr_rate / baseline_rate
+        analytic = model.operating_point(np)
+        rows.append((np, metrics.bus_load, analytic.load, tpi,
+                     analytic.tpi, rp, analytic.relative_performance,
+                     tp, analytic.total_performance,
+                     metrics.mean_miss_rate, metrics.dirty_fraction))
+    return rows
+
+
+def render(rows):
+    table = TextTable([
+        Column("NP", "d"), Column("L sim", ".2f"), Column("L model", ".2f"),
+        Column("TPI sim", ".1f"), Column("TPI model", ".1f"),
+        Column("RP sim", ".2f"), Column("RP model", ".2f"),
+        Column("TP sim", ".2f"), Column("TP model", ".2f"),
+        Column("M", ".2f"), Column("D", ".2f"),
+    ])
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def test_table1_simulated_validation(once):
+    rows = once(simulate_sweep)
+    emit("Table 1 validation: cycle simulation vs analytic model",
+         render(rows))
+
+    loads = [r[1] for r in rows]
+    tpis = [r[3] for r in rows]
+    rps = [r[5] for r in rows]
+    tps = [r[7] for r in rows]
+
+    # Shape: L and TPI rise with NP; RP falls; TP rises.
+    assert loads == sorted(loads)
+    assert all(b >= a - 0.15 for a, b in zip(tpis, tpis[1:]))
+    assert rps[0] > rps[-1]
+    assert tps == sorted(tps)
+
+    # Diminishing returns set in by twelve processors (marginal TP per
+    # added processor; the sweep's NP steps are uneven).
+    nps = [r[0] for r in rows]
+    early_gain = (tps[1] - tps[0]) / (nps[1] - nps[0])
+    late_gain = (tps[-1] - tps[-2]) / (nps[-1] - nps[-2])
+    assert late_gain < early_gain
+
+    # Absolute agreement with the model: slide-rule accuracy.
+    for row in rows:
+        np, l_sim, l_model = row[0], row[1], row[2]
+        assert l_sim == pytest.approx(l_model, abs=0.12), f"NP={np}"
+
+    # Calibration held across the sweep.
+    for row in rows:
+        assert 0.12 <= row[9] <= 0.26   # M
+        assert 0.15 <= row[10] <= 0.40  # D
+
+    # The standard machine: >4x a single no-wait processor.
+    five = next(r for r in rows if r[0] == 5)
+    assert five[7] > 3.9

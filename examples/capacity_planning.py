@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Capacity planning with the paper's methodology, end to end.
+
+The §5.2 workflow, automated: characterise a workload by trace-driven
+reduction (mix, miss rate M, dirty fraction D), feed the statistics to
+the analytic models, and read off how many processors the MBus can
+usefully support for *this* workload — the paper's "perhaps nine
+processors" computed for your own program.
+
+Uses both the paper's open queueing model and this reproduction's
+closed (exact-MVA) refinement, which stays honest past the knee.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analytic import (
+    AnalyticParameters,
+    ClosedFireflyModel,
+    FireflyAnalyticModel,
+)
+from repro.cache.cache import CacheGeometry
+from repro.common.rng import RandomStream
+from repro.processor.refgen import (
+    SyntheticReferenceSource,
+    WorkloadShape,
+    default_layout,
+)
+from repro.reporting import Column, TextTable
+from repro.trace import reduce_trace, working_set_curve
+from repro.trace.format import TraceRecord
+
+
+def characterise_workload(instructions=25_000):
+    """Step 1: trace the workload and reduce it to model inputs."""
+    source = SyntheticReferenceSource(
+        rng=RandomStream(1987, "plan"),
+        layout=default_layout(0),
+        shape=WorkloadShape(shared_write_fraction=0.0,
+                            shared_read_fraction=0.0),
+        instruction_limit=instructions)
+    records = []
+    while True:
+        bundle = source.next_instruction(None)
+        if bundle is None:
+            break
+        records.append(TraceRecord(refs=bundle.refs, is_jump=bundle.is_jump))
+    reduction = reduce_trace(records, CacheGeometry.MICROVAX)
+    curve = working_set_curve(records, (300, 1000, 3000, 10000))
+    return reduction, curve
+
+
+def main():
+    reduction, curve = characterise_workload()
+    print("workload characterisation (trace-driven, as in §5.2):")
+    print(f"  {reduction.instructions} instructions, "
+          f"{reduction.refs_per_instruction:.2f} refs/instruction "
+          f"(IR={reduction.mix.instruction_reads:.2f}, "
+          f"DR={reduction.mix.data_reads:.2f}, "
+          f"DW={reduction.mix.data_writes:.2f})")
+    print(f"  on the 16 KB Firefly cache: M={reduction.miss_rate:.3f}, "
+          f"D={reduction.dirty_fraction:.3f}")
+    print("  working-set curve (mean distinct words per window):")
+    for window, size in curve.items():
+        print(f"    {window:>6} refs: {size:8.0f} words")
+
+    params = AnalyticParameters(
+        mix=reduction.mix,
+        miss_rate=reduction.miss_rate,
+        dirty_fraction=reduction.dirty_fraction,
+        shared_write_fraction=0.1)   # the paper's assumed S
+    open_model = FireflyAnalyticModel(params)
+    closed_model = ClosedFireflyModel(params)
+
+    table = TextTable([
+        Column("NP", "d"),
+        Column("L (open)", ".2f"), Column("TP (open)", ".2f"),
+        Column("L (closed)", ".2f"), Column("TP (closed)", ".2f"),
+    ])
+    for np in (1, 2, 4, 5, 6, 8, 10, 12, 16):
+        c = closed_model.operating_point(np)
+        try:
+            o = open_model.operating_point(np)
+            table.add_row(np, o.load, o.total_performance, c.load,
+                          c.total_performance)
+        except Exception:
+            table.add_row(np, None, None, c.load, c.total_performance)
+    print()
+    print(table.render())
+    knee = open_model.knee_processors()
+    bound = closed_model.asymptotic_bound()
+    print(f"\nmarginal-gain knee (open model): ~{knee} processors")
+    print(f"asymptotic MBus bound (closed model): "
+          f"TP <= {bound:.1f} no-wait processors' worth")
+    print("\nFor the paper's parameters this lands on its 'perhaps nine "
+          "processors';\nfor a leaner workload (lower M) the bus carries "
+          "more — rerun with your own trace.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Coherence-protocol shoot-out on identical reference streams.
+
+Runs the same calibrated four-processor workload (same seed, so the
+CPUs issue the same references) under all six implemented protocols at
+three sharing intensities, and prints what the paper's §5.1 argues in
+prose: write-through-invalidate saturates the bus; ownership protocols
+pay reload misses under true sharing; the Firefly (and the similar
+Dragon) pay for sharing only while it exists.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.cache.protocols import available_protocols
+from repro.processor.refgen import WorkloadShape
+from repro.reporting import Column, TextTable
+from repro.system import FireflyConfig, FireflyMachine
+
+SHARING_LEVELS = {
+    "light (S=0.02)": WorkloadShape(shared_write_fraction=0.02,
+                                    shared_read_fraction=0.01),
+    "paper default (S=0.10)": WorkloadShape(),
+    "heavy (S=0.33)": WorkloadShape(shared_write_fraction=0.33,
+                                    shared_read_fraction=0.15),
+}
+
+
+def main():
+    table = TextTable([
+        Column("sharing", "s", align_left=True),
+        Column("protocol", "s", align_left=True),
+        Column("bus load", ".3f"),
+        Column("miss rate", ".3f"),
+        Column("TPI", ".2f"),
+        Column("rel. perf", ".2f"),
+    ])
+    for label, shape in SHARING_LEVELS.items():
+        for protocol in sorted(available_protocols()):
+            machine = FireflyMachine(FireflyConfig(
+                processors=4, protocol=protocol, workload=shape, seed=23))
+            metrics = machine.run(warmup_cycles=120_000,
+                                  measure_cycles=200_000)
+            table.add_row(label, protocol, metrics.bus_load,
+                          metrics.mean_miss_rate, metrics.mean_tpi,
+                          11.9 / metrics.mean_tpi)
+        table.add_separator()
+    print(table.render())
+    print("\nReadings:")
+    print(" - write-through floods the bus at every sharing level;")
+    print(" - under heavy sharing, mesi/berkeley/write-once miss rates "
+          "rise (invalidate-then-reload ping-pong);")
+    print(" - firefly and dragon track each other — 'the Xerox Dragon "
+          "uses a similar scheme'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: build the standard five-processor Firefly and measure it.
+
+Builds the paper's standard machine — five MicroVAX CPUs with 16 KB
+snoopy caches running the Firefly coherence protocol on a 10 MB/s MBus
+with 16 MB of memory — runs the calibrated synthetic workload, checks
+coherence, and compares the measured operating point against the
+paper's analytic model (Table 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CoherenceChecker,
+    FireflyAnalyticModel,
+    FireflyConfig,
+    FireflyMachine,
+)
+
+
+def main():
+    config = FireflyConfig(processors=5)
+    machine = FireflyMachine(config)
+    print(f"built: {machine!r}")
+
+    print("\nsimulating 50 ms of machine time "
+          "(20 ms warm-up + 30 ms measured)...")
+    metrics = machine.run(warmup_cycles=200_000, measure_cycles=300_000)
+
+    print("\n--- measured ---")
+    print(metrics.summary())
+
+    audited = CoherenceChecker(machine).check()
+    print(f"\ncoherence invariants verified over {audited} cached words")
+
+    model = FireflyAnalyticModel()
+    point = model.operating_point(config.processors)
+    print("\n--- paper's analytic model at five processors (Table 1) ---")
+    print(f"predicted bus load L = {point.load:.2f} "
+          f"(measured {metrics.bus_load:.2f})")
+    print(f"predicted TPI = {point.tpi:.1f} "
+          f"(measured {metrics.mean_tpi:.1f})")
+    print(f"predicted total performance = {point.total_performance:.2f}x "
+          f"a no-wait uniprocessor")
+    print("\nThe simulator runs slightly ahead of the model: a miss "
+          "overlaps one tick\nwith the normal access, and the open "
+          "queueing model over-penalises load —\nthe same directions "
+          "of error the paper acknowledges ('slide-rule accuracy').")
+
+
+if __name__ == "__main__":
+    main()

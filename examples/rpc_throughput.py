@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""RPC throughput versus concurrency: the 4.6 Mbit/s result (§6).
+
+"The remote server can sustain a bandwidth of 4.6 megabits per second
+using an average of three concurrent threads."  Sweeps the number of
+concurrent client threads and prints sustained goodput over the DEQNA.
+
+Run:  python examples/rpc_throughput.py
+"""
+
+from repro.reporting import Column, TextTable
+from repro.workloads.rpc_server import sweep_client_threads
+
+
+def main():
+    results = sweep_client_threads([1, 2, 3, 4, 6],
+                                   measure_cycles=2_000_000)
+    table = TextTable([
+        Column("client threads", "d"),
+        Column("goodput (Mbit/s)", ".2f"),
+        Column("wire utilisation", ".0%"),
+        Column("calls completed", "d"),
+    ])
+    for count, r in results.items():
+        table.add_row(count, r.goodput_mbit, r.wire_utilization,
+                      r.calls_completed)
+    print(table.render())
+    print("\nOne thread leaves the controller idle during marshalling and")
+    print("server turnaround; by about three threads the controller path")
+    print("(QBus DMA + wire + per-frame driver work) saturates near the")
+    print("paper's 4.6 Mbit/s — far below the 10 Mbit/s wire.")
+
+
+if __name__ == "__main__":
+    main()

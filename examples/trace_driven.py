@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Trace-driven simulation: the paper's own methodology (§5.2).
+
+"Trace-driven simulation of the MicroVAX CPU, carried out for us by
+Deborrah Zukowski of the DEC Eastern Research Laboratory, showed it to
+be an 11.9 tick-per-instruction implementation ... These simulations
+also showed that a single processor Firefly cache achieves a miss rate
+M of 0.2, and that the fraction D of cache entries that are dirty is
+0.25."
+
+This example records a reference trace from the calibrated synthetic
+source, saves it to a file, and replays the *identical stream* through
+caches running different coherence protocols — an apples-to-apples
+protocol comparison impossible with live stochastic sources.
+
+Run:  python examples/trace_driven.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cache.cache import CacheGeometry, SnoopyCache
+from repro.cache.protocols import available_protocols, protocol_by_name
+from repro.bus.mbus import MBus
+from repro.common.events import Simulator
+from repro.common.rng import RandomStream
+from repro.memory.main_memory import MainMemory, MemoryModule
+from repro.processor.cpu import Processor
+from repro.processor.refgen import (
+    SyntheticReferenceSource,
+    WorkloadShape,
+    default_layout,
+)
+from repro.processor.timing import MICROVAX_TIMING
+from repro.reporting import Column, TextTable
+from repro.trace import RecordingSource, TraceSource, load_trace, save_trace
+
+INSTRUCTIONS = 20_000
+
+
+def record_trace(path):
+    sim = Simulator()
+    memory = MainMemory([MemoryModule(0, 1 << 22, is_master=True)])
+    bus = MBus(sim, memory)
+    cache = SnoopyCache(bus, protocol_by_name("firefly"), 0,
+                        CacheGeometry.MICROVAX)
+    source = RecordingSource(SyntheticReferenceSource(
+        rng=RandomStream(1987, "trace"),
+        layout=default_layout(0),
+        shape=WorkloadShape(shared_write_fraction=0.0,
+                            shared_read_fraction=0.0),
+        instruction_limit=INSTRUCTIONS))
+    cpu = Processor(sim, 0, MICROVAX_TIMING, cache, source)
+    cpu.start()
+    sim.run()
+    count = save_trace(source.records, path)
+    refs = sum(len(r.refs) for r in source.records)
+    print(f"recorded {count} instructions ({refs} references, "
+          f"{refs / count:.2f} refs/instruction) to {path}")
+    return count
+
+
+def replay_under(protocol_name, records):
+    sim = Simulator()
+    memory = MainMemory([MemoryModule(0, 1 << 22, is_master=True)])
+    bus = MBus(sim, memory)
+    cache = SnoopyCache(bus, protocol_by_name(protocol_name), 0,
+                        CacheGeometry.MICROVAX)
+    cpu = Processor(sim, 0, MICROVAX_TIMING, cache, TraceSource(records))
+    cpu.start()
+    sim.run()
+    stats = cache.stats.totals()
+    hits = sum(stats.get(k, 0) for k in ("ifetch.hit", "dread.hit",
+                                         "dwrite.hit"))
+    misses = sum(stats.get(k, 0) for k in ("ifetch.miss", "dread.miss",
+                                           "dwrite.miss"))
+    return {
+        "miss_rate": misses / (hits + misses),
+        "bus_ops": bus.stats["ops"].total,
+        "elapsed_ms": sim.now * 1e-7 * 1e3,
+        "dirty_fraction": cache.dirty_fraction(),
+    }
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "microvax.trace"
+        record_trace(path)
+        records = load_trace(path)
+
+        table = TextTable([
+            Column("protocol", "s", align_left=True),
+            Column("miss rate M", ".3f"),
+            Column("dirty fraction D", ".3f"),
+            Column("bus ops", "d"),
+            Column("elapsed (ms)", ".2f"),
+        ])
+        for protocol in sorted(available_protocols()):
+            r = replay_under(protocol, records)
+            table.add_row(protocol, r["miss_rate"], r["dirty_fraction"],
+                          r["bus_ops"], r["elapsed_ms"])
+        print()
+        print(table.render())
+        print("\nSingle-CPU, zero sharing: the Firefly behaves as pure "
+              "write-back\n(bus ops = misses + victims), M lands near the "
+              "paper's 0.2 and D near 0.25;\nwrite-through pays a bus "
+              "operation for every store on the same stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+All real metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works where
+the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

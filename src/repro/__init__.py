@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Firefly: A Multiprocessor Workstation".
+
+Thacker, Stewart & Satterthwaite, ASPLOS II / DEC SRC Research Report
+23, 1987.  The package contains:
+
+- a cycle/event-level model of the Firefly hardware — the MBus, snoopy
+  caches running the Firefly *conditional write-through* coherence
+  protocol (plus five baseline protocols), MicroVAX and CVAX processor
+  timing models, main memory, and the QBus I/O subsystem;
+- the paper's analytic open-queueing performance model (Table 1);
+- a Topaz-like threads runtime (Fork/Join, Mutex, Condition, RPC) whose
+  synchronisation state lives in simulated memory words;
+- workloads, benchmark harnesses and reporting to regenerate every
+  table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import FireflyConfig, FireflyMachine
+
+    machine = FireflyMachine(FireflyConfig(processors=5))
+    metrics = machine.run(warmup_cycles=100_000, measure_cycles=400_000)
+    print(metrics.summary())
+"""
+
+from repro.analytic import FireflyAnalyticModel, OperatingPoint
+from repro.cache import CacheGeometry, FireflyProtocol, LineState, SnoopyCache
+from repro.system import (
+    CoherenceChecker,
+    FireflyConfig,
+    FireflyMachine,
+    Generation,
+    MachineMetrics,
+)
+from repro.topaz import TopazKernel, TopazParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "CoherenceChecker",
+    "FireflyAnalyticModel",
+    "FireflyConfig",
+    "FireflyMachine",
+    "FireflyProtocol",
+    "Generation",
+    "LineState",
+    "MachineMetrics",
+    "OperatingPoint",
+    "SnoopyCache",
+    "TopazKernel",
+    "TopazParams",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""The paper's analytic performance model (§5.2) and a closed-network
+refinement of it (the bounded-population case the paper skipped)."""
+
+from repro.analytic.closed_model import ClosedFireflyModel, MvaSolution
+from repro.analytic.queueing import (
+    AnalyticParameters,
+    FireflyAnalyticModel,
+    OperatingPoint,
+    PAPER_TABLE_1,
+)
+
+__all__ = [
+    "AnalyticParameters",
+    "ClosedFireflyModel",
+    "FireflyAnalyticModel",
+    "MvaSolution",
+    "OperatingPoint",
+    "PAPER_TABLE_1",
+]

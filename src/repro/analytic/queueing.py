@@ -1,0 +1,203 @@
+"""The Firefly analytic performance model (paper §5.2, Table 1).
+
+The paper models the MBus and storage as an open queueing network: an
+operation issued when the bus is at load ``L`` takes ``N/(1-L)`` ticks
+(N = 2 ticks per MBus operation).  Three effects then raise a
+processor's ticks-per-instruction above the 11.9 base:
+
+- **SM**, misses: ``TR * M * (1+D) * N/(1-L)`` — each miss costs one
+  bus read, plus a victim write for the dirty fraction D of victims;
+- **SW**, write-through: ``DW * S * N/(1-L)`` — the fraction S of
+  writes that touch shared data write through;
+- **SP**, tag-store probes: ``TR * (1-M) * (1/N) * L`` — a cache hit
+  loses a tick when an MBus operation probes the tag store in the same
+  cycle.
+
+So ``TPI(L) = 11.9 + SM + SW + SP``, relative per-processor performance
+``RP = 11.9 / TPI``, and the number of processors that produces load L
+is ``NP = (L/N) / ((M*TR*(1+D) + DW*S) / TPI)``.  Total performance is
+``TP = NP * RP``.  With the paper's parameters the constants are
+``SM = 1.065/(1-L)``, ``SW = 0.08/(1-L)``, ``NP = L*TPI/1.145``.
+
+The model is *open* (unbounded queue) and therefore slightly
+pessimistic at high load; the paper calls the accuracy "slide-rule"
+and we reproduce it exactly, inverting NP(L) numerically to regenerate
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.processor.mix import VAX_MIX, ReferenceMix
+
+
+@dataclass(frozen=True)
+class AnalyticParameters:
+    """Inputs to the model; defaults are the paper's values."""
+
+    mix: ReferenceMix = VAX_MIX
+    base_tpi: float = 11.9
+    miss_rate: float = 0.2
+    dirty_fraction: float = 0.25
+    shared_write_fraction: float = 0.1
+    bus_op_ticks: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.miss_rate < 1.0:
+            raise ConfigurationError(f"miss rate must be in (0,1)")
+        if not 0.0 <= self.dirty_fraction <= 1.0:
+            raise ConfigurationError("dirty fraction must be in [0,1]")
+        if not 0.0 <= self.shared_write_fraction <= 1.0:
+            raise ConfigurationError("shared write fraction must be in [0,1]")
+        if self.base_tpi <= 0 or self.bus_op_ticks <= 0:
+            raise ConfigurationError("base TPI and bus ticks must be positive")
+
+    @property
+    def bus_ops_per_instruction(self) -> float:
+        """MBus operations per instruction: misses + victims + w-through."""
+        mix = self.mix
+        return (self.miss_rate * mix.total * (1.0 + self.dirty_fraction)
+                + mix.data_writes * self.shared_write_fraction)
+
+    @property
+    def np_denominator(self) -> float:
+        """The paper's 1.145: ``N * (M*TR*(1+D) + DW*S)``."""
+        return self.bus_op_ticks * self.bus_ops_per_instruction
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One column of Table 1."""
+
+    processors: float
+    load: float
+    tpi: float
+    relative_performance: float
+    total_performance: float
+
+
+class FireflyAnalyticModel:
+    """Evaluate and invert the paper's queueing model."""
+
+    def __init__(self, params: AnalyticParameters = AnalyticParameters()) -> None:
+        self.params = params
+
+    # -- the forward formulas -------------------------------------------
+
+    def stall_misses(self, load: float) -> float:
+        """SM: added ticks per instruction due to misses + victims."""
+        p = self.params
+        return (p.mix.total * p.miss_rate * (1.0 + p.dirty_fraction)
+                * p.bus_op_ticks / (1.0 - load))
+
+    def stall_write_through(self, load: float) -> float:
+        """SW: added ticks per instruction due to shared write-throughs."""
+        p = self.params
+        return (p.mix.data_writes * p.shared_write_fraction
+                * p.bus_op_ticks / (1.0 - load))
+
+    def stall_probes(self, load: float) -> float:
+        """SP: added ticks per instruction due to tag-store contention."""
+        p = self.params
+        return p.mix.total * (1.0 - p.miss_rate) * load / p.bus_op_ticks
+
+    def tpi(self, load: float) -> float:
+        """Ticks per instruction at bus load ``load``."""
+        self._check_load(load)
+        return (self.params.base_tpi + self.stall_misses(load)
+                + self.stall_write_through(load) + self.stall_probes(load))
+
+    def relative_performance(self, load: float) -> float:
+        """RP: one processor's speed relative to no-wait-state memory."""
+        return self.params.base_tpi / self.tpi(load)
+
+    def processors_for_load(self, load: float) -> float:
+        """NP: how many processors produce the given bus load."""
+        self._check_load(load)
+        return load * self.tpi(load) / self.params.np_denominator
+
+    def total_performance(self, load: float) -> float:
+        """TP: system performance relative to one no-wait processor."""
+        return self.processors_for_load(load) * self.relative_performance(load)
+
+    # -- inversion -----------------------------------------------------------
+
+    def load_for_processors(self, processors: float,
+                            tolerance: float = 1e-10) -> float:
+        """Solve NP(L) = processors for L by bisection.
+
+        NP(L) is strictly increasing on (0, 1): more load can only be
+        generated by more processors.
+        """
+        if processors <= 0:
+            raise ConfigurationError("processor count must be positive")
+        low, high = 0.0, 1.0 - 1e-12
+        if self.processors_for_load(high) < processors:
+            raise ConfigurationError(
+                f"{processors} processors exceed what the bus can absorb")
+        for _ in range(200):
+            mid = (low + high) / 2.0
+            if high - low < tolerance:
+                break
+            if self.processors_for_load(mid) < processors:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0
+
+    def operating_point(self, processors: float) -> OperatingPoint:
+        """The full Table 1 column for a processor count."""
+        load = self.load_for_processors(processors)
+        return OperatingPoint(
+            processors=processors,
+            load=load,
+            tpi=self.tpi(load),
+            relative_performance=self.relative_performance(load),
+            total_performance=processors * self.relative_performance(load),
+        )
+
+    def table1(self, processor_counts: Sequence[int] = (2, 4, 6, 8, 10, 12)
+               ) -> List[OperatingPoint]:
+        """Regenerate Table 1 (NP = 2, 4, ..., 12 by default)."""
+        return [self.operating_point(np) for np in processor_counts]
+
+    def knee_processors(self, marginal_gain: float = 0.5) -> int:
+        """Largest NP whose marginal TP gain still exceeds the threshold.
+
+        The paper: "the Firefly MBus can support perhaps nine
+        processors before the marginal improvement achieved by adding
+        another processor becomes unattractive."
+        """
+        if not 0.0 < marginal_gain < 1.0:
+            raise ConfigurationError("marginal gain must be in (0,1)")
+        previous = self.operating_point(1).total_performance
+        np = 1
+        while True:
+            np += 1
+            try:
+                current = self.operating_point(np).total_performance
+            except ConfigurationError:
+                return np - 1
+            if current - previous < marginal_gain:
+                return np - 1
+            previous = current
+
+    @staticmethod
+    def _check_load(load: float) -> None:
+        if not 0.0 <= load < 1.0:
+            raise ConfigurationError(f"bus load must be in [0,1), got {load}")
+
+
+PAPER_TABLE_1 = {
+    2: OperatingPoint(2, 0.17, 13.4, 0.89, 1.77),
+    4: OperatingPoint(4, 0.33, 13.9, 0.85, 3.43),
+    6: OperatingPoint(6, 0.47, 14.5, 0.82, 4.93),
+    8: OperatingPoint(8, 0.60, 15.3, 0.78, 6.23),
+    10: OperatingPoint(10, 0.70, 16.3, 0.72, 7.29),
+    12: OperatingPoint(12, 0.78, 17.7, 0.67, 8.07),
+}
+"""Table 1 as printed (NP=2's L and TPI are illegible in the scanned
+copy; 0.17/13.4 are the values the printed RP/TP imply)."""

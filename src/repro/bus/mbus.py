@@ -1,0 +1,314 @@
+"""The MBus: the Firefly's shared memory bus.
+
+Characteristics (paper, §5 and §5.1):
+
+- 100 ns cycles; every operation (``MRead`` or ``MWrite``) takes 4
+  cycles, non-pipelined, giving one four-byte transfer per 400 ns and
+  an aggregate bandwidth of 10 MB/s.
+- Fixed-priority arbitration among the attached caches (plus the I/O
+  processor's cache, through which all DMA flows).
+- The ``MShared`` wire: during cycle 3 of an operation, every cache
+  other than the initiator that holds the addressed line asserts
+  ``MShared``.  The initiator's protocol logic uses the response to set
+  its Shared tag; on an ``MRead`` an asserted ``MShared`` also inhibits
+  memory, and the sharing caches supply the data (their copies are
+  identical, so multiple drivers are harmless).
+- Sideband wires carry interprocessor interrupts and initialisation;
+  these do not consume data cycles.
+
+Two operation kinds beyond the real MBus's pair — ``MREAD_EX`` and
+``MINVALIDATE`` — exist so that baseline coherence protocols can run on
+the identical bus model; see :class:`repro.common.types.BusOp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.events import Simulator
+from repro.common.stats import StatSet, Utilization
+from repro.common.types import MBUS_OP_CYCLES, BusOp, BusTransaction
+from repro.bus.signals import SignalTrace
+
+LineData = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SnoopResult:
+    """What one snooper reports back during a bus operation.
+
+    ``shared``
+        The snooper holds the addressed line (drives ``MShared``).
+    ``data``
+        The line contents, if the snooper can supply them (dirty or
+        clean — Firefly caches all drive identical values).  ``None``
+        means this snooper does not drive the data wires.
+    ``write_back``
+        Ask the bus to *snarf* the supplied data into main memory
+        during this transaction.  The Firefly never sets this (it
+        asserts memory-inhibit instead and keeps the dirty copy);
+        Illinois/MESI and write-once use it when a modified holder
+        answers a read and simultaneously gives up ownership.
+    """
+
+    shared: bool = False
+    data: Optional[LineData] = None
+    write_back: bool = False
+
+
+class Snooper(Protocol):
+    """Interface a cache exposes to the bus for snooping.
+
+    ``snoop`` is invoked once per transaction, for every attached
+    snooper except the initiator, logically during cycles 2-3 (tag
+    probe then MShared).  It must apply the protocol's bus-induced
+    state transition and return a :class:`SnoopResult`.
+    """
+
+    snooper_id: int
+
+    def snoop(self, op: BusOp, line_address: int,
+              data: Optional[LineData]) -> SnoopResult:
+        ...
+
+
+class MemoryPort(Protocol):
+    """Interface main memory exposes to the bus."""
+
+    def read_line(self, line_address: int) -> LineData:
+        ...
+
+    def write_line(self, line_address: int, data: LineData) -> None:
+        ...
+
+    def covers(self, line_address: int) -> bool:
+        ...
+
+
+class MBus:
+    """The shared memory bus, including arbiter, snoop fan-out and stats.
+
+    A bus *client* (cache or DMA port) performs a transaction with::
+
+        txn = yield from mbus.transaction(priority, BusOp.MREAD, line_addr)
+
+    inside a kernel process.  The call blocks through arbitration and
+    the four bus cycles; the returned :class:`BusTransaction` carries
+    the ``MShared`` response and (for reads) the line data is applied
+    via the ``on_data`` callback the initiator passed, or available as
+    ``txn.data`` for single-word lines.
+
+    State changes in snoopers and memory are applied atomically at the
+    grant instant; the initiating process is resumed only after the
+    final data cycle, so all *timing* (bus occupancy, queueing delay,
+    CPU stall) is cycle-exact while *state* is transaction-atomic.
+    """
+
+    def __init__(self, sim: Simulator, memory: Optional[MemoryPort] = None,
+                 words_per_line: int = 1,
+                 trace: Optional[SignalTrace] = None) -> None:
+        if words_per_line < 1:
+            raise ConfigurationError(
+                f"words_per_line must be >= 1, got {words_per_line}")
+        self.sim = sim
+        self.memory = memory
+        self.words_per_line = words_per_line
+        self.trace = trace
+        self._resource = sim.resource("MBus")
+        self._snoopers: List[Snooper] = []
+        self._interrupt_handlers: Dict[int, List[Callable[[int], None]]] = {}
+        self.stats = StatSet("mbus")
+        self.utilization = Utilization("mbus")
+
+    # -- configuration -------------------------------------------------
+
+    def attach_memory(self, memory: MemoryPort) -> None:
+        """Attach the main-memory module array (exactly once)."""
+        if self.memory is not None:
+            raise ConfigurationError("MBus already has memory attached")
+        self.memory = memory
+
+    def attach_snooper(self, snooper: Snooper) -> None:
+        """Attach a cache's snoop port; order is irrelevant to results."""
+        if any(s.snooper_id == snooper.snooper_id for s in self._snoopers):
+            raise ConfigurationError(
+                f"duplicate snooper id {snooper.snooper_id}")
+        self._snoopers.append(snooper)
+
+    @property
+    def snoopers(self) -> Tuple[Snooper, ...]:
+        return tuple(self._snoopers)
+
+    # -- transactions ---------------------------------------------------
+
+    def transaction(self, priority: int, op: BusOp, line_address: int,
+                    initiator: int, data: Optional[LineData] = None,
+                    is_victim: bool = False, update_memory: bool = True):
+        """Perform one bus operation.  Generator; use ``yield from``.
+
+        Parameters
+        ----------
+        priority:
+            Arbitration priority (lower wins), fixed per cache slot.
+        op:
+            The bus operation kind.
+        line_address:
+            First word address of the (aligned) line.
+        initiator:
+            Snooper id of the initiating cache (or a DMA port id);
+            the initiator is excluded from the snoop fan-out.
+        data:
+            For MWRITE: the line data driven in cycle 2 — either the
+            tuple itself, or a zero-argument callable evaluated at the
+            grant instant.  The callable form exists because a writer
+            can be *queued* behind another write to the same line: the
+            earlier write updates the queued writer's cached copy via
+            snooping, and the queued writer must then drive its own
+            word merged into that updated line, exactly as byte-enable
+            hardware would.  Capturing the payload at request time
+            would regress the earlier write.
+        is_victim:
+            Marks an MWRITE as a victim write-back (measurement
+            category only; the wire protocol is identical).
+        update_memory:
+            When False, an MWRITE updates snoopers but not main memory
+            (the Dragon's shared-update broadcast, where the writer
+            remains owner and memory stays stale until victimisation).
+            The Firefly always updates memory.
+        """
+        if op.carries_write_data and data is None:
+            raise SimulationError(f"{op} requires write data")
+        if line_address % self.words_per_line != 0:
+            raise SimulationError(
+                f"unaligned line address {line_address:#x} "
+                f"(words_per_line={self.words_per_line})")
+        yield self._resource.acquire(priority=priority)
+        start = self.sim.now
+        txn = self._execute(op, line_address, initiator, data, is_victim,
+                            start, update_memory)
+        yield self.sim.timeout(MBUS_OP_CYCLES)
+        holder = self._resource.holder
+        if holder is None:  # pragma: no cover - defensive
+            raise SimulationError("bus released mid-transaction")
+        self._resource.release(holder)
+        return txn
+
+    def _execute(self, op: BusOp, line_address: int, initiator: int,
+                 data: Optional[LineData], is_victim: bool,
+                 start: int, update_memory: bool = True) -> BusTransaction:
+        """Apply the transaction's state effects and gather responses."""
+        if callable(data):
+            data = data()
+        shared = False
+        snarf = False
+        cache_data: Optional[LineData] = None
+        for snooper in self._snoopers:
+            if snooper.snooper_id == initiator:
+                continue
+            result = snooper.snoop(op, line_address, data)
+            if result.shared:
+                shared = True
+            if result.write_back:
+                snarf = True
+            if result.data is not None:
+                if cache_data is not None and cache_data != result.data:
+                    raise SimulationError(
+                        f"caches drove conflicting data for {line_address:#x}: "
+                        f"{cache_data} vs {result.data}")
+                cache_data = result.data
+
+        supplied_by_cache = False
+        returned: Optional[LineData] = None
+        if op.carries_write_data:
+            # Write-throughs and victim writes always update main memory
+            # ("other caches that share the datum are updated, as is
+            # main storage").
+            if update_memory and self.memory is not None:
+                self.memory.write_line(line_address, data)
+        elif op.returns_data:
+            if cache_data is not None:
+                supplied_by_cache = True
+                returned = cache_data
+            elif self.memory is not None:
+                returned = self.memory.read_line(line_address)
+            else:
+                raise SimulationError("MRead with no memory and no sharer")
+            if snarf and self.memory is not None:
+                # Illinois-style reflection: the previous owner's data is
+                # written to memory in the same transaction.
+                self.memory.write_line(line_address, returned)
+                self.stats.incr("read.snarfed")
+
+        self._count(op, shared, is_victim, supplied_by_cache)
+        if self.trace is not None:
+            self.trace.record(op, line_address, initiator, start, shared,
+                              supplied_by_cache)
+        word = None
+        if returned is not None and self.words_per_line == 1:
+            word = returned[0]
+        return BusTransaction(
+            op=op,
+            address=line_address,
+            initiator=initiator,
+            start_cycle=start,
+            shared_response=shared,
+            supplied_by_cache=supplied_by_cache,
+            is_victim=is_victim,
+            data=word if word is not None else (returned if returned else None),
+        )
+
+    def _count(self, op: BusOp, shared: bool, is_victim: bool,
+               supplied_by_cache: bool) -> None:
+        self.utilization.add_busy(MBUS_OP_CYCLES)
+        self.stats.incr("ops")
+        self.stats.incr(f"op.{op.value}")
+        if op is BusOp.MWRITE:
+            if is_victim:
+                self.stats.incr("write.victim")
+            elif shared:
+                self.stats.incr("write.mshared")
+            else:
+                self.stats.incr("write.not_mshared")
+        elif op.returns_data:
+            self.stats.incr("read.cache_supplied" if supplied_by_cache
+                            else "read.memory_supplied")
+
+    # -- measurement ----------------------------------------------------
+
+    def mark_window(self) -> None:
+        """Open a measurement window on load and all counters."""
+        self.utilization.mark(self.sim.now)
+        self.stats.mark_all()
+
+    def load(self) -> float:
+        """Bus load L (busy fraction) over the open window."""
+        return self.utilization.load(self.sim.now)
+
+    @property
+    def queue_wait_cycles(self) -> int:
+        """Cumulative cycles initiators spent waiting for grants."""
+        return self._resource.total_wait
+
+    @property
+    def busy(self) -> bool:
+        """Whether a transaction is in flight right now (prefetch throttle)."""
+        return self._resource.holder is not None
+
+    # -- interprocessor interrupts ---------------------------------------
+
+    def register_interrupt_handler(self, target: int,
+                                   handler: Callable[[int], None]) -> None:
+        """Register ``handler(sender)`` for IPIs aimed at ``target``."""
+        self._interrupt_handlers.setdefault(target, []).append(handler)
+
+    def send_interrupt(self, target: int, sender: int) -> None:
+        """Deliver an interprocessor interrupt over the sideband wires.
+
+        IPIs use dedicated MBus wires, so they consume no data cycles;
+        delivery is immediate (handlers run at the current time).
+        """
+        self.stats.incr("ipi")
+        for handler in self._interrupt_handlers.get(target, []):
+            handler(sender)

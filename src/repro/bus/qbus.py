@@ -1,0 +1,193 @@
+"""The QBus: the Firefly's standard DEC I/O bus.
+
+The Firefly borrowed the entire MicroVAX II I/O system (paper §3): one
+processor — the *I/O processor* on the primary board — controls a
+standard QBus carrying the disk controller (RQDX3), Ethernet controller
+(DEQNA) and the display controllers.  Three properties matter to the
+model:
+
+- **Asymmetry.** Only the I/O processor touches the QBus; every other
+  processor reaches devices through software abstractions (and the
+  MDC's memory work queue).
+- **Mapping registers.** The QBus has a 22-bit (4 MB) address space,
+  mapped into the Firefly's physical space in 512-byte pages by
+  registers the I/O processor loads — and DMA can only reach the first
+  16 MB of physical memory (the primary-board limit that survives into
+  the CVAX machine).
+- **DMA through the I/O processor's cache.** Device DMA is presented to
+  the MBus by the I/O processor's cache; *misses do not allocate*.
+  "When fully loaded, the QBus consumes about 30% of the main memory
+  bandwidth": we give the QBus a 1.3 µs per-longword transfer time
+  (13 MBus cycles), so a saturated QBus issues one 4-cycle MBus
+  operation every 13 cycles — a 31 % load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.events import Simulator
+from repro.common.stats import StatSet, Utilization
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.cache import SnoopyCache
+
+QBUS_PAGE_WORDS = 128
+"""Words per QBus mapping page (512 bytes)."""
+
+QBUS_PAGES = 8192
+"""Number of mapping registers (covering the 4 MB QBus space)."""
+
+QBUS_SPACE_WORDS = QBUS_PAGE_WORDS * QBUS_PAGES
+"""Total words addressable on the QBus (22-bit byte space)."""
+
+DMA_REACH_WORDS = (16 * 1024 * 1024) // 4
+"""DMA can only reach the first 16 MB of Firefly physical memory."""
+
+DEFAULT_CYCLES_PER_WORD = 9
+"""MBus cycles of QBus occupancy per longword, *before* the word's
+4-cycle MBus operation.  The total per-word period is therefore 13
+cycles (1.3 µs, ~3 MB/s), so a saturated QBus presents an MBus load of
+4/13 ~= 31 % — the paper's 'about 30% of the main memory bandwidth'."""
+
+
+class QBusMap:
+    """The scatter-gather mapping registers.
+
+    Each register maps one 512-byte QBus page onto one 512-byte page of
+    Firefly physical memory.  The I/O processor's driver software loads
+    these before starting a DMA transfer.
+    """
+
+    def __init__(self) -> None:
+        self._pages: List[Optional[int]] = [None] * QBUS_PAGES
+
+    def map_page(self, qbus_page: int, firefly_word_base: int) -> None:
+        """Point QBus page ``qbus_page`` at ``firefly_word_base``.
+
+        The target must be 512-byte aligned and within DMA reach.
+        """
+        if not 0 <= qbus_page < QBUS_PAGES:
+            raise ConfigurationError(f"QBus page {qbus_page} out of range")
+        if firefly_word_base % QBUS_PAGE_WORDS != 0:
+            raise ConfigurationError(
+                f"map target {firefly_word_base:#x} is not page aligned")
+        if not 0 <= firefly_word_base < DMA_REACH_WORDS:
+            raise ConfigurationError(
+                f"map target {firefly_word_base:#x} is beyond the 16 MB "
+                f"DMA reach of the I/O system")
+        self._pages[qbus_page] = firefly_word_base
+
+    def map_region(self, qbus_word_base: int, firefly_word_base: int,
+                   words: int) -> None:
+        """Map a contiguous region, page by page."""
+        if qbus_word_base % QBUS_PAGE_WORDS != 0:
+            raise ConfigurationError(
+                f"QBus base {qbus_word_base:#x} is not page aligned")
+        pages = -(-words // QBUS_PAGE_WORDS)
+        for i in range(pages):
+            self.map_page(qbus_word_base // QBUS_PAGE_WORDS + i,
+                          firefly_word_base + i * QBUS_PAGE_WORDS)
+
+    def unmap_page(self, qbus_page: int) -> None:
+        """Invalidate one mapping register."""
+        if not 0 <= qbus_page < QBUS_PAGES:
+            raise ConfigurationError(f"QBus page {qbus_page} out of range")
+        self._pages[qbus_page] = None
+
+    def translate(self, qbus_word_address: int) -> int:
+        """QBus word address -> Firefly physical word address."""
+        if not 0 <= qbus_word_address < QBUS_SPACE_WORDS:
+            raise SimulationError(
+                f"QBus address {qbus_word_address:#x} outside 22-bit space")
+        page, offset = divmod(qbus_word_address, QBUS_PAGE_WORDS)
+        base = self._pages[page]
+        if base is None:
+            raise SimulationError(
+                f"DMA through unmapped QBus page {page} "
+                f"(address {qbus_word_address:#x})")
+        return base + offset
+
+    def mapped_pages(self) -> int:
+        """Number of currently valid mapping registers."""
+        return sum(1 for p in self._pages if p is not None)
+
+
+class QBus:
+    """The I/O bus: serialises device DMA and meters its bandwidth.
+
+    Devices perform block transfers with::
+
+        values = yield from qbus.dma_read_block(qbus_addr, nwords)
+        yield from qbus.dma_write_block(qbus_addr, values)
+
+    Each longword occupies the QBus for ``cycles_per_word`` cycles and
+    then flows through the I/O processor's cache onto the MBus.
+    """
+
+    def __init__(self, sim: Simulator, io_cache: "SnoopyCache",
+                 cycles_per_word: int = DEFAULT_CYCLES_PER_WORD) -> None:
+        if cycles_per_word < 1:
+            raise ConfigurationError(
+                f"cycles_per_word must be >= 1, got {cycles_per_word}")
+        self.sim = sim
+        self.io_cache = io_cache
+        self.cycles_per_word = cycles_per_word
+        self.map = QBusMap()
+        self._resource = sim.resource("QBus")
+        self.stats = StatSet("qbus")
+        self.utilization = Utilization("qbus")
+
+    def dma_write_block(self, qbus_word_address: int,
+                        values: Sequence[int]):
+        """Generator: device -> memory DMA of ``values``."""
+        for i, value in enumerate(values):
+            target = self.map.translate(qbus_word_address + i)
+            yield self._resource.acquire()
+            yield self.sim.timeout(self.cycles_per_word)
+            self.utilization.add_busy(self.cycles_per_word)
+            self._release()
+            yield from self.io_cache.dma_write(target, value)
+            self.stats.incr("dma_words_in")
+
+    def dma_read_block(self, qbus_word_address: int, nwords: int):
+        """Generator: memory -> device DMA; returns the words read."""
+        values = []
+        for i in range(nwords):
+            target = self.map.translate(qbus_word_address + i)
+            yield self._resource.acquire()
+            yield self.sim.timeout(self.cycles_per_word)
+            self.utilization.add_busy(self.cycles_per_word)
+            self._release()
+            value = yield from self.io_cache.dma_read(target)
+            values.append(value)
+            self.stats.incr("dma_words_out")
+        return values
+
+    def pio(self, register_cycles: int = 8):
+        """Generator: one programmed-I/O register access by the I/O CPU.
+
+        Device registers live on the QBus, so touching them costs a bus
+        tenure but no MBus traffic.
+        """
+        yield self._resource.acquire()
+        yield self.sim.timeout(register_cycles)
+        self.utilization.add_busy(register_cycles)
+        self._release()
+        self.stats.incr("pio")
+
+    def _release(self) -> None:
+        holder = self._resource.holder
+        if holder is None:  # pragma: no cover - defensive
+            raise SimulationError("QBus released with no holder")
+        self._resource.release(holder)
+
+    def load(self) -> float:
+        """QBus busy fraction over the current window."""
+        return self.utilization.load(self.sim.now)
+
+    def mark_window(self) -> None:
+        """Open a measurement window."""
+        self.utilization.mark(self.sim.now)
+        self.stats.mark_all()

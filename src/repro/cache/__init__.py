@@ -1,0 +1,41 @@
+"""Cache models: the direct-mapped snoopy cache and coherence protocols.
+
+The Firefly cache (paper §5.1) is direct mapped with one-longword
+lines — 4096 lines (16 KB) on MicroVAX boards, 16384 lines (64 KB) on
+CVAX boards.  Its purpose is *not* to reduce access time but to shield
+the MBus from most CPU references, so several processors can share a
+modest memory system.
+
+``repro.cache.protocols`` contains the Firefly protocol (the paper's
+contribution) and five baselines discussed in its related-work: simple
+write-through-invalidate, Berkeley Ownership, the Xerox Dragon, Illinois
+MESI, and Goodman's write-once.
+"""
+
+from repro.cache.cache import CacheGeometry, SnoopyCache
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols import (
+    BerkeleyProtocol,
+    CoherenceProtocol,
+    DragonProtocol,
+    FireflyProtocol,
+    MesiProtocol,
+    WriteOnceProtocol,
+    WriteThroughInvalidateProtocol,
+    protocol_by_name,
+)
+
+__all__ = [
+    "BerkeleyProtocol",
+    "CacheGeometry",
+    "CacheLine",
+    "CoherenceProtocol",
+    "DragonProtocol",
+    "FireflyProtocol",
+    "LineState",
+    "MesiProtocol",
+    "SnoopyCache",
+    "WriteOnceProtocol",
+    "WriteThroughInvalidateProtocol",
+    "protocol_by_name",
+]

@@ -1,0 +1,116 @@
+"""Cache lines and the unified line-state vocabulary.
+
+The Firefly names its states by two tag bits, Dirty and Shared
+(paper Figure 3); the four valid combinations plus INVALID are:
+
+========================= ======= ========
+State                     Dirty   Shared
+========================= ======= ========
+``VALID``                 0       0
+``DIRTY``                 1       0
+``SHARED``                0       1
+``SHARED_DIRTY``          1       1
+========================= ======= ========
+
+``SHARED_DIRTY`` arises because memory is *inhibited* when sharing
+caches answer an MRead: the dirty supplier keeps its Dirty tag while
+gaining Shared.
+
+The baseline protocols reuse this vocabulary where it fits and add
+their own distinctions via :class:`LineState`'s extra members:
+``RESERVED`` (write-once's written-through-once state) and ``OWNED`` /
+``OWNED_SHARED`` (Berkeley's ownership states).  Dragon's E/Sc/Sm/M map
+onto VALID/SHARED/SHARED_DIRTY/DIRTY; MESI's E/S/M map onto
+VALID/SHARED/DIRTY.  Keeping one enum lets the coherence checker and
+the metrics layer reason about dirtiness and sharing uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+
+class LineState(enum.Enum):
+    """Unified cache-line states across all implemented protocols."""
+
+    INVALID = "I"
+    VALID = "V"              # clean, believed exclusive (Firefly V; MESI E)
+    DIRTY = "D"              # modified, exclusive (Firefly D; MESI M; Dragon M)
+    SHARED = "S"             # clean, shared (Firefly S; MESI S; Dragon Sc)
+    SHARED_DIRTY = "SD"      # modified, shared (Firefly SD; Dragon Sm)
+    RESERVED = "R"           # write-once: written through exactly once
+    OWNED = "O"              # Berkeley: owned exclusively (dirty)
+    OWNED_SHARED = "OS"      # Berkeley: owned but shared (dirty)
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """Whether victimising this line requires a write-back."""
+        return self in _DIRTY_STATES
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether the holder believes another cache may hold the line."""
+        return self in _SHARED_STATES
+
+    @property
+    def tag_bits(self) -> Tuple[int, int]:
+        """(Dirty, Shared) tag-bit encoding, for the Figure 3 rendering."""
+        return (1 if self.is_dirty else 0, 1 if self.is_shared else 0)
+
+
+_DIRTY_STATES = frozenset({
+    LineState.DIRTY, LineState.SHARED_DIRTY,
+    LineState.OWNED, LineState.OWNED_SHARED,
+})
+_SHARED_STATES = frozenset({
+    LineState.SHARED, LineState.SHARED_DIRTY, LineState.OWNED_SHARED,
+})
+
+FIREFLY_STATES = (
+    LineState.VALID, LineState.DIRTY, LineState.SHARED, LineState.SHARED_DIRTY,
+)
+"""The four tag-bit combinations of Figure 3 (excluding INVALID)."""
+
+
+class CacheLine:
+    """One direct-mapped cache entry: tag, state and line data.
+
+    ``data`` always holds ``words_per_line`` integers once the line is
+    valid; an invalid line's contents are meaningless but kept allocated
+    to avoid churn.
+    """
+
+    __slots__ = ("tag", "state", "data")
+
+    def __init__(self, words_per_line: int) -> None:
+        self.tag: Optional[int] = None
+        self.state = LineState.INVALID
+        self.data: List[int] = [0] * words_per_line
+
+    @property
+    def valid(self) -> bool:
+        return self.state.is_valid
+
+    def fill(self, tag: int, data: Tuple[int, ...], state: LineState) -> None:
+        """Load a line from the bus."""
+        self.tag = tag
+        self.state = state
+        self.data[:] = data
+
+    def invalidate(self) -> None:
+        """Drop the line (state to INVALID; tag retained for debugging)."""
+        self.state = LineState.INVALID
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy of the line data, for driving the bus."""
+        return tuple(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self.valid:
+            return "<CacheLine invalid>"
+        return f"<CacheLine tag={self.tag:#x} {self.state.value} {self.data}>"

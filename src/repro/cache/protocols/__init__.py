@@ -1,0 +1,63 @@
+"""Coherence protocols.
+
+:class:`FireflyProtocol` is the paper's contribution.  The baselines
+are the protocols the paper's §5.1 discusses as alternatives: simple
+write-through with invalidation ("not practical for more than a few
+processors"), ownership protocols (Berkeley), the Xerox Dragon ("uses a
+similar scheme"), plus Illinois MESI and Goodman write-once from the
+Archibald & Baer survey the paper cites.
+
+All protocols are stateless singletons: per-line state lives in the
+caches, and one protocol instance may serve every cache in a machine.
+"""
+
+from repro.cache.protocols.base import CoherenceProtocol
+from repro.cache.protocols.berkeley import BerkeleyProtocol
+from repro.cache.protocols.dragon import DragonProtocol
+from repro.cache.protocols.firefly import FireflyProtocol
+from repro.cache.protocols.mesi import MesiProtocol
+from repro.cache.protocols.write_once import WriteOnceProtocol
+from repro.cache.protocols.write_through import WriteThroughInvalidateProtocol
+
+_REGISTRY = {
+    cls().name: cls
+    for cls in (
+        FireflyProtocol,
+        WriteThroughInvalidateProtocol,
+        BerkeleyProtocol,
+        DragonProtocol,
+        MesiProtocol,
+        WriteOnceProtocol,
+    )
+}
+
+
+def protocol_by_name(name: str) -> CoherenceProtocol:
+    """Instantiate a protocol from its registry name.
+
+    >>> protocol_by_name("firefly").name
+    'firefly'
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+def available_protocols() -> tuple:
+    """Names of every registered protocol."""
+    return tuple(sorted(_REGISTRY))
+
+
+__all__ = [
+    "BerkeleyProtocol",
+    "CoherenceProtocol",
+    "DragonProtocol",
+    "FireflyProtocol",
+    "MesiProtocol",
+    "WriteOnceProtocol",
+    "WriteThroughInvalidateProtocol",
+    "available_protocols",
+    "protocol_by_name",
+]

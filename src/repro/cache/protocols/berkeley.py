@@ -1,0 +1,102 @@
+"""Berkeley Ownership: the invalidation-based ownership baseline.
+
+The paper cites Berkeley Ownership (Katz et al., ISCA 1985) as the
+canonical "acquire permission to write" protocol: a cache must own a
+location before writing it, and acquiring ownership invalidates every
+other copy.  Main memory is *not* updated on cache-to-cache transfers;
+the owner is responsible for the eventual write-back.
+
+States used here:
+
+- ``VALID`` — unowned, possibly shared, read-only without a bus op.
+- ``OWNED`` — owned exclusively (dirty).
+- ``OWNED_SHARED`` — owned but other read-only copies exist (dirty).
+
+The paper's critique of this family (§5.1): it "performs poorly when
+actual sharing occurs, since the invalidated information must be
+reloaded when the CPU next references it" — the ping-ponging the
+protocol-comparison ablation (A2 in DESIGN.md) demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.mbus import SnoopResult
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols.base import CoherenceProtocol, _line_data
+from repro.common.errors import ProtocolError
+from repro.common.types import BusOp
+
+
+class BerkeleyProtocol(CoherenceProtocol):
+    """Ownership with invalidation; no memory update on transfers."""
+
+    name = "berkeley"
+    silent_write_states = frozenset({LineState.OWNED})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        # A plain read never confers ownership.
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is not LineState.OWNED:
+            # VALID or OWNED_SHARED: must (re)claim exclusive ownership.
+            cache.stats.incr("invalidations_sent")
+            tag = line.tag
+            line_address = cache.geometry.rebuild_address(index, tag)
+            yield from cache.bus_op(BusOp.MINVALIDATE, line_address)
+            if not (line.valid and line.tag == tag):
+                # A competing owner's invalidation serialised first; our
+                # copy is gone, so this is now a write miss.
+                yield from self.write_miss(cache, line, index, tag, offset,
+                                           value, partial=False)
+                return
+            line.state = LineState.OWNED
+        line.data[offset] = value
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        # Read-for-ownership: fetches the data and invalidates all copies.
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.OWNED)
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        owned = line.state in (LineState.OWNED, LineState.OWNED_SHARED)
+        if op is BusOp.MREAD:
+            if owned:
+                # Supply the data; memory is NOT updated (no write_back),
+                # and this cache remains the owner.
+                line.state = LineState.OWNED_SHARED
+                return SnoopResult(shared=True, data=line.snapshot())
+            return SnoopResult(shared=True)
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(shared=True,
+                                 data=line.snapshot() if owned else None)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op is BusOp.MINVALIDATE:
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            # Victim write-back from another cache, or a DMA write: the
+            # bus transaction updates memory, so our copy refreshes and
+            # any ownership we held is now redundant — demote to VALID.
+            line.data[:] = data
+            line.state = LineState.VALID
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"Berkeley cache snooped unknown bus op {op}")

@@ -1,0 +1,124 @@
+"""The Firefly coherence protocol: conditional write-through.
+
+This is the paper's contribution (§5.1, Figure 3).  The key idea is
+that a cache can *detect* whether a line is shared, via the ``MShared``
+wire, and chooses its write policy per line:
+
+- **Not shared** — pure write-back: reads and writes stay in the cache,
+  memory is updated only when a dirty victim is replaced.
+- **Shared** — write-through: a processor write sends an MWrite that
+  updates the other caches *and* main memory; the writer's line is left
+  clean.  No prearrangement (no ownership acquisition) is ever needed
+  to write a shared location.
+
+The Shared tag is refreshed by every bus operation the line is involved
+in, so when a location ceases to be shared the *last* write-through
+(which receives no ``MShared``) clears the tag and the cache reverts to
+write-back — "only one extra write-through is done by the last cache
+that contains the location".
+
+Line states are the four Dirty x Shared tag combinations.  The fourth
+combination, ``SHARED_DIRTY``, arises because memory is *inhibited*
+when sharing caches supply an MRead: a dirty supplier keeps its Dirty
+tag (it still owes memory a victim write) while learning the line is
+shared.  Its Dirty tag clears if it later snoops an MWrite to the line,
+because that transaction updates main memory.
+
+The longword write-miss optimisation: with one-longword lines, an
+aligned full-word write miss skips the read-for-allocate and simply
+writes through, allocating the line clean with Shared set from the
+response.  Sub-longword (``partial``) writes, and any geometry with
+multi-word lines, take the read-miss-then-write-hit path instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.mbus import SnoopResult
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols.base import CoherenceProtocol, merged_payload
+from repro.common.errors import ProtocolError
+from repro.common.types import BusOp
+
+
+class FireflyProtocol(CoherenceProtocol):
+    """Conditional write-through with bus-update of shared lines."""
+
+    name = "firefly"
+    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
+
+    # -- processor side ------------------------------------------------
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        data = yield from self.fill_from_read(
+            cache, line, index, tag,
+            shared_state=LineState.SHARED,
+            exclusive_state=LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if not line.state.is_shared:
+            # Private line: pure write-back, no bus traffic.
+            line.data[offset] = value
+            line.state = LineState.DIRTY
+            return
+        # Shared line: conditional write-through.  The response tells us
+        # whether anyone still shares it; if not, revert to write-back.
+        #
+        # The cached copy is NOT updated until the transaction is
+        # granted (merged_payload applies the word then): updating it
+        # eagerly would let this cache answer an intervening bus read
+        # with a value the other sharers do not yet have — two sharers
+        # driving different data, which the hardware forbids.  The CPU
+        # is stalled for the write-through anyway, so it cannot observe
+        # its own store's delay.
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, line.tag)
+        txn = yield from cache.bus_op(
+            BusOp.MWRITE, line_address,
+            data=merged_payload(line, offset, value))
+        line.state = (LineState.SHARED if txn.shared_response
+                      else LineState.VALID)
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        if partial or cache.geometry.words_per_line != 1:
+            # "A write miss is treated as a read miss followed
+            # immediately by a write hit."
+            yield from self.read_miss(cache, line, index, tag, offset)
+            yield from self.write_hit(cache, line, index, offset, value)
+            return
+        # Aligned-longword optimisation: write through directly, leaving
+        # the line clean; Shared comes from the MShared response.
+        yield from self.victimize(cache, line, index)
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                      data=(value,))
+        state = LineState.SHARED if txn.shared_response else LineState.VALID
+        line.fill(tag, (value,), state)
+
+    # -- bus side ---------------------------------------------------------
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            # Assert MShared and supply the data (memory is inhibited).
+            # Every holder drives identical values, clean or dirty.
+            if line.state is LineState.VALID:
+                line.state = LineState.SHARED
+            elif line.state is LineState.DIRTY:
+                line.state = LineState.SHARED_DIRTY
+            return SnoopResult(shared=True, data=line.snapshot())
+        if op is BusOp.MWRITE:
+            # Another cache's write-through or victim write, or a DMA
+            # write: take the data.  Main memory is updated by the same
+            # transaction, so the copy is clean afterwards.
+            line.data[:] = data
+            line.state = LineState.SHARED
+            return SnoopResult(shared=True)
+        raise ProtocolError(
+            f"Firefly cache snooped foreign bus op {op} at {line_address:#x}")

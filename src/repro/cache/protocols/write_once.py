@@ -1,0 +1,96 @@
+"""Goodman's write-once: the original snoopy protocol.
+
+From the Archibald & Baer survey the paper cites.  The first write to a
+line is written through (announcing the write so other caches can
+invalidate); subsequent writes to the now-``RESERVED`` line stay local,
+making the line ``DIRTY``.
+
+State mapping: Invalid = ``INVALID``, Valid = ``VALID``,
+Reserved = ``RESERVED``, Dirty = ``DIRTY``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.mbus import SnoopResult
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols.base import (
+    CoherenceProtocol,
+    _line_data,
+    merged_payload,
+)
+from repro.common.errors import ProtocolError
+from repro.common.types import BusOp
+
+
+class WriteOnceProtocol(CoherenceProtocol):
+    """First write goes through; later writes are local write-back."""
+
+    name = "write-once"
+    silent_write_states = frozenset({LineState.RESERVED, LineState.DIRTY})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is not LineState.VALID:
+            # RESERVED or DIRTY: local, write-back from here on.
+            line.data[offset] = value
+            line.state = LineState.DIRTY
+            return
+        # The once: write through, invalidating other copies.  The
+        # copy updates at grant time (merged_payload).
+        cache.stats.incr("write_throughs")
+        tag = line.tag
+        line_address = cache.geometry.rebuild_address(index, tag)
+        yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                data=merged_payload(line, offset, value))
+        if line.valid and line.tag == tag:
+            line.state = LineState.RESERVED
+        # else: a concurrent write-once serialised first and
+        # invalidated us; memory has our value, line stays dropped.
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.DIRTY)
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            if line.state is LineState.DIRTY:
+                # Supply; bus snarfs into memory; we demote to VALID.
+                result = SnoopResult(shared=True, data=line.snapshot(),
+                                     write_back=True)
+                line.state = LineState.VALID
+                return result
+            if line.state is LineState.RESERVED:
+                line.state = LineState.VALID
+            return SnoopResult(shared=True)
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(
+                shared=True,
+                data=line.snapshot() if line.state is LineState.DIRTY else None,
+                write_back=line.state is LineState.DIRTY)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op in (BusOp.MWRITE, BusOp.MINVALIDATE):
+            # A write-once write-through from another cache (or DMA):
+            # memory is updated and our copy is stale — invalidate.
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"write-once cache snooped unknown bus op {op}")

@@ -1,0 +1,86 @@
+"""Write-through with invalidation: the simplest snoopy protocol.
+
+The paper's strawman (§5.1): "all writes are sent to the main memory
+bus.  Whenever a cache observes a write directed to a line it contains,
+it invalidates its copy.  This is not a practical protocol for more
+than a few processors, because the substantial write traffic will
+rapidly saturate the bus, and extra misses will be required to reload
+invalidated lines."
+
+Lines are only ever ``VALID`` (memory is always current, so nothing is
+ever dirty and victims are dropped silently).  The policy here is
+no-write-allocate, the common pairing for write-through caches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.mbus import SnoopResult
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols.base import (
+    CoherenceProtocol,
+    _line_data,
+    merged_payload,
+)
+from repro.common.errors import ProtocolError
+from repro.common.types import BusOp
+
+
+class WriteThroughInvalidateProtocol(CoherenceProtocol):
+    """Every write goes to the bus; snooped writes invalidate copies."""
+
+    name = "write-through"
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        # No victim write can ever be needed; just replace.
+        line.invalidate()
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        # Copy updated at grant time (merged_payload): see the Firefly
+        # protocol's write_hit for why eager update is unsound.
+        cache.stats.incr("write_throughs")
+        tag = line.tag
+        line_address = cache.geometry.rebuild_address(index, tag)
+        yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                data=merged_payload(line, offset, value))
+        # A concurrent writer serialised ahead of us invalidated our
+        # copy; our write still reached memory, so leave it dropped
+        # (no-write-allocate).  Otherwise the line stays VALID.
+        if line.valid and line.tag == tag:
+            line.state = LineState.VALID
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        # No-write-allocate: send the write to memory, leave the cache
+        # untouched (the resident line at this index belongs to some
+        # other address and stays).
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, tag)
+        if cache.geometry.words_per_line == 1:
+            yield from cache.bus_op(BusOp.MWRITE, line_address, data=(value,))
+            return
+        # Multi-word lines need the rest of the line's current contents.
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        yield from cache.bus_op(BusOp.MWRITE, line_address, data=tuple(data))
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            # Memory is always current; let it supply the data.
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        raise ProtocolError(
+            f"write-through cache snooped foreign bus op {op}")

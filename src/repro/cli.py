@@ -1,0 +1,168 @@
+"""Command-line interface: ``firefly-sim``.
+
+Subcommands:
+
+``simulate``
+    Build a machine and run the calibrated workload; print the metric
+    summary (optionally the Figure 1 diagram and the bus trace).
+``table1``
+    Print the analytic Table 1 for a chosen parameter set.
+``exerciser``
+    Run the Topaz Threads exerciser (the Table 2 workload) and print
+    the measurement block.
+``fsm``
+    Print a coherence protocol's measured state-transition table
+    (Figure 3 for the firefly protocol).
+
+Examples::
+
+    firefly-sim simulate --processors 5 --protocol firefly
+    firefly-sim simulate --generation cvax --processors 7 --diagram
+    firefly-sim table1 --miss-rate 0.1
+    firefly-sim exerciser --processors 5 --threads 16
+    firefly-sim fsm --protocol dragon
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
+from repro.cache.protocols import available_protocols
+from repro.reporting import Column, TextTable, render_state_diagram, \
+    render_system_diagram
+from repro.system import (
+    CoherenceChecker,
+    FireflyConfig,
+    FireflyMachine,
+    Generation,
+)
+from repro.workloads.threads_exerciser import (
+    ExerciserParams,
+    build_exerciser,
+    exerciser_expectations,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firefly-sim",
+        description="Simulate the DEC SRC Firefly multiprocessor "
+                    "(Thacker, Stewart & Satterthwaite, ASPLOS 1987)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run the calibrated workload")
+    sim.add_argument("--processors", type=int, default=5)
+    sim.add_argument("--generation", choices=("microvax", "cvax"),
+                     default="microvax")
+    sim.add_argument("--protocol", choices=sorted(available_protocols()),
+                     default="firefly")
+    sim.add_argument("--memory-mb", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=1987)
+    sim.add_argument("--warmup-cycles", type=int, default=200_000)
+    sim.add_argument("--measure-cycles", type=int, default=300_000)
+    sim.add_argument("--diagram", action="store_true",
+                     help="print the Figure 1 system diagram")
+    sim.add_argument("--skip-check", action="store_true",
+                     help="skip the coherence audit")
+
+    table1 = sub.add_parser("table1", help="print the analytic Table 1")
+    table1.add_argument("--miss-rate", type=float, default=0.2)
+    table1.add_argument("--dirty-fraction", type=float, default=0.25)
+    table1.add_argument("--shared-write-fraction", type=float, default=0.1)
+
+    exerciser = sub.add_parser("exerciser",
+                               help="run the Table 2 Threads exerciser")
+    exerciser.add_argument("--processors", type=int, default=5)
+    exerciser.add_argument("--threads", type=int, default=16)
+    exerciser.add_argument("--seed", type=int, default=1987)
+    exerciser.add_argument("--measure-cycles", type=int, default=400_000)
+
+    fsm = sub.add_parser("fsm", help="print a protocol's measured FSM")
+    fsm.add_argument("--protocol", choices=sorted(available_protocols()),
+                     default="firefly")
+
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    config = FireflyConfig(
+        processors=args.processors,
+        generation=Generation(args.generation),
+        protocol=args.protocol,
+        memory_megabytes=args.memory_mb,
+        seed=args.seed)
+    machine = FireflyMachine(config)
+    if args.diagram:
+        print(render_system_diagram(machine))
+        print()
+    metrics = machine.run(warmup_cycles=args.warmup_cycles,
+                          measure_cycles=args.measure_cycles)
+    print(metrics.summary())
+    if not args.skip_check:
+        audited = CoherenceChecker(machine).check()
+        print(f"coherence OK ({audited} cached words audited)")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    model = FireflyAnalyticModel(AnalyticParameters(
+        miss_rate=args.miss_rate,
+        dirty_fraction=args.dirty_fraction,
+        shared_write_fraction=args.shared_write_fraction))
+    points = model.table1()
+    table = TextTable([Column("NP", "d"), Column("L", ".2f"),
+                       Column("TPI", ".1f"), Column("RP", ".2f"),
+                       Column("TP", ".2f")])
+    for point in points:
+        table.add_row(int(point.processors), point.load, point.tpi,
+                      point.relative_performance, point.total_performance)
+    print(table.render())
+    print(f"knee: ~{model.knee_processors()} processors before marginal "
+          f"gain becomes unattractive")
+    return 0
+
+
+def _cmd_exerciser(args) -> int:
+    kernel = build_exerciser(args.processors,
+                             ExerciserParams(threads=args.threads),
+                             seed=args.seed)
+    metrics = kernel.run(warmup_cycles=200_000,
+                         measure_cycles=args.measure_cycles)
+    expected = exerciser_expectations(args.processors)
+    print(f"expected (analytic): reads {expected['reads_krate']:.0f}K/s  "
+          f"writes {expected['writes_krate']:.0f}K/s  "
+          f"total {expected['total_krate']:.0f}K/s")
+    print(metrics.summary())
+    print(f"migrations: {kernel.total_migrations}   context switches: "
+          f"{kernel.stats['context_switches'].total}")
+    return 0
+
+
+def _cmd_fsm(args) -> int:
+    print(render_state_diagram(args.protocol))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "table1": _cmd_table1,
+    "exerciser": _cmd_exerciser,
+    "fsm": _cmd_fsm,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script ``firefly-sim``)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as exc:  # present config errors tidily
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

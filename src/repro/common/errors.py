@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Firefly reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so a
+caller embedding the simulator can catch one type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent machine/workload configuration.
+
+    Raised eagerly, at construction time, so that a bad parameter never
+    produces a silently wrong simulation.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state.
+
+    These indicate bugs in a model (for example a CPU resuming before
+    its bus transaction completed), not user error.
+    """
+
+
+class CoherenceViolation(SimulationError):
+    """The coherence invariant checker found inconsistent cached data.
+
+    Attributes
+    ----------
+    address:
+        The longword address whose copies disagree.
+    detail:
+        Human-readable description of the disagreement.
+    """
+
+    def __init__(self, address, detail):
+        super().__init__(f"coherence violation at {address:#x}: {detail}")
+        self.address = address
+        self.detail = detail
+
+
+class ProtocolError(SimulationError):
+    """A coherence protocol observed a stimulus it considers impossible.
+
+    For example, a Firefly cache receiving a bus read for a line it
+    believes it holds exclusively dirty while a second cache also
+    responds.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+    def __init__(self, blocked):
+        names = ", ".join(sorted(blocked)) or "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+        self.blocked = tuple(blocked)

@@ -1,0 +1,56 @@
+"""A DES mailbox: unbounded producer/consumer queue for processes.
+
+``put(item)`` is host-callable (any process or callback may call it
+synchronously); ``get()`` is a generator a process ``yield from``-s,
+blocking until an item is available.  Items are delivered in FIFO
+order; multiple blocked consumers are served in arrival order.
+
+Used by the multi-machine plumbing (frames arriving from the Ethernet
+wire wake the receiving machine's service processes) and generally
+useful for device completion queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.common.events import Event, Simulator
+
+
+class Mailbox:
+    """An unbounded FIFO connecting processes."""
+
+    def __init__(self, sim: Simulator, name: str = "mailbox") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, item: Any) -> None:
+        """Deliver an item; wakes the oldest blocked consumer, if any."""
+        self.puts += 1
+        self._items.append(item)
+        if self._waiters:
+            self._waiters.popleft().succeed()
+
+    def get(self):
+        """Generator: take the oldest item, blocking while empty."""
+        while not self._items:
+            event = self.sim.event(f"{self.name}.wait")
+            self._waiters.append(event)
+            yield event
+        self.gets += 1
+        return self._items.popleft()
+
+    def try_get(self) -> Any:
+        """Non-blocking take; returns None when empty."""
+        if not self._items:
+            return None
+        self.gets += 1
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,172 @@
+"""Statistics primitives used by every model component.
+
+The paper reports rates (K references/second), ratios (miss rate, bus
+load) and categorical breakdowns (MBus writes that did / did not
+receive MShared, victim writes).  These classes gather exactly those,
+with support for *measurement windows*: Table 2 spans "several minutes
+of execution", excluding start-up, so counters can be snapshotted at a
+warm-up boundary and rates computed over the remaining interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing event counter with window snapshots."""
+
+    __slots__ = ("name", "_total", "_mark")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total = 0
+        self._mark = 0
+
+    def add(self, n: int = 1) -> None:
+        """Count ``n`` more events."""
+        self._total += n
+
+    @property
+    def total(self) -> int:
+        """Events counted since construction."""
+        return self._total
+
+    @property
+    def windowed(self) -> int:
+        """Events counted since the last :meth:`mark`."""
+        return self._total - self._mark
+
+    def mark(self) -> None:
+        """Start a measurement window at the current count."""
+        self._mark = self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self._total})"
+
+
+class RateMeter:
+    """Converts a (counter, time-window) pair into a rate.
+
+    Time is in simulator units; callers supply the unit duration in
+    seconds to get physical rates (e.g. 100 ns MBus cycles).
+    """
+
+    __slots__ = ("counter", "_start_time")
+
+    def __init__(self, counter: Counter, start_time: int = 0) -> None:
+        self.counter = counter
+        self._start_time = start_time
+
+    def mark(self, now: int) -> None:
+        """Open a measurement window at time ``now``."""
+        self.counter.mark()
+        self._start_time = now
+
+    def rate(self, now: int, unit_seconds: float) -> float:
+        """Events per second over the open window ending at ``now``."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.counter.windowed / (elapsed * unit_seconds)
+
+
+class Utilization:
+    """Tracks the busy fraction of a resource (e.g. MBus load L).
+
+    Busy intervals are accumulated as ``[start, end)`` cycles;
+    :meth:`load` divides by the measurement window.
+    """
+
+    __slots__ = ("name", "_busy", "_mark_busy", "_window_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._busy = 0
+        self._mark_busy = 0
+        self._window_start = 0
+
+    def add_busy(self, cycles: int) -> None:
+        """Record ``cycles`` of busy time."""
+        if cycles < 0:
+            raise ConfigurationError(f"negative busy time {cycles}")
+        self._busy += cycles
+
+    @property
+    def busy_total(self) -> int:
+        """Total busy cycles since construction."""
+        return self._busy
+
+    def mark(self, now: int) -> None:
+        """Open a measurement window at time ``now``."""
+        self._mark_busy = self._busy
+        self._window_start = now
+
+    def load(self, now: int) -> float:
+        """Busy fraction over the open window ending at ``now``."""
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return (self._busy - self._mark_busy) / elapsed
+
+
+class StatSet:
+    """A named bag of counters, created lazily.
+
+    >>> stats = StatSet("cache0")
+    >>> stats.incr("read_hit")
+    >>> stats["read_hit"].total
+    1
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, key: str) -> Counter:
+        """Return (creating if needed) the counter named ``key``."""
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = Counter(f"{self.name}.{key}")
+            self._counters[key] = counter
+        return counter
+
+    def incr(self, key: str, n: int = 1) -> None:
+        """Add ``n`` to the counter named ``key``."""
+        self.counter(key).add(n)
+
+    def __getitem__(self, key: str) -> Counter:
+        return self.counter(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def mark_all(self) -> None:
+        """Open a measurement window on every existing counter."""
+        for counter in self._counters.values():
+            counter.mark()
+
+    def items(self) -> Iterator[Tuple[str, Counter]]:
+        """Iterate (key, counter) pairs in insertion order."""
+        return iter(self._counters.items())
+
+    def totals(self) -> Dict[str, int]:
+        """Snapshot of all counter totals."""
+        return {key: c.total for key, c in self._counters.items()}
+
+    def windowed(self) -> Dict[str, int]:
+        """Snapshot of all counter window values."""
+        return {key: c.windowed for key, c in self._counters.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={c.total}" for k, c in self._counters.items())
+        return f"StatSet({self.name}: {inner})"
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Safe division used throughout metric reporting."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

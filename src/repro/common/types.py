@@ -1,0 +1,137 @@
+"""Core value types and hardware timing constants.
+
+Address convention
+------------------
+Addresses throughout the library are **longword indices**: address ``a``
+names the 4-byte aligned word at byte address ``4*a``.  The Firefly's
+cache line is exactly one longword, so in the default geometry a line
+index equals a word address; the generalized geometry (line-size
+ablation, A7 in DESIGN.md) groups ``words_per_line`` consecutive words
+per line.
+
+Timing constants (from the paper)
+---------------------------------
+- MBus cycle: 100 ns; every MBus operation takes 4 cycles (400 ns),
+  non-pipelined, so peak bandwidth is one longword per 400 ns = 10 MB/s.
+- MicroVAX tick: 200 ns (2 MBus cycles); base CPI is 11.9 ticks.
+- CVAX cycle: 100 ns (1 MBus cycle); cache hits complete in 200 ns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+# --- timing constants -------------------------------------------------
+
+MBUS_CYCLE_NS = 100
+"""Duration of one MBus cycle in nanoseconds (the simulator time unit)."""
+
+MBUS_OP_CYCLES = 4
+"""MBus cycles per MRead/MWrite operation (Figure 4)."""
+
+MICROVAX_TICK_CYCLES = 2
+"""MBus cycles per MicroVAX tick (200 ns ticks)."""
+
+CVAX_CYCLE_CYCLES = 1
+"""MBus cycles per CVAX processor cycle (100 ns)."""
+
+SECONDS_PER_CYCLE = MBUS_CYCLE_NS * 1e-9
+"""Physical seconds represented by one simulator time unit."""
+
+BYTES_PER_LONGWORD = 4
+"""VAX longword size; also the Firefly cache line size."""
+
+
+class AccessKind(enum.Enum):
+    """The three CPU reference categories the paper's mix distinguishes."""
+
+    INSTRUCTION_READ = "ifetch"
+    DATA_READ = "dread"
+    DATA_WRITE = "dwrite"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.DATA_WRITE
+
+    @property
+    def is_instruction(self) -> bool:
+        return self is AccessKind.INSTRUCTION_READ
+
+
+class BusOp(enum.Enum):
+    """Bus operation kinds.
+
+    The Firefly MBus has only ``MREAD`` and ``MWRITE``.  The two extra
+    kinds exist so the baseline protocols (Berkeley, MESI, write-once)
+    can be expressed on the same bus model: ``MREAD_EX`` is a read that
+    also claims ownership (invalidating other copies), ``MINVALIDATE``
+    is an address-only invalidation.  All four occupy the same 4 bus
+    cycles, so protocol comparisons isolate traffic counts rather than
+    bus redesigns (see DESIGN.md).
+    """
+
+    MREAD = "MRead"
+    MWRITE = "MWrite"
+    MREAD_EX = "MReadEx"
+    MINVALIDATE = "MInvalidate"
+
+    @property
+    def carries_write_data(self) -> bool:
+        return self is BusOp.MWRITE
+
+    @property
+    def returns_data(self) -> bool:
+        return self in (BusOp.MREAD, BusOp.MREAD_EX)
+
+    @property
+    def invalidates(self) -> bool:
+        return self in (BusOp.MREAD_EX, BusOp.MINVALIDATE)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One CPU memory reference presented to a cache.
+
+    ``partial`` marks a sub-longword write (byte or word store), which
+    cannot use the Firefly longword write-miss optimisation and must
+    take the read-miss-then-write-hit path.  ``prefetch`` marks
+    instruction reads issued by the prefetcher ahead of execution.
+    """
+
+    address: int
+    kind: AccessKind
+    partial: bool = False
+    prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative address {self.address}")
+        if self.partial and self.kind is not AccessKind.DATA_WRITE:
+            raise ValueError("only data writes can be partial")
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """A completed MBus transaction, as observed on the wires.
+
+    Attributes mirror what the hardware's measurement counter could
+    see: the operation, the address, whether any snooper asserted
+    ``MShared`` during cycle 3, whether a cache (rather than memory)
+    supplied read data, and whether the write was a victim write-back.
+    """
+
+    op: BusOp
+    address: int
+    initiator: int
+    start_cycle: int
+    shared_response: bool
+    supplied_by_cache: bool
+    is_victim: bool = False
+    data: Optional[int] = None
+
+
+def align_to_line(address: int, words_per_line: int) -> int:
+    """First word address of the line containing ``address``."""
+    return (address // words_per_line) * words_per_line

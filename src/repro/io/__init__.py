@@ -1,0 +1,28 @@
+"""I/O device models: Ethernet (DEQNA), disk (RQDX3) and the MDC display.
+
+All three sit on the QBus behind the I/O processor (paper §3, §5):
+their DMA flows through the I/O processor's cache (misses do not
+allocate) and is bandwidth-limited by the QBus.  The MDC is the
+symmetric one — it polls a work queue in main memory, so *any*
+processor can drive the display by ordinary stores; the disk and
+network need a few programmed-I/O instructions on the I/O processor to
+start a transfer.
+"""
+
+from repro.io.disk import DiskController, DiskParams
+from repro.io.ethernet import EthernetController, EthernetParams, RemoteEndpoint
+from repro.io.mdc import DisplayCommand, DisplayController, MdcParams, MdcWorkQueue
+from repro.io.subsystem import IoSubsystem
+
+__all__ = [
+    "DiskController",
+    "DiskParams",
+    "DisplayCommand",
+    "DisplayController",
+    "EthernetController",
+    "EthernetParams",
+    "IoSubsystem",
+    "MdcParams",
+    "MdcWorkQueue",
+    "RemoteEndpoint",
+]

@@ -1,0 +1,119 @@
+"""The RQDX3 disk controller.
+
+A buffered QBus DMA controller for rigid (and floppy) disks.  The
+paper notes the disk is "buffered from applications by a large read
+cache and a large write buffer", so only the mechanical and DMA costs
+matter to system behaviour; the model charges a seek (distance-
+dependent), rotational latency, media transfer pacing, and the QBus
+DMA of the data through the I/O processor's cache.
+
+Units: LBNs are 512-byte blocks (128 words), the classic DEC sector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bus.qbus import QBus
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.stats import StatSet
+
+WORDS_PER_BLOCK = 128
+"""One 512-byte sector."""
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Mechanics of a mid-1980s 5.25" winchester (RD53-class).
+
+    Cycles are 100 ns: 30 ms average seek = 300 000 cycles; 3600 rpm
+    gives an 8.3 ms half-rotation = 83 000 cycles; ~625 KB/s media rate
+    = one word per 6.4 us = 64 cycles.
+    """
+
+    average_seek_cycles: int = 300_000
+    max_seek_cycles: int = 600_000
+    half_rotation_cycles: int = 83_000
+    cycles_per_word: int = 64
+    blocks: int = 138_000           # ~71 MB, an RD53
+    pio_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0:
+            raise ConfigurationError("disk must have blocks")
+        if min(self.average_seek_cycles, self.half_rotation_cycles,
+               self.cycles_per_word) < 0:
+            raise ConfigurationError("negative timing parameter")
+
+
+class DiskController:
+    """The RQDX3: one request at a time, seek + rotate + transfer + DMA."""
+
+    def __init__(self, sim: Simulator, qbus: QBus,
+                 params: Optional[DiskParams] = None,
+                 name: str = "rqdx3") -> None:
+        self.sim = sim
+        self.qbus = qbus
+        self.params = params or DiskParams()
+        self.name = name
+        self._mech = sim.resource(f"{name}.mech")
+        self._head_lbn = 0
+        self.stats = StatSet(name)
+        # The medium's contents, block -> words (sparse; zero-filled).
+        self._media = {}
+
+    def _seek_cycles(self, lbn: int) -> int:
+        """Distance-scaled seek plus average rotational latency."""
+        p = self.params
+        distance = abs(lbn - self._head_lbn) / p.blocks
+        seek = int(p.average_seek_cycles * (0.4 + 1.2 * distance))
+        return min(seek, p.max_seek_cycles) + p.half_rotation_cycles
+
+    def read_blocks(self, lbn: int, nblocks: int, qbus_word_address: int):
+        """Generator: read blocks into mapped memory via DMA."""
+        self._check(lbn, nblocks)
+        yield from self.qbus.pio(self.params.pio_cycles)
+        yield self._mech.acquire()
+        yield self.sim.timeout(self._seek_cycles(lbn))
+        self._head_lbn = lbn + nblocks
+        for block in range(nblocks):
+            yield self.sim.timeout(
+                self.params.cycles_per_word * WORDS_PER_BLOCK)
+            words = self._media.get(lbn + block, [0] * WORDS_PER_BLOCK)
+            yield from self.qbus.dma_write_block(
+                qbus_word_address + block * WORDS_PER_BLOCK, words)
+        self._mech.release(self._mech.holder)
+        self.stats.incr("reads")
+        self.stats.incr("blocks_read", nblocks)
+
+    def write_blocks(self, lbn: int, nblocks: int, qbus_word_address: int):
+        """Generator: write blocks from mapped memory via DMA."""
+        self._check(lbn, nblocks)
+        yield from self.qbus.pio(self.params.pio_cycles)
+        yield self._mech.acquire()
+        yield self.sim.timeout(self._seek_cycles(lbn))
+        self._head_lbn = lbn + nblocks
+        for block in range(nblocks):
+            words = yield from self.qbus.dma_read_block(
+                qbus_word_address + block * WORDS_PER_BLOCK,
+                WORDS_PER_BLOCK)
+            self._media[lbn + block] = list(words)
+            yield self.sim.timeout(
+                self.params.cycles_per_word * WORDS_PER_BLOCK)
+        self._mech.release(self._mech.holder)
+        self.stats.incr("writes")
+        self.stats.incr("blocks_written", nblocks)
+
+    def peek_block(self, lbn: int) -> List[int]:
+        """Media contents without timing (tests)."""
+        return list(self._media.get(lbn, [0] * WORDS_PER_BLOCK))
+
+    def _check(self, lbn: int, nblocks: int) -> None:
+        if nblocks <= 0:
+            raise ConfigurationError("block count must be positive")
+        if not 0 <= lbn <= self.params.blocks - nblocks:
+            raise ConfigurationError(
+                f"blocks [{lbn}, {lbn + nblocks}) beyond disk end "
+                f"{self.params.blocks}")

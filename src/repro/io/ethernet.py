@@ -1,0 +1,177 @@
+"""The DEQNA Ethernet controller.
+
+A standard DEC QBus DMA device: the driver (on the I/O processor)
+loads mapping registers, pokes device registers (programmed I/O), and
+the controller moves packet bytes between main memory and the 10 Mbit/s
+wire.  The paper's symmetric abstraction: "Any processor can enqueue
+work for the network and then initiate the transfer by a specialized
+interprocessor interrupt to the I/O processor" — modelled by
+:meth:`EthernetController.transmit_from` being callable from any
+thread, with the PIO start charged to the QBus.
+
+At 10 Mbit/s one bit takes exactly one 100 ns simulator cycle, so wire
+time in cycles equals packet bits — a pleasing coincidence of the
+Firefly's clocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bus.qbus import QBus
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.stats import StatSet
+
+BITS_PER_CYCLE = 1.0
+"""10 Mbit/s on a 100 ns cycle: one bit per cycle."""
+
+
+@dataclass(frozen=True)
+class EthernetParams:
+    """Link and framing constants (10BASE Ethernet, DEQNA)."""
+
+    header_bytes: int = 18          # MAC header + CRC
+    preamble_bits: int = 64
+    interframe_gap_bits: int = 96
+    max_payload_bytes: int = 1500
+    pio_cycles: int = 8             # device-register pokes per transfer
+    controller_overhead_cycles: int = 5800
+    """Per-frame driver + interrupt + descriptor work serialised on the
+    (single-buffered) controller: the DEQNA cannot start the next frame
+    until the host has serviced the completion of this one.  This term
+    is what holds sustained RPC goodput well below the 10 Mbit/s wire
+    rate (the paper's 4.6 Mbit/s, bench A5)."""
+
+    def frame_bits(self, payload_bytes: int) -> int:
+        """Wire occupancy of one frame carrying ``payload_bytes``."""
+        if payload_bytes <= 0:
+            raise ConfigurationError("payload must be positive")
+        if payload_bytes > self.max_payload_bytes:
+            raise ConfigurationError(
+                f"payload {payload_bytes} exceeds Ethernet maximum "
+                f"{self.max_payload_bytes}")
+        return ((payload_bytes + self.header_bytes) * 8
+                + self.preamble_bits + self.interframe_gap_bits)
+
+
+class RemoteEndpoint:
+    """A peer machine across the wire, modelled as a turnaround delay.
+
+    The RPC throughput experiment (paper §6: 4.6 Mbit/s with ~3
+    threads) needs a server; building a second full Firefly would
+    measure the same client-side phenomena at much higher cost, so the
+    remote end is a fixed-latency responder — the documented
+    substitution in DESIGN.md.
+    """
+
+    def __init__(self, turnaround_cycles: int = 4000) -> None:
+        if turnaround_cycles < 0:
+            raise ConfigurationError("turnaround must be >= 0")
+        self.turnaround_cycles = turnaround_cycles
+        self.requests_served = 0
+
+    def service(self, sim: Simulator):
+        """Generator: the server-side think time for one call."""
+        yield sim.timeout(self.turnaround_cycles)
+        self.requests_served += 1
+
+
+class EthernetController:
+    """The DEQNA: serialises frames onto a shared 10 Mbit/s wire."""
+
+    def __init__(self, sim: Simulator, qbus: QBus,
+                 params: Optional[EthernetParams] = None,
+                 name: str = "deqna", segment=None) -> None:
+        self.sim = sim
+        self.qbus = qbus
+        self.params = params or EthernetParams()
+        self.name = name
+        self._controller = sim.resource(f"{name}.controller")
+        # The physical Ethernet segment.  By default each controller
+        # gets a private one; multi-machine experiments pass a shared
+        # Resource so both machines' frames serialise on one cable.
+        self._segment = segment if segment is not None \
+            else sim.resource(f"{name}.segment")
+        self.stats = StatSet(name)
+
+    def transmit_from(self, qbus_word_address: int, payload_bytes: int):
+        """Generator: send one frame whose payload lies in mapped memory.
+
+        The controller is held for the whole frame — PIO start, the
+        DMA of the payload through the I/O cache, the wire time, and
+        the completion-service overhead — because the DEQNA is
+        single-buffered: frame N+1 cannot start until frame N's
+        completion has been serviced.
+        """
+        words = -(-payload_bytes // 4)
+        yield self._controller.acquire()
+        started = self.sim.now
+        yield from self.qbus.pio(self.params.pio_cycles)
+        yield from self.qbus.dma_read_block(qbus_word_address, words)
+        yield from self._hold_wire(payload_bytes)
+        yield self.sim.timeout(self.params.controller_overhead_cycles)
+        self.stats.incr("controller_cycles", self.sim.now - started)
+        self._controller.release(self._controller.holder)
+        self.stats.incr("tx_frames")
+        self.stats.incr("tx_payload_bytes", payload_bytes)
+
+    def receive_into(self, qbus_word_address: int, payload_bytes: int,
+                     values=None):
+        """Generator: one inbound frame landing in mapped memory."""
+        words = -(-payload_bytes // 4)
+        if values is None:
+            values = [0] * words
+        yield self._controller.acquire()
+        started = self.sim.now
+        yield from self._hold_wire(payload_bytes)
+        yield from self.qbus.dma_write_block(qbus_word_address, values)
+        yield self.sim.timeout(self.params.controller_overhead_cycles)
+        self.stats.incr("controller_cycles", self.sim.now - started)
+        self._controller.release(self._controller.holder)
+        self.stats.incr("rx_frames")
+        self.stats.incr("rx_payload_bytes", payload_bytes)
+
+    def receive_delivered_into(self, qbus_word_address: int,
+                               payload_bytes: int, values=None):
+        """Generator: service a frame that already crossed the wire.
+
+        In two-machine experiments the *sender's* transmit occupies the
+        shared segment; the receiving controller only pays its own
+        tenure — DMA into memory plus completion service — otherwise
+        each frame would be charged the cable twice.
+        """
+        words = -(-payload_bytes // 4)
+        if values is None:
+            values = [0] * words
+        yield self._controller.acquire()
+        started = self.sim.now
+        yield from self.qbus.dma_write_block(qbus_word_address, values)
+        yield self.sim.timeout(self.params.controller_overhead_cycles)
+        self.stats.incr("controller_cycles", self.sim.now - started)
+        self._controller.release(self._controller.holder)
+        self.stats.incr("rx_frames")
+        self.stats.incr("rx_payload_bytes", payload_bytes)
+
+    def _hold_wire(self, payload_bytes: int):
+        bits = self.params.frame_bits(payload_bytes)
+        cycles = int(bits / BITS_PER_CYCLE)
+        yield self._segment.acquire()
+        yield self.sim.timeout(cycles)
+        self._segment.release(self._segment.holder)
+        self.stats.incr("wire_cycles", cycles)
+
+    def wire_utilization(self, window_cycles: int) -> float:
+        """Fraction of the window the wire carried this device's bits."""
+        if window_cycles <= 0:
+            return 0.0
+        return self.stats["wire_cycles"].windowed / window_cycles
+
+    def goodput_bits_per_second(self, window_cycles: int) -> float:
+        """Payload bits per second over the current window (both ways)."""
+        if window_cycles <= 0:
+            return 0.0
+        payload = (self.stats["tx_payload_bytes"].windowed
+                   + self.stats["rx_payload_bytes"].windowed) * 8
+        return payload / (window_cycles * 1e-7)

@@ -1,0 +1,82 @@
+"""Assembly of the standard Firefly I/O complement.
+
+:class:`IoSubsystem` attaches the DEQNA, the RQDX3 and the MDC to a
+machine's QBus, reserves a buffer arena in low physical memory (the
+QBus map can only reach the first 16 MB), loads the mapping registers,
+and allocates the MDC's work queue and input area.
+
+The arena is placed at the top of the DMA-reachable region, clear of
+the synthetic workload's per-CPU spans and of the Topaz kernel's
+private allocations (both grow from the bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.qbus import DMA_REACH_WORDS, QBUS_PAGE_WORDS
+from repro.common.errors import ConfigurationError
+from repro.io.disk import DiskController, DiskParams
+from repro.io.ethernet import EthernetController, EthernetParams
+from repro.io.mdc import DisplayController, MdcParams, MdcWorkQueue
+
+
+class IoSubsystem:
+    """The devices of Figure 1's QBus, wired to one machine."""
+
+    def __init__(self, machine, arena_words: int = 65536,
+                 mdc_queue_entries: int = 64,
+                 disk_params: Optional[DiskParams] = None,
+                 ethernet_params: Optional[EthernetParams] = None,
+                 mdc_params: Optional[MdcParams] = None) -> None:
+        if machine.qbus is None:
+            raise ConfigurationError(
+                "machine has no QBus; build it with io_enabled=True")
+        self.machine = machine
+        self.qbus = machine.qbus
+
+        reach = min(DMA_REACH_WORDS, machine.memory.total_words)
+        shared_base = machine.shared_region.base_word
+        top = min(reach, shared_base)
+        arena_base = (top - arena_words) // QBUS_PAGE_WORDS * QBUS_PAGE_WORDS
+        if arena_base <= 0:
+            raise ConfigurationError("no room for the I/O arena")
+        self.arena_base = arena_base
+        self.arena_words = arena_words
+        self._cursor = arena_base
+
+        # Map QBus pages [0, arena_words/page) onto the arena.
+        self.qbus.map.map_region(0, arena_base, arena_words)
+
+        self.ethernet = EthernetController(machine.sim, self.qbus,
+                                           ethernet_params)
+        self.disk = DiskController(machine.sim, self.qbus, disk_params)
+
+        queue_base, queue_qbus = self.alloc(
+            2 + mdc_queue_entries * 6, "MDC work queue")
+        input_base, input_qbus = self.alloc(8, "MDC input area")
+        self.mdc_queue = MdcWorkQueue(queue_base, queue_qbus,
+                                      mdc_queue_entries)
+        self.mdc = DisplayController(machine.sim, self.qbus, self.mdc_queue,
+                                     input_base, input_qbus, mdc_params)
+
+    def alloc(self, words: int, what: str = "buffer") -> Tuple[int, int]:
+        """Allocate arena words; returns (firefly address, QBus address)."""
+        if self._cursor + words > self.arena_base + self.arena_words:
+            raise ConfigurationError(
+                f"I/O arena exhausted allocating {what} ({words} words)")
+        firefly = self._cursor
+        self._cursor += words
+        return firefly, firefly - self.arena_base
+
+    def to_qbus(self, firefly_address: int) -> int:
+        """Translate an arena address to its QBus view."""
+        if not (self.arena_base <= firefly_address
+                < self.arena_base + self.arena_words):
+            raise ConfigurationError(
+                f"{firefly_address:#x} is outside the mapped I/O arena")
+        return firefly_address - self.arena_base
+
+    def start(self) -> None:
+        """Launch the device background processes (the MDC's loops)."""
+        self.mdc.start()

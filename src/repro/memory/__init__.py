@@ -1,0 +1,5 @@
+"""Main-memory models: module array plus word-granularity backing store."""
+
+from repro.memory.main_memory import MainMemory, MemoryModule
+
+__all__ = ["MainMemory", "MemoryModule"]

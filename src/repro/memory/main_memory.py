@@ -1,0 +1,170 @@
+"""Main memory: master/slave storage modules on the MBus.
+
+The original Firefly packaged memory as one master 4 MB module plus up
+to three 4 MB slaves (16 MB total); the CVAX version uses 32 MB modules
+up to 128 MB.  Capacity mattered to the paper (§3 calls the 16 MB limit
+"potentially more serious than asymmetric I/O"), so the model keeps the
+module structure and address-range checking rather than a flat array.
+
+Data is stored at longword granularity in a sparse dict, because the
+coherence checker needs real values: every CPU write stores a unique
+token, and the checker verifies that what a CPU reads is exactly the
+value the coherent history implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import StatSet
+
+LineData = Tuple[int, ...]
+
+MEGABYTE_WORDS = (1024 * 1024) // 4
+"""Longwords per megabyte."""
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """One storage board: a contiguous word-address range.
+
+    ``is_master`` marks the module that carries the bus termination and
+    initialisation logic in the real machine; the distinction is kept
+    for the Figure 1 inventory rendering.
+    """
+
+    base_word: int
+    size_words: int
+    is_master: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base_word < 0 or self.size_words <= 0:
+            raise ConfigurationError(
+                f"invalid module range base={self.base_word} "
+                f"size={self.size_words}")
+
+    @property
+    def end_word(self) -> int:
+        return self.base_word + self.size_words
+
+    @property
+    def size_megabytes(self) -> float:
+        return self.size_words * 4 / (1024 * 1024)
+
+    def covers(self, word_address: int) -> bool:
+        return self.base_word <= word_address < self.end_word
+
+
+class MainMemory:
+    """The module array visible on the MBus.
+
+    Implements the bus's ``MemoryPort``: line reads and writes, with
+    range checking against the installed modules.  Reads of never-
+    written words return 0 (DRAM after initialisation).
+    """
+
+    def __init__(self, modules: List[MemoryModule], words_per_line: int = 1) -> None:
+        if not modules:
+            raise ConfigurationError("at least one memory module is required")
+        if sum(1 for m in modules if m.is_master) != 1:
+            raise ConfigurationError("exactly one module must be the master")
+        ordered = sorted(modules, key=lambda m: m.base_word)
+        for low, high in zip(ordered, ordered[1:]):
+            if low.end_word > high.base_word:
+                raise ConfigurationError(
+                    f"memory modules overlap at word {high.base_word:#x}")
+        if words_per_line < 1:
+            raise ConfigurationError(
+                f"words_per_line must be >= 1, got {words_per_line}")
+        self.modules = tuple(ordered)
+        self.words_per_line = words_per_line
+        self._store: Dict[int, int] = {}
+        self.stats = StatSet("memory")
+
+    @classmethod
+    def standard_microvax(cls, megabytes: int = 16,
+                          words_per_line: int = 1) -> "MainMemory":
+        """The original configuration: one 4 MB master + 4 MB slaves."""
+        if megabytes % 4 != 0 or not 4 <= megabytes <= 16:
+            raise ConfigurationError(
+                f"MicroVAX Firefly memory must be 4-16 MB in 4 MB modules, "
+                f"got {megabytes}")
+        modules = [
+            MemoryModule(i * 4 * MEGABYTE_WORDS, 4 * MEGABYTE_WORDS,
+                         is_master=(i == 0))
+            for i in range(megabytes // 4)
+        ]
+        return cls(modules, words_per_line)
+
+    @classmethod
+    def standard_cvax(cls, megabytes: int = 32,
+                      words_per_line: int = 1) -> "MainMemory":
+        """The CVAX configuration: 32 MB modules, up to 128 MB."""
+        if megabytes % 32 != 0 or not 32 <= megabytes <= 128:
+            raise ConfigurationError(
+                f"CVAX Firefly memory must be 32-128 MB in 32 MB modules, "
+                f"got {megabytes}")
+        modules = [
+            MemoryModule(i * 32 * MEGABYTE_WORDS, 32 * MEGABYTE_WORDS,
+                         is_master=(i == 0))
+            for i in range(megabytes // 32)
+        ]
+        return cls(modules, words_per_line)
+
+    # -- MemoryPort -------------------------------------------------------
+
+    def covers(self, word_address: int) -> bool:
+        """Whether any installed module decodes this word address."""
+        return any(m.covers(word_address) for m in self.modules)
+
+    def read_line(self, line_address: int) -> LineData:
+        """Supply a line during an MRead's data cycle."""
+        self._check_range(line_address)
+        self.stats.incr("reads")
+        return tuple(self._store.get(line_address + i, 0)
+                     for i in range(self.words_per_line))
+
+    def write_line(self, line_address: int, data: LineData) -> None:
+        """Absorb an MWrite (write-through or victim write)."""
+        self._check_range(line_address)
+        if len(data) != self.words_per_line:
+            raise SimulationError(
+                f"write of {len(data)} words to {self.words_per_line}-word line")
+        self.stats.incr("writes")
+        for i, value in enumerate(data):
+            self._store[line_address + i] = value
+
+    # -- direct inspection (checker / tests) -------------------------------
+
+    def peek(self, word_address: int) -> int:
+        """Read a word without touching statistics (checker use only)."""
+        return self._store.get(word_address, 0)
+
+    def poke(self, word_address: int, value: int) -> None:
+        """Write a word without bus traffic (initialisation/tests only).
+
+        Word-granularity: no line-alignment requirement.
+        """
+        if not self.covers(word_address):
+            raise SimulationError(
+                f"word address {word_address:#x} decodes to no memory "
+                f"module (installed: {self.total_megabytes:.0f} MB)")
+        self._store[word_address] = value
+
+    @property
+    def total_words(self) -> int:
+        return sum(m.size_words for m in self.modules)
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_words * 4 / (1024 * 1024)
+
+    def _check_range(self, line_address: int) -> None:
+        if line_address % self.words_per_line != 0:
+            raise SimulationError(f"unaligned line address {line_address:#x}")
+        if not self.covers(line_address):
+            raise SimulationError(
+                f"word address {line_address:#x} decodes to no memory module "
+                f"(installed: {self.total_megabytes:.0f} MB)")

@@ -1,0 +1,29 @@
+"""Processor timing models: MicroVAX 78032 and CVAX 78034.
+
+The paper's performance analysis depends only on aggregate reference
+behaviour — 2.13 references per instruction (0.95 instruction reads,
+0.78 data reads, 0.40 data writes, from Emer & Clark's VAX-11/780
+characterisation) and an 11.9 tick-per-instruction base implementation
+— so the models here are stochastic timing models, not VAX emulators.
+"""
+
+from repro.processor.cpu import InstructionBundle, Processor, ReferenceSource
+from repro.processor.mix import VAX_MIX, ReferenceMix
+from repro.processor.onchip import OnChipICache
+from repro.processor.refgen import SharedRegion, SyntheticReferenceSource, WorkloadShape
+from repro.processor.timing import CVAX_TIMING, MICROVAX_TIMING, ProcessorTiming
+
+__all__ = [
+    "CVAX_TIMING",
+    "InstructionBundle",
+    "MICROVAX_TIMING",
+    "OnChipICache",
+    "Processor",
+    "ProcessorTiming",
+    "ReferenceMix",
+    "ReferenceSource",
+    "SharedRegion",
+    "SyntheticReferenceSource",
+    "VAX_MIX",
+    "WorkloadShape",
+]

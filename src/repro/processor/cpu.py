@@ -1,0 +1,304 @@
+"""The stochastic processor model.
+
+A :class:`Processor` is a kernel process that repeatedly asks its
+*reference source* for the next instruction — a small bundle of memory
+references plus control-flow metadata — and executes it against its
+cache with cycle-exact timing:
+
+- the instruction's base cost comes from the timing model's
+  ``base_cycles_per_instruction`` (11.9 ticks on the MicroVAX),
+  converted to integer cycles by error diffusion so the long-run mean
+  is exact;
+- each reference that has to visit the MBus consumes its budgeted tick
+  *during* the bus wait, so a miss on a free bus costs exactly one tick
+  more than a hit, and a dirty victim adds one full bus operation —
+  matching the paper's accounting;
+- a CPU access that collides with a snoop probe of its own tag store
+  stalls one tick (the analytic model's SP term);
+- the MicroVAX instruction prefetcher is modelled behaviourally:
+  sequential instruction fetches that hit are partially overlapped with
+  execution (refunding base cycles, raising the issue rate toward the
+  paper's 10.5 TPI perfect-prefetch figure), and jumps waste prefetches
+  — extra instruction reads that raise the reference rate without
+  raising the issue rate.  The prefetcher defers wasted fetches when
+  the bus is busy, which reproduces Table 2's observation that the
+  read:write ratio drops as bus load rises.
+
+The source abstraction lets the same CPU model run synthetic workloads
+(:mod:`repro.processor.refgen`), Topaz threads
+(:mod:`repro.topaz.runtime`) or recorded traces (:mod:`repro.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple, Union
+
+from repro.cache.cache import SnoopyCache
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event, Simulator
+from repro.common.rng import FractionalAccumulator, RandomStream
+from repro.common.stats import StatSet
+from repro.common.types import SECONDS_PER_CYCLE, AccessKind, MemRef
+from repro.processor.onchip import OnChipICache
+from repro.processor.timing import ProcessorTiming
+
+
+@dataclass(frozen=True)
+class InstructionBundle:
+    """One instruction's worth of memory references.
+
+    ``is_jump`` marks a control-flow discontinuity (the prefetcher's
+    queued fetches beyond it are wasted).  ``prefetch_addresses`` are
+    the sequential instruction addresses the prefetcher had speculated
+    past the jump; the CPU may issue some of them as wasted fetches.
+    ``write_values`` supplies the value for each DATA_WRITE ref in
+    order; sources that don't care get monotonic tokens instead.
+    ``base_cycles`` overrides the CPU's per-instruction base cost for
+    this bundle — sources use it to model workload-dependent
+    instruction mixes (the Threads exerciser of Table 2 executes
+    simpler, faster instructions than the VAX-average 11.9 TPI).
+    """
+
+    refs: Tuple[MemRef, ...]
+    is_jump: bool = False
+    prefetch_addresses: Tuple[int, ...] = ()
+    write_values: Tuple[int, ...] = ()
+    base_cycles: Optional[int] = None
+
+
+class ReferenceSource(Protocol):
+    """Supplies instructions to a :class:`Processor`.
+
+    ``next_instruction`` returns an :class:`InstructionBundle` to
+    execute, an :class:`Event` to sleep on (CPU idle — e.g. no runnable
+    thread), or ``None`` to halt the processor permanently.
+    """
+
+    def next_instruction(self, cpu: "Processor") -> Union[
+            InstructionBundle, Event, None]:
+        ...
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Behavioural prefetcher parameters.
+
+    ``refund_cycles`` — base cycles refunded per sequential instruction
+    fetch that hits (overlap with execution).  The default of 3 cycles
+    yields an effective ~10.7 TPI at full coverage on the MicroVAX,
+    close to the paper's perfect-prefetch estimate of 10.5.
+
+    ``wasted_per_jump`` — mean discarded prefetches per jump; each is
+    an extra instruction read on the reference stream.
+    """
+
+    enabled: bool = False
+    refund_cycles: int = 3
+    wasted_per_jump: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.refund_cycles < 0:
+            raise ConfigurationError("refund_cycles must be >= 0")
+        if self.wasted_per_jump < 0:
+            raise ConfigurationError("wasted_per_jump must be >= 0")
+
+
+class Processor:
+    """One CPU: timing model + cache + reference source, as a process."""
+
+    def __init__(self, sim: Simulator, cpu_id: int, timing: ProcessorTiming,
+                 cache: SnoopyCache, source: ReferenceSource,
+                 prefetch: Optional[PrefetchConfig] = None,
+                 rng: Optional[RandomStream] = None) -> None:
+        self.sim = sim
+        self.cpu_id = cpu_id
+        self.timing = timing
+        self.cache = cache
+        self.source = source
+        self.prefetch = prefetch or PrefetchConfig()
+        if self.prefetch.enabled and rng is None:
+            raise ConfigurationError(
+                "prefetch modelling requires a random stream")
+        self._rng = rng
+        self.stats = StatSet(f"cpu{cpu_id}")
+        self._base_acc = FractionalAccumulator(
+            timing.base_cycles_per_instruction)
+        self._wasted_acc = FractionalAccumulator(self.prefetch.wasted_per_jump)
+        self.onchip: Optional[OnChipICache] = None
+        if timing.has_onchip_icache:
+            self.onchip = OnChipICache(timing.onchip_icache_lines,
+                                       name=f"cpu{cpu_id}.onchip")
+            # Stale-code safety: any snooped bus write to a line this
+            # CPU holds on-chip drops the on-chip copy (the board logic
+            # the CVAX docs describe).
+            words = cache.geometry.words_per_line
+
+            def invalidate_onchip(line_address, _onchip=self.onchip,
+                                  _words=words):
+                for offset in range(_words):
+                    _onchip.invalidate_line(line_address + offset)
+
+            cache.on_snooped_write = invalidate_onchip
+        self._write_token = (cpu_id + 1) << 40
+        self._halted = False
+        self._window_start = 0
+        self.process = None  # set by start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Register the CPU's execution loop with the simulator."""
+        self.process = self.sim.process(self._run(), name=f"cpu{self.cpu_id}")
+
+    def halt(self) -> None:
+        """Stop fetching after the current instruction completes."""
+        self._halted = True
+
+    def _run(self):
+        while not self._halted:
+            item = self.source.next_instruction(self)
+            if item is None:
+                break
+            if isinstance(item, Event):
+                idle_from = self.sim.now
+                yield item
+                self.stats.incr("idle_cycles", self.sim.now - idle_from)
+                continue
+            yield from self.execute(item)
+        self.stats.incr("halted_at", self.sim.now)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, bundle: InstructionBundle):
+        """Generator: run one instruction with cycle-exact timing."""
+        timing = self.timing
+        budget = (bundle.base_cycles if bundle.base_cycles is not None
+                  else self._base_acc.next())
+        spent = 0
+        refund = 0
+        write_index = 0
+
+        for ref in bundle.refs:
+            if self.cache.tag_contention_stall(self.sim.now):
+                self.stats.incr("sp_stalls")
+                yield self.sim.timeout(timing.tick_cycles)
+
+            if ref.kind is AccessKind.DATA_WRITE:
+                value = self._next_write_value(bundle, write_index)
+                write_index += 1
+                elapsed = yield from self._timed(self.cache.cpu_write(ref, value))
+                self.stats.incr("refs.dwrite")
+            elif ref.kind is AccessKind.INSTRUCTION_READ:
+                elapsed = yield from self._ifetch(ref)
+                self.stats.incr("refs.ifetch")
+            else:
+                elapsed = yield from self._timed(self.cache.cpu_read(ref))
+                self.stats.incr("refs.dread")
+
+            if elapsed > 0:
+                # This reference visited the bus: its budgeted tick was
+                # consumed during the wait, plus any fixed overhead.
+                spent += timing.tick_cycles
+                self.stats.incr("bus_stall_cycles", elapsed)
+                if timing.miss_overhead_cycles:
+                    yield self.sim.timeout(timing.miss_overhead_cycles)
+            elif (self.prefetch.enabled
+                  and ref.kind is AccessKind.INSTRUCTION_READ
+                  and not bundle.is_jump):
+                # Sequential fetch that hit: overlapped with execution.
+                refund += self.prefetch.refund_cycles
+                self.stats.incr("prefetch_covered")
+
+        if self.prefetch.enabled and bundle.is_jump:
+            yield from self._wasted_prefetches(bundle)
+
+        remaining = budget - spent - refund
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+        self.stats.incr("instructions")
+
+    def _ifetch(self, ref: MemRef):
+        """Generator: instruction fetch, via the on-chip cache if present."""
+        if self.onchip is not None and self.onchip.access(ref.address):
+            return 0
+        elapsed = yield from self._timed(self.cache.cpu_read(ref))
+        return elapsed
+
+    def _timed(self, access):
+        """Generator: run a cache access, returning elapsed cycles."""
+        started = self.sim.now
+        yield from access
+        return self.sim.now - started
+
+    def _wasted_prefetches(self, bundle: InstructionBundle):
+        """Generator: issue the prefetches discarded by a jump.
+
+        The prefetcher defers when the bus is busy — under load it
+        fetches less aggressively, so wasted traffic self-throttles
+        (the mechanism behind Table 2's read:write ratio shift).
+        """
+        count = self._wasted_acc.next()
+        for address in bundle.prefetch_addresses[:count]:
+            if self.cache.mbus.busy:
+                self.stats.incr("prefetch_deferred")
+                continue
+            ref = MemRef(address, AccessKind.INSTRUCTION_READ, prefetch=True)
+            if self.onchip is not None and self.onchip.access(address):
+                continue
+            yield from self._timed(self.cache.cpu_read(ref))
+            self.stats.incr("refs.ifetch")
+            self.stats.incr("wasted_prefetches")
+
+    def _next_write_value(self, bundle: InstructionBundle, index: int) -> int:
+        if index < len(bundle.write_values):
+            return bundle.write_values[index]
+        self._write_token += 1
+        return self._write_token
+
+    # -- measurement -------------------------------------------------------------
+
+    def mark_window(self) -> None:
+        """Open a measurement window (start counting after warm-up)."""
+        self.stats.mark_all()
+        self._window_start = self.sim.now
+
+    def window_seconds(self) -> float:
+        return (self.sim.now - self._window_start) * SECONDS_PER_CYCLE
+
+    def measured_tpi(self) -> float:
+        """Realised ticks per instruction over the open window."""
+        instructions = self.stats["instructions"].windowed
+        if instructions == 0:
+            return 0.0
+        busy = (self.sim.now - self._window_start
+                - self.stats["idle_cycles"].windowed)
+        return busy / self.timing.tick_cycles / instructions
+
+    def reference_rate(self) -> float:
+        """References per second over the open window."""
+        seconds = self.window_seconds()
+        if seconds <= 0:
+            return 0.0
+        refs = (self.stats["refs.ifetch"].windowed
+                + self.stats["refs.dread"].windowed
+                + self.stats["refs.dwrite"].windowed)
+        return refs / seconds
+
+    def read_rate(self) -> float:
+        """Reads (instruction + data) per second over the open window."""
+        seconds = self.window_seconds()
+        if seconds <= 0:
+            return 0.0
+        return (self.stats["refs.ifetch"].windowed
+                + self.stats["refs.dread"].windowed) / seconds
+
+    def write_rate(self) -> float:
+        """Writes per second over the open window."""
+        seconds = self.window_seconds()
+        if seconds <= 0:
+            return 0.0
+        return self.stats["refs.dwrite"].windowed / seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Processor {self.cpu_id} {self.timing.name}>"

@@ -1,0 +1,50 @@
+"""The VAX reference mix.
+
+Paper §5.2: "Measurements made on the VAX [Emer & Clark] show that a
+typical instruction does .95 (=IR) instruction reads per instruction,
+.78 (=DR) data reads, and .40 (=DW) data writes, for a total of 2.13
+(=TR) references per instruction.  This is an architectural property
+valid across a wide range of applications, and does not depend on the
+particular CPU implementation."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReferenceMix:
+    """Per-instruction reference rates.
+
+    All three rates may exceed 1 (an instruction can make several data
+    reads); the defaults are the paper's measured VAX averages.
+    """
+
+    instruction_reads: float = 0.95
+    data_reads: float = 0.78
+    data_writes: float = 0.40
+
+    def __post_init__(self) -> None:
+        for field_name in ("instruction_reads", "data_reads", "data_writes"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0, got {value}")
+
+    @property
+    def total(self) -> float:
+        """TR: total references per instruction."""
+        return self.instruction_reads + self.data_reads + self.data_writes
+
+    @property
+    def read_write_ratio(self) -> float:
+        """Reads per write (the paper reports 4.7:1 / 3.8:1 in Table 2)."""
+        if self.data_writes == 0:
+            return float("inf")
+        return (self.instruction_reads + self.data_reads) / self.data_writes
+
+
+VAX_MIX = ReferenceMix()
+"""The Emer & Clark VAX mix used throughout the paper: TR = 2.13."""

@@ -1,0 +1,72 @@
+"""The CVAX's 1 KB on-chip cache, configured for instructions only.
+
+Paper §5: "The CVAX processor itself includes a 1024 byte on-chip
+cache.  To simplify the problem of maintaining memory coherence, we
+have chosen to configure that cache to store only instruction
+references, not data."
+
+Because it never holds data, it needs no coherence machinery — with
+one exception the model must honour: when *any* bus write touches a
+line it holds, the copy must be dropped, otherwise a processor could
+execute stale code after another processor (or DMA) rewrites an
+instruction page.  The board logic achieves this by invalidation on
+snooped writes; we mirror that with :meth:`invalidate_line`, wired to
+the off-chip cache's snoop path by the CPU model.
+
+An on-chip hit is free (covered by the CVAX's base CPI); a miss falls
+through to the off-chip 64 KB cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import StatSet
+
+
+class OnChipICache:
+    """Tiny direct-mapped, instruction-only, presence-tracking cache.
+
+    Only tags are tracked: the data always also lives in the off-chip
+    cache or memory, and instruction words are never modified locally,
+    so the model does not need to duplicate the bytes.
+    """
+
+    def __init__(self, lines: int, name: str = "onchip") -> None:
+        if lines <= 0 or (lines & (lines - 1)) != 0:
+            raise ConfigurationError(
+                f"on-chip line count must be a power of two, got {lines}")
+        self.lines = lines
+        self._tags: List[Optional[int]] = [None] * lines
+        self.stats = StatSet(name)
+
+    def access(self, word_address: int) -> bool:
+        """Look up an instruction fetch; allocate on miss.  True = hit."""
+        index = word_address % self.lines
+        tag = word_address // self.lines
+        if self._tags[index] == tag:
+            self.stats.incr("hit")
+            return True
+        self._tags[index] = tag
+        self.stats.incr("miss")
+        return False
+
+    def invalidate_line(self, word_address: int) -> None:
+        """Drop the copy of a word that a bus write just modified."""
+        index = word_address % self.lines
+        tag = word_address // self.lines
+        if self._tags[index] == tag:
+            self._tags[index] = None
+            self.stats.incr("invalidated")
+
+    def flush(self) -> None:
+        """Invalidate everything (context-switch cost model hooks)."""
+        self._tags = [None] * self.lines
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats["hit"].total
+        misses = self.stats["miss"].total
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,22 @@
+"""Text rendering: tables and ASCII diagrams for the benchmark harness.
+
+Every figure the benchmark suite regenerates is rendered from *live*
+model objects (the built machine, the implemented protocol FSM, the
+running Topaz kernel), never from hard-coded drawings — that is what
+makes the figure benches evidence rather than decoration.
+"""
+
+from repro.reporting.tables import Column, TextTable
+from repro.reporting.figures import (
+    render_state_diagram,
+    render_system_diagram,
+    render_topaz_diagram,
+)
+
+__all__ = [
+    "Column",
+    "TextTable",
+    "render_state_diagram",
+    "render_system_diagram",
+    "render_topaz_diagram",
+]

@@ -1,0 +1,87 @@
+"""Plain-text tables in the paper's style.
+
+>>> table = TextTable([Column("NP", "d"), Column("L", ".2f")])
+>>> table.add_row(2, 0.171)
+>>> table.add_row(4, 0.33)
+>>> print(table.render())
+NP     L
+ 2  0.17
+ 4  0.33
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: header plus a format spec for its values.
+
+    ``spec`` is a ``format()`` mini-language spec without width —
+    widths are computed from the rendered contents.
+    """
+
+    header: str
+    spec: str = "s"
+    align_left: bool = False
+
+
+class TextTable:
+    """Accumulates rows, then renders with computed column widths."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.columns = list(columns)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Format and store one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        cells = []
+        for column, value in zip(self.columns, values):
+            if value is None:
+                cells.append("-")
+            else:
+                cells.append(format(value, column.spec))
+        self._rows.append(cells)
+
+    def add_separator(self) -> None:
+        """A horizontal rule between row groups."""
+        self._rows.append(None)  # type: ignore[arg-type]
+
+    def render(self, column_gap: str = "  ") -> str:
+        """The finished table as a string (no trailing newline)."""
+        widths = [len(c.header) for c in self.columns]
+        for row in self._rows:
+            if row is None:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fit(text: str, i: int) -> str:
+            if self.columns[i].align_left:
+                return text.ljust(widths[i])
+            return text.rjust(widths[i])
+
+        lines = [column_gap.join(fit(c.header, i)
+                                 for i, c in enumerate(self.columns))]
+        for row in self._rows:
+            if row is None:
+                lines.append("-" * (sum(widths)
+                                    + len(column_gap) * (len(widths) - 1)))
+            else:
+                lines.append(column_gap.join(fit(cell, i)
+                                             for i, cell in enumerate(row)))
+        return "\n".join(line.rstrip() for line in lines)
+
+    @property
+    def row_count(self) -> int:
+        return sum(1 for row in self._rows if row is not None)

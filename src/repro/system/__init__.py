@@ -1,0 +1,24 @@
+"""System assembly: configurations, the machine builder, and metrics.
+
+This is the level a library user normally touches::
+
+    from repro.system import FireflyConfig, FireflyMachine
+
+    machine = FireflyMachine(FireflyConfig(processors=5))
+    metrics = machine.run(warmup_cycles=200_000, measure_cycles=500_000)
+    print(metrics.summary())
+"""
+
+from repro.system.checker import CoherenceChecker
+from repro.system.config import FireflyConfig, Generation
+from repro.system.machine import FireflyMachine
+from repro.system.metrics import CpuMetrics, MachineMetrics
+
+__all__ = [
+    "CoherenceChecker",
+    "CpuMetrics",
+    "FireflyConfig",
+    "FireflyMachine",
+    "Generation",
+    "MachineMetrics",
+]

@@ -1,0 +1,100 @@
+"""The coherence invariant checker.
+
+"The most important feature of the Firefly caches is that they provide
+a global shared memory in which data written by one processor is
+immediately available to other processors."  The checker verifies the
+invariants that statement implies, at any quiescent instant (between
+bus transactions — which, in this model, is any time the caller runs):
+
+I1. **Single writer** — at most one cache holds a given word dirty.
+I2. **Copy agreement** — every valid cached copy of a word holds the
+    same value (true for update protocols by construction; for
+    invalidate protocols because sharers are clean copies of memory).
+I3. **Memory currency** — if *no* cached copy of a word is dirty, every
+    cached copy equals main memory.
+I4. **No silent-write state while shared** — if two or more caches hold
+    a word, none of them may be in a state whose write hits skip the
+    bus (the protocol's ``silent_write_states``): a local write there
+    would leave the other copies stale.  The converse need not hold: a
+    Shared tag may be stale-true ("some other cache *may* also contain
+    the line"), costing at most one redundant write-through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cache.line import LineState
+from repro.common.errors import CoherenceViolation
+
+
+class CoherenceChecker:
+    """Audits a machine's caches + memory against the invariants."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    def _gather(self) -> Dict[int, List[Tuple[int, LineState, int]]]:
+        """word address -> [(cache_id, state, value)] over all caches."""
+        holders: Dict[int, List[Tuple[int, LineState, int]]] = {}
+        for cache in self.machine.caches:
+            wpl = cache.geometry.words_per_line
+            for index, line in cache.valid_lines():
+                base = cache.geometry.rebuild_address(index, line.tag)
+                for offset in range(wpl):
+                    holders.setdefault(base + offset, []).append(
+                        (cache.snooper_id, line.state, line.data[offset]))
+        return holders
+
+    def check(self) -> int:
+        """Audit every cached word; return the number of words audited.
+
+        Raises :class:`CoherenceViolation` on the first failure.
+        """
+        silent_states = self.machine.protocol.silent_write_states
+        holders = self._gather()
+        for address, copies in holders.items():
+            self._check_word(address, copies, silent_states)
+        return len(holders)
+
+    def _check_word(self, address: int,
+                    copies: List[Tuple[int, LineState, int]],
+                    silent_states: frozenset) -> None:
+        dirty = [(cid, state) for cid, state, _ in copies if state.is_dirty]
+        if len(dirty) > 1:
+            raise CoherenceViolation(
+                address, f"multiple dirty holders: {dirty}")
+
+        values = {value for _, _, value in copies}
+        if len(values) > 1:
+            detail = ", ".join(f"cache{cid}[{state.value}]={value}"
+                               for cid, state, value in copies)
+            raise CoherenceViolation(address, f"copies disagree: {detail}")
+
+        if not dirty:
+            memory_value = self.machine.memory.peek(address)
+            cached_value = copies[0][2]
+            if cached_value != memory_value:
+                raise CoherenceViolation(
+                    address,
+                    f"all copies clean ({cached_value}) but memory holds "
+                    f"{memory_value}")
+
+        if len(copies) > 1:
+            for cid, state, _ in copies:
+                if state in silent_states:
+                    raise CoherenceViolation(
+                        address,
+                        f"cache{cid} holds {state.value} (silent-write "
+                        f"state) while {len(copies) - 1} other holder(s) "
+                        f"exist")
+
+    def audit_word(self, address: int) -> List[Tuple[int, str, int]]:
+        """All cached copies of one word, for debugging."""
+        report = []
+        for cache in self.machine.caches:
+            value = cache.peek(address)
+            if value is not None:
+                report.append((cache.snooper_id,
+                               cache.state_of(address).value, value))
+        return report

@@ -1,0 +1,64 @@
+"""Topaz: the Firefly's software system, as a modelled threads runtime.
+
+Paper §4: Topaz's programmer-visible facilities are *threads* —
+multiple cheap threads of control per address space, with Fork/Join,
+Mutex and Condition primitives (the Modula-2+ Threads module) — and
+pervasive *remote procedure call*.  The Nub (VAX kernel mode) provides
+thread scheduling and the RPC transport; the scheduler "goes to some
+effort to avoid process migration" because migrated working sets leave
+redundant write-through traffic behind (§5.1).
+
+This package models that runtime *on top of the simulated hardware*:
+thread programs are Python generators yielding operations
+(:mod:`repro.topaz.ops`); mutexes, condition variables, thread control
+blocks and the ready queue are real words in simulated shared memory,
+so synchronisation and scheduling generate genuine coherence traffic —
+the traffic Table 2 measures.
+"""
+
+from repro.topaz.address_space import AddressSpace, SpaceKind
+from repro.topaz.kernel import TopazKernel, TopazParams
+from repro.topaz.ops import (
+    Broadcast,
+    Compute,
+    DeviceCall,
+    Fork,
+    Join,
+    Lock,
+    Read,
+    Signal,
+    Unlock,
+    Wait,
+    Write,
+    YieldCpu,
+)
+from repro.topaz.rpc import RpcParams, RpcTransport
+from repro.topaz.scheduler import Scheduler
+from repro.topaz.sync import Condition, Mutex
+from repro.topaz.thread import ThreadState, TopazThread
+
+__all__ = [
+    "AddressSpace",
+    "Broadcast",
+    "Compute",
+    "Condition",
+    "DeviceCall",
+    "Fork",
+    "Join",
+    "Lock",
+    "Mutex",
+    "Read",
+    "RpcParams",
+    "RpcTransport",
+    "Scheduler",
+    "Signal",
+    "SpaceKind",
+    "ThreadState",
+    "TopazKernel",
+    "TopazParams",
+    "TopazThread",
+    "Unlock",
+    "Wait",
+    "Write",
+    "YieldCpu",
+]

@@ -1,0 +1,61 @@
+"""Topaz address spaces (the boxes of Figure 2).
+
+Topaz distinguishes: the *Nub* (VAX kernel mode: VM, scheduling, RPC
+transport), *Topaz* address spaces (multi-threaded, OS via RPC — Taos
+itself, the TTD debugger server, the Trestle window manager are such
+spaces), and *Ultrix* address spaces (single-threaded binary-
+compatibility environments).
+
+In the model an address space is mostly structural — a name, a kind and
+a word-address region for its threads' footprints — but keeping the
+structure lets the Figure 2 benchmark render the real object graph and
+lets workloads place threads in distinct spaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+class SpaceKind(enum.Enum):
+    """The kinds of address space Figure 2 distinguishes."""
+
+    NUB = "nub"
+    TAOS = "taos"
+    TOPAZ_APP = "topaz"
+    ULTRIX_APP = "ultrix"
+    TTD = "ttd"
+    TRESTLE = "trestle"
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """One address space: a named region of the word address space."""
+
+    name: str
+    kind: SpaceKind
+    base_word: int
+    size_words: int
+
+    def __post_init__(self) -> None:
+        if self.size_words <= 0:
+            raise ConfigurationError(
+                f"address space {self.name!r} must have positive size")
+        if self.base_word < 0:
+            raise ConfigurationError(
+                f"address space {self.name!r} has negative base")
+
+    @property
+    def end_word(self) -> int:
+        return self.base_word + self.size_words
+
+    @property
+    def multi_threaded(self) -> bool:
+        """Ultrix spaces support exactly one thread (paper §4.1)."""
+        return self.kind is not SpaceKind.ULTRIX_APP
+
+    def contains(self, word_address: int) -> bool:
+        return self.base_word <= word_address < self.end_word

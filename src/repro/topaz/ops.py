@@ -1,0 +1,159 @@
+"""Operations a Topaz thread program may yield.
+
+Thread code is a Python generator; each ``yield`` hands the kernel one
+of these operations.  ``Fork`` and ``Join`` yield values back into the
+generator (the forked thread handle / the joined thread's result), so
+programs read naturally::
+
+    def worker(n):
+        yield Compute(50)
+        return n * n
+
+    def main():
+        children = []
+        for n in range(4):
+            child = yield Fork(worker, n)
+            children.append(child)
+        total = 0
+        for child in children:
+            total += yield Join(child)
+        return total
+
+The modelled primitives mirror the Modula-2+ Threads module: Fork and
+Join on threads, Wait/Signal/Broadcast on condition variables, and the
+LOCK-statement pair Lock/Unlock on mutexes (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute ``instructions`` ordinary instructions in the thread's
+    own footprint (code loop, stack, local data)."""
+
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ConfigurationError("instruction count must be >= 0")
+
+
+@dataclass(frozen=True)
+class Read:
+    """Load one explicit word (e.g. a shared buffer slot).
+
+    The read value is sent back into the generator.
+    """
+
+    address: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store one explicit word."""
+
+    address: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Lock:
+    """Acquire a mutex; blocks the thread if it is held.
+
+    Modelled as the Modula-2+ LOCK statement entry: an interlocked
+    test-and-set on the mutex word (real bus traffic), then a block on
+    contention.
+    """
+
+    mutex: Any  # Mutex; Any avoids a circular import in type checkers
+
+
+@dataclass(frozen=True)
+class Unlock:
+    """Release a mutex, waking the first waiter if any."""
+
+    mutex: Any
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Atomically release ``mutex`` and block on ``condition``.
+
+    On wake-up the kernel re-acquires the mutex before the thread
+    resumes (Mesa/Modula-2+ semantics: the caller must still re-check
+    its predicate, and our example programs do).
+    """
+
+    condition: Any
+    mutex: Any
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Wake one waiter of a condition variable (no-op if none)."""
+
+    condition: Any
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Wake every waiter of a condition variable."""
+
+    condition: Any
+
+
+class Fork:
+    """Create a new thread running ``fn(*args)``.
+
+    The new :class:`~repro.topaz.thread.TopazThread` handle is sent
+    back into the forking generator.  Positional arguments after the
+    function are the thread's arguments::
+
+        child = yield Fork(worker, 10, name="w0")
+    """
+
+    __slots__ = ("fn", "args", "name")
+
+    def __init__(self, fn: Callable, *args: Any, name: str = "") -> None:
+        self.fn = fn
+        self.args = args
+        self.name = name
+
+
+@dataclass(frozen=True)
+class Join:
+    """Block until the target thread finishes; yields its result."""
+
+    thread: Any
+
+
+@dataclass(frozen=True)
+class YieldCpu:
+    """Voluntarily reschedule (the exerciser's 'deliberately block
+    and reschedule themselves')."""
+
+
+class DeviceCall:
+    """Block this thread on a device operation (a kernel-process
+    generator), e.g. a disk transfer or an Ethernet frame.
+
+    Topaz presents synchronous interfaces to all I/O (paper §4.1: "RPC,
+    together with inexpensive Threads, permits all I/O and
+    communications services to have synchronous interfaces"); this op
+    is that synchronous boundary.  The device generator's return value
+    is sent back into the thread::
+
+        data = yield DeviceCall(disk.read_blocks(0, 4, buffer_qbus))
+    """
+
+    __slots__ = ("gen", "label")
+
+    def __init__(self, gen: Any, label: str = "device") -> None:
+        self.gen = gen
+        self.label = label

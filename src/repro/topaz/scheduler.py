@@ -1,0 +1,69 @@
+"""The Topaz thread scheduler.
+
+Paper §5.1: because conditional write-through keeps paying for sharing
+as long as a datum sits in two caches, "the Topaz scheduler goes to
+some effort to avoid process migration" — a migrated thread's working
+set lingers in the old cache, and every write to it writes through
+until the old copies are displaced.
+
+:class:`Scheduler` implements that policy: with migration avoidance on
+(the default), a CPU looking for work prefers, among the first
+``affinity_window`` ready threads, one that last ran on it; only when
+none qualifies does it take the queue head (work conservation — a
+runnable thread never waits for an idle machine).  With avoidance off,
+CPUs always take the head, maximising migration.  The ablation bench
+(A3 in DESIGN.md) measures the write-through traffic difference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.topaz.thread import ThreadState, TopazThread
+
+
+class Scheduler:
+    """A single ready queue with optional processor affinity."""
+
+    def __init__(self, avoid_migration: bool = True,
+                 affinity_window: int = 4) -> None:
+        if affinity_window < 1:
+            raise ConfigurationError("affinity_window must be >= 1")
+        self.avoid_migration = avoid_migration
+        self.affinity_window = affinity_window
+        self._ready: Deque[TopazThread] = deque()
+        self.enqueues = 0
+        self.picks = 0
+        self.affinity_hits = 0
+
+    def enqueue(self, thread: TopazThread) -> None:
+        """Make a thread runnable (at the tail)."""
+        thread.state = ThreadState.READY
+        thread.blocked_on = None
+        self._ready.append(thread)
+        self.enqueues += 1
+
+    def pick(self, cpu_id: int) -> Optional[TopazThread]:
+        """Choose the next thread for ``cpu_id``; None if queue empty."""
+        if not self._ready:
+            return None
+        self.picks += 1
+        if self.avoid_migration:
+            for position, thread in enumerate(self._ready):
+                if position >= self.affinity_window:
+                    break
+                if thread.last_cpu == cpu_id or thread.last_cpu is None:
+                    del self._ready[position]
+                    self.affinity_hits += 1
+                    return thread
+        return self._ready.popleft()
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        policy = "affinity" if self.avoid_migration else "fifo"
+        return f"<Scheduler {policy} ready={len(self._ready)}>"

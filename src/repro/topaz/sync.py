@@ -1,0 +1,99 @@
+"""Synchronisation objects: mutexes and condition variables.
+
+Each object owns one word of simulated *shared* memory, allocated from
+the kernel heap.  The runtime writes real values through the caches —
+1/0 for held/free mutexes, a sequence number for condition signals —
+so lock ping-ponging between processors produces exactly the
+conditional-write-through traffic the paper discusses, and the
+coherence checker can audit the values.
+
+With one-longword cache lines every synchronisation word is its own
+line, so there is no false sharing — a genuine property of the Firefly
+geometry the paper's footnote 4 trades against the higher miss rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topaz.thread import TopazThread
+
+
+class Mutex:
+    """A mutual-exclusion variable (the LOCK statement's operand)."""
+
+    def __init__(self, address: int, name: str = "mutex") -> None:
+        self.address = address
+        self.name = name
+        self.owner: Optional["TopazThread"] = None
+        self.waiters: Deque["TopazThread"] = deque()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    @property
+    def held(self) -> bool:
+        return self.owner is not None
+
+    def acquire_by(self, thread: "TopazThread") -> None:
+        if self.owner is not None:
+            raise SimulationError(
+                f"{self.name} acquired by {thread.name} while held by "
+                f"{self.owner.name}")
+        self.owner = thread
+        self.acquisitions += 1
+
+    def release_by(self, thread: "TopazThread") -> Optional["TopazThread"]:
+        """Release; return the waiter that inherits the lock, if any."""
+        if self.owner is not thread:
+            holder = self.owner.name if self.owner else None
+            raise SimulationError(
+                f"{thread.name} released {self.name} held by {holder}")
+        self.owner = None
+        if self.waiters:
+            # Direct handoff: the woken waiter owns the mutex when it
+            # runs, so it does not race a fresh acquirer.
+            successor = self.waiters.popleft()
+            self.owner = successor
+            self.acquisitions += 1
+            return successor
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"held by {self.owner.name}" if self.owner else "free"
+        return f"<Mutex {self.name}@{self.address:#x} {state}>"
+
+
+class Condition:
+    """A condition variable with Wait/Signal/Broadcast.
+
+    ``sequence`` counts signals; the runtime writes it to the
+    condition's memory word on every Signal, so observers of the word
+    see monotone progress.
+    """
+
+    def __init__(self, address: int, name: str = "cond") -> None:
+        self.address = address
+        self.name = name
+        self.waiters: Deque["TopazThread"] = deque()
+        self.sequence = 0
+
+    def add_waiter(self, thread: "TopazThread") -> None:
+        self.waiters.append(thread)
+
+    def take_one(self) -> Optional["TopazThread"]:
+        self.sequence += 1
+        return self.waiters.popleft() if self.waiters else None
+
+    def take_all(self) -> list:
+        self.sequence += 1
+        woken = list(self.waiters)
+        self.waiters.clear()
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Condition {self.name}@{self.address:#x} "
+                f"{len(self.waiters)} waiting>")

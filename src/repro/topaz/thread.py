@@ -1,0 +1,195 @@
+"""Topaz threads and their memory footprints.
+
+"The Topaz notion of Thread is restricted to the thread of control"
+(paper §4.1) — creation is cheap, many threads share an address space.
+A :class:`TopazThread` carries exactly that: the program generator,
+scheduling state, and a :class:`ThreadFootprint` describing the memory
+its ordinary computation touches (its slice of shared program text, a
+stack, local data).  When the scheduler migrates a thread, the
+footprint's addresses move with it to another processor's cache — the
+mechanism behind the paper's observation that migration leaves
+redundant write-through traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import FractionalAccumulator, RandomStream
+from repro.common.types import AccessKind, MemRef
+from repro.processor.cpu import InstructionBundle
+from repro.processor.mix import VAX_MIX, ReferenceMix
+
+
+class ThreadState(enum.Enum):
+    """Scheduling states of a thread."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class ThreadFootprint:
+    """Generates the memory references of a thread's ordinary compute.
+
+    Instruction fetches walk small loops in the thread's region of the
+    (shared) program text; data reads favour the stack, then thread
+    data; writes favour the stack.  ``base_cycles_per_instruction``
+    optionally overrides the CPU's default instruction cost — the
+    Threads exerciser uses this to model its light instruction mix.
+    """
+
+    def __init__(self, rng: RandomStream,
+                 text_base: int, text_words: int,
+                 stack_base: int, stack_words: int,
+                 data_base: int, data_words: int,
+                 mix: ReferenceMix = VAX_MIX,
+                 loop_length: int = 24,
+                 loop_iterations: float = 6.0,
+                 stack_read_bias: float = 0.6,
+                 stack_write_bias: float = 0.7,
+                 sweep_fraction: float = 0.0,
+                 sweep_base: int = 0, sweep_words: int = 0,
+                 base_cycles_per_instruction: Optional[float] = None) -> None:
+        if min(text_words, stack_words, data_words) < 1:
+            raise ConfigurationError("footprint regions must be non-empty")
+        if sweep_fraction > 0 and sweep_words < 1:
+            raise ConfigurationError(
+                "a sweep fraction needs a sweep region")
+        self.rng = rng
+        self.text_base = text_base
+        self.text_words = text_words
+        self.stack_base = stack_base
+        self.stack_words = stack_words
+        self.data_base = data_base
+        self.data_words = data_words
+        self.stack_read_bias = stack_read_bias
+        self.stack_write_bias = stack_write_bias
+        self.loop_length = min(loop_length, text_words)
+        self.loop_iterations = loop_iterations
+        # Displacement sweep: a slice of data reads walks sequentially
+        # through a larger scratch region, modelling the "activity of
+        # another process" (or phase changes) that displaces stale
+        # lines — without it, an update protocol keeps a migrated
+        # thread's old copies fresh in the old cache forever.
+        self.sweep_fraction = sweep_fraction
+        self.sweep_base = sweep_base
+        self.sweep_words = sweep_words
+        self._sweep_cursor = 0
+
+        self._ir = FractionalAccumulator(mix.instruction_reads)
+        self._dr = FractionalAccumulator(mix.data_reads)
+        self._dw = FractionalAccumulator(mix.data_writes)
+        self._base = (FractionalAccumulator(base_cycles_per_instruction)
+                      if base_cycles_per_instruction is not None else None)
+
+        self._pc = text_base
+        self._loop_start = text_base
+        self._loop_left = self.loop_length
+        self._iters_left = max(1, rng.geometric(loop_iterations))
+        self._jumped = False
+
+    def bundle(self) -> InstructionBundle:
+        """One instruction's worth of references."""
+        self._jumped = False
+        refs: List[MemRef] = []
+        for _ in range(self._ir.next()):
+            refs.append(MemRef(self._code_word(),
+                               AccessKind.INSTRUCTION_READ))
+        for _ in range(self._dr.next()):
+            refs.append(MemRef(self._read_word(), AccessKind.DATA_READ))
+        for _ in range(self._dw.next()):
+            refs.append(MemRef(self._write_word(), AccessKind.DATA_WRITE))
+        return InstructionBundle(
+            refs=tuple(refs),
+            is_jump=self._jumped,
+            prefetch_addresses=(self._pc, self._pc + 1),
+            base_cycles=self._base.next() if self._base is not None else None)
+
+    def _code_word(self) -> int:
+        if self._loop_left == 0:
+            self._jumped = True
+            self._iters_left -= 1
+            if self._iters_left <= 0:
+                offset = self.rng.randint(0, max(0, self.text_words
+                                                 - self.loop_length - 1))
+                self._loop_start = self.text_base + offset
+                self._iters_left = max(1, self.rng.geometric(
+                    self.loop_iterations))
+            self._pc = self._loop_start
+            self._loop_left = self.loop_length
+        word = self._pc
+        self._pc += 1
+        self._loop_left -= 1
+        return word
+
+    def _read_word(self) -> int:
+        if (self.sweep_fraction > 0
+                and self.rng.bernoulli(self.sweep_fraction)):
+            word = self.sweep_base + self._sweep_cursor
+            self._sweep_cursor = (self._sweep_cursor + 1) % self.sweep_words
+            return word
+        if self.rng.bernoulli(self.stack_read_bias):
+            return self.stack_base + self.rng.randint(0, self.stack_words - 1)
+        return self.data_base + self.rng.randint(0, self.data_words - 1)
+
+    def _write_word(self) -> int:
+        if self.rng.bernoulli(self.stack_write_bias):
+            return self.stack_base + self.rng.randint(0, self.stack_words - 1)
+        return self.data_base + self.rng.randint(0, self.data_words - 1)
+
+
+class TopazThread:
+    """One thread of control."""
+
+    def __init__(self, tid: int, name: str, fn: Callable, args: Tuple,
+                 footprint: ThreadFootprint, tcb_address: int,
+                 space=None) -> None:
+        if not inspect.isgeneratorfunction(fn):
+            raise ConfigurationError(
+                f"thread body {fn!r} must be a generator function "
+                f"(it yields topaz ops)")
+        self.tid = tid
+        self.name = name or f"thread{tid}"
+        self.gen = fn(*args)
+        self.footprint = footprint
+        self.tcb_address = tcb_address
+        self.space = space
+
+        self.state = ThreadState.READY
+        self.last_cpu: Optional[int] = None
+        self.blocked_on: Optional[str] = None
+        self.result: Any = None
+        self.joiners: Deque["TopazThread"] = deque()
+        self.wait_mutex = None  # set while blocked in Condition.Wait
+
+        # Execution-expansion state, driven by the kernel:
+        self.compute_remaining = 0
+        self.pending: Deque[InstructionBundle] = deque()
+        self.inbox: Any = None
+
+        # Accounting:
+        self.migrations = 0
+        self.dispatches = 0
+        self.instructions_executed = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE
+
+    def note_dispatch(self, cpu_id: int) -> None:
+        """Record a dispatch, counting migrations across CPUs."""
+        if self.last_cpu is not None and self.last_cpu != cpu_id:
+            self.migrations += 1
+        self.last_cpu = cpu_id
+        self.dispatches += 1
+        self.state = ThreadState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = f" on cpu{self.last_cpu}" if self.last_cpu is not None else ""
+        return f"<TopazThread {self.name} {self.state.value}{extra}>"

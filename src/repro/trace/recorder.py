@@ -1,0 +1,31 @@
+"""Recording wrapper: capture any reference source's stream."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.common.events import Event
+from repro.processor.cpu import InstructionBundle, Processor, ReferenceSource
+from repro.trace.format import TraceRecord
+
+
+class RecordingSource:
+    """Wraps a source, recording each instruction it produces.
+
+    The recorded stream is the *issued* stream: prefetch-wasted fetches
+    happen inside the CPU model and are not part of the source's
+    instructions, so a recorded trace replays identically regardless of
+    prefetcher configuration.
+    """
+
+    def __init__(self, inner: ReferenceSource) -> None:
+        self.inner = inner
+        self.records: List[TraceRecord] = []
+
+    def next_instruction(self, cpu: Processor) -> Union[
+            InstructionBundle, Event, None]:
+        item = self.inner.next_instruction(cpu)
+        if isinstance(item, InstructionBundle):
+            self.records.append(TraceRecord(refs=item.refs,
+                                            is_jump=item.is_jump))
+        return item

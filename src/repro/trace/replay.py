@@ -1,0 +1,73 @@
+"""Trace files and the trace-driven reference source."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.common.events import Event
+from repro.processor.cpu import InstructionBundle, Processor
+from repro.trace.format import TraceRecord, decode_record, encode_record
+
+
+def save_trace(records: Iterable[TraceRecord],
+               path: Union[str, Path]) -> int:
+    """Write records to a trace file; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(encode_record(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a trace file (blank lines and ``#`` comments are skipped)."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            records.append(decode_record(stripped, line_number))
+    return records
+
+
+class TraceSource:
+    """Drives a CPU from a recorded trace.
+
+    ``repeat=True`` loops the trace forever (steady-state experiments);
+    otherwise the CPU halts at end of trace.
+    """
+
+    def __init__(self, records: Sequence[TraceRecord],
+                 repeat: bool = False) -> None:
+        self.records = list(records)
+        self.repeat = repeat
+        self._cursor = 0
+        self.replays = 0
+
+    def next_instruction(self, cpu: Processor) -> Union[
+            InstructionBundle, Event, None]:
+        if self._cursor >= len(self.records):
+            if not self.repeat or not self.records:
+                return None
+            self._cursor = 0
+            self.replays += 1
+        record = self.records[self._cursor]
+        self._cursor += 1
+        next_pc = self._peek_next_pc()
+        return InstructionBundle(
+            refs=record.refs,
+            is_jump=record.is_jump,
+            prefetch_addresses=(next_pc, next_pc + 1) if next_pc is not None
+            else ())
+
+    def _peek_next_pc(self):
+        if self._cursor < len(self.records):
+            for ref in self.records[self._cursor].refs:
+                if ref.kind.is_instruction:
+                    return ref.address
+        return None

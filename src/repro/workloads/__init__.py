@@ -1,0 +1,56 @@
+"""Workloads: the programs the reproduction measures.
+
+- :mod:`repro.workloads.threads_exerciser` — the Topaz Threads
+  exerciser of Table 2 (heavy synchronisation and migration).
+- :mod:`repro.workloads.parallel_make` — the parallel ``make`` of §6.
+- :mod:`repro.workloads.parallel_compiler` — the experimental
+  Modula-2+ compiler that "compiles each procedure body in parallel".
+- :mod:`repro.workloads.matrix` — a medium-grained data-parallel
+  kernel with real shared operands.
+- :mod:`repro.workloads.multiprogramming` — the intro's coarse-grained
+  scenario (several unrelated activities at once).
+- :mod:`repro.workloads.rpc_server` — the RPC throughput workload
+  behind the 4.6 Mbit/s claim.
+- :mod:`repro.workloads.gc_app` — the reference-counted application
+  with a concurrent collector thread (§6's GC claim).
+
+(The calibrated synthetic single-program workload lives with the
+processor model in :mod:`repro.processor.refgen`.)
+"""
+
+from repro.workloads.threads_exerciser import (
+    ExerciserParams,
+    build_exerciser,
+    exerciser_expectations,
+)
+from repro.workloads.file_system import (
+    FileService,
+    FileSystemParams,
+    FileSystemWorkload,
+)
+from repro.workloads.gc_app import GcApplication, GcParams
+from repro.workloads.parallel_make import MakeJob, ParallelMake
+from repro.workloads.rpc_two_machine import TwoMachineRpc, TwoMachineRpcParams
+from repro.workloads.parallel_compiler import ParallelCompiler
+from repro.workloads.matrix import MatrixWorkload
+from repro.workloads.multiprogramming import MultiprogrammingMix
+from repro.workloads.rpc_server import RpcWorkload
+
+__all__ = [
+    "ExerciserParams",
+    "FileService",
+    "FileSystemParams",
+    "FileSystemWorkload",
+    "GcApplication",
+    "GcParams",
+    "MakeJob",
+    "MatrixWorkload",
+    "MultiprogrammingMix",
+    "ParallelCompiler",
+    "ParallelMake",
+    "RpcWorkload",
+    "TwoMachineRpc",
+    "TwoMachineRpcParams",
+    "build_exerciser",
+    "exerciser_expectations",
+]

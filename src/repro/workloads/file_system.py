@@ -1,0 +1,234 @@
+"""The threaded file system of §6.
+
+"Standard applications also benefit from multiprocessing.  The file
+system uses multiple threads to do read-ahead and write-behind..."
+(and §3: "the disk is buffered from applications by a large read cache
+and a large write buffer").
+
+Model: a block-cache file service over the RQDX3.  An application
+thread reads a file sequentially (and rewrites some blocks).  Helper
+threads provide the two §6 mechanisms:
+
+- **read-ahead** — when the application reads block n, a helper is
+  nudged to fetch block n+1..n+depth into the cache before it is
+  asked for;
+- **write-behind** — application writes complete into the write
+  buffer immediately; a helper drains the buffer to disk in the
+  background.
+
+With helpers disabled, every miss stalls the application for a full
+disk access and every write stalls for the write-through — the
+uniprocessor-era file system.  The ablation (A13) measures elapsed
+application time both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.common.errors import ConfigurationError
+from repro.io.subsystem import IoSubsystem
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel
+
+
+@dataclass(frozen=True)
+class FileSystemParams:
+    """Shape of the file service and its workload."""
+
+    file_blocks: int = 24
+    read_ahead_depth: int = 2
+    rewrite_every: int = 3          # write every k-th block read
+    compute_per_block: int = 6000   # application work per block
+    helper_threads: int = 2
+    base_lbn: int = 500
+
+    def __post_init__(self) -> None:
+        if self.file_blocks < 1:
+            raise ConfigurationError("file must have blocks")
+        if self.read_ahead_depth < 0 or self.helper_threads < 1:
+            raise ConfigurationError("bad helper configuration")
+
+
+class FileService:
+    """A block cache with optional read-ahead / write-behind helpers."""
+
+    def __init__(self, kernel: TopazKernel, io: IoSubsystem,
+                 params: Optional[FileSystemParams] = None,
+                 helpers_enabled: bool = True) -> None:
+        self.kernel = kernel
+        self.io = io
+        self.params = params or FileSystemParams()
+        self.helpers_enabled = helpers_enabled
+        _, self._buffer_qbus = io.alloc(128 * 4, "fs buffer")
+
+        # Cache state is host-side bookkeeping (which blocks are
+        # resident); the *timing* comes from real disk DeviceCalls and
+        # the synchronisation from real Topaz primitives.
+        self._cached: Set[int] = set()
+        self._dirty: List[int] = []
+        self._inflight: Set[int] = set()
+        self._writes_inflight = 0
+        self._readahead_queue: List[int] = []
+
+        self.mutex = kernel.mutex("fs")
+        self.block_arrived = kernel.condition("fs_arrived")
+        self.work_available = kernel.condition("fs_work")
+        self._helper_threads = []
+        self.stats = {"app_reads": 0, "hits": 0, "demand_misses": 0,
+                      "readaheads": 0, "writebehinds": 0}
+
+    # -- helper side ----------------------------------------------------
+
+    def start_helpers(self) -> None:
+        if not self.helpers_enabled:
+            return
+        for i in range(self.params.helper_threads):
+            self._helper_threads.append(
+                self.kernel.fork(self._helper_body, name=f"fs-helper{i}"))
+
+    def _helper_body(self):
+        """Serve read-ahead and write-behind work until told to stop."""
+        while True:
+            yield ops.Lock(self.mutex)
+            while not self._pending_work():
+                yield ops.Wait(self.work_available, self.mutex)
+            job = self._take_job()
+            yield ops.Unlock(self.mutex)
+            if job is None:
+                return
+            kind, block = job
+            if kind == "readahead":
+                yield from self._fetch(block)
+                self.stats["readaheads"] += 1
+                # Wake any application thread waiting on this block.
+                yield ops.Lock(self.mutex)
+                yield ops.Broadcast(self.block_arrived)
+                yield ops.Unlock(self.mutex)
+            else:
+                self._writes_inflight += 1
+                yield ops.DeviceCall(self.io.disk.write_blocks(
+                    self.params.base_lbn + block, 1, self._buffer_qbus),
+                    label=f"fs-wb{block}")
+                self._writes_inflight -= 1
+                self.stats["writebehinds"] += 1
+
+    def _pending_work(self) -> bool:
+        return bool(self._dirty or self._readahead_queue)
+
+    def _take_job(self):
+        if self._dirty:
+            return ("writebehind", self._dirty.pop(0))
+        if self._readahead_queue:
+            return ("readahead", self._readahead_queue.pop(0))
+        return None  # stopping
+
+    def _fetch(self, block: int):
+        """Bring one block into the cache (helper or demand path)."""
+        if block in self._cached or block in self._inflight:
+            return
+        self._inflight.add(block)
+        yield ops.DeviceCall(self.io.disk.read_blocks(
+            self.params.base_lbn + block, 1, self._buffer_qbus),
+            label=f"fs-rd{block}")
+        self._inflight.discard(block)
+        self._cached.add(block)
+
+    # -- application side ---------------------------------------------------
+
+    def read_block(self, block: int):
+        """Topaz fragment: read one block through the cache."""
+        self.stats["app_reads"] += 1
+        params = self.params
+        if block in self._cached:
+            self.stats["hits"] += 1
+        elif block in self._inflight:
+            # A helper is already fetching it; wait for arrival.
+            yield ops.Lock(self.mutex)
+            while block not in self._cached:
+                yield ops.Wait(self.block_arrived, self.mutex)
+            yield ops.Unlock(self.mutex)
+            self.stats["hits"] += 1
+        else:
+            self.stats["demand_misses"] += 1
+            yield from self._fetch(block)
+        # Schedule read-ahead for the following blocks.
+        if self.helpers_enabled and params.read_ahead_depth:
+            yield ops.Lock(self.mutex)
+            for ahead in range(block + 1,
+                               min(block + 1 + params.read_ahead_depth,
+                                   params.file_blocks)):
+                if ahead not in self._cached \
+                        and ahead not in self._inflight \
+                        and ahead not in self._readahead_queue:
+                    self._readahead_queue.append(ahead)
+                    yield ops.Signal(self.work_available)
+            yield ops.Unlock(self.mutex)
+
+    def write_block(self, block: int):
+        """Topaz fragment: write one block (buffered when enabled)."""
+        if self.helpers_enabled:
+            yield ops.Lock(self.mutex)
+            self._dirty.append(block)
+            yield ops.Signal(self.work_available)
+            yield ops.Unlock(self.mutex)
+        else:
+            yield ops.DeviceCall(self.io.disk.write_blocks(
+                self.params.base_lbn + block, 1, self._buffer_qbus),
+                label=f"fs-w{block}")
+
+    def drain(self):
+        """Topaz fragment: flush the write buffer (application exit).
+
+        Waits until the buffer is empty *and* no write-behind is still
+        in flight, so elapsed-time comparisons against the synchronous
+        file system account for identical disk work.
+        """
+        while self._dirty or self._writes_inflight:
+            yield ops.Lock(self.mutex)
+            yield ops.Signal(self.work_available)
+            yield ops.Unlock(self.mutex)
+            yield ops.YieldCpu()
+            yield ops.Compute(20)
+
+
+class FileSystemWorkload:
+    """The measured scenario: sequential read + periodic rewrite."""
+
+    def __init__(self, processors: int = 3, helpers_enabled: bool = True,
+                 params: Optional[FileSystemParams] = None,
+                 seed: int = 61) -> None:
+        self.kernel = TopazKernel.build(processors=processors,
+                                        threads_hint=8, io_enabled=True,
+                                        seed=seed)
+        self.io = IoSubsystem(self.kernel.machine)
+        self.service = FileService(self.kernel, self.io, params,
+                                   helpers_enabled=helpers_enabled)
+        self.app_thread = None
+
+    def _app_body(self):
+        service = self.service
+        params = service.params
+        for block in range(params.file_blocks):
+            yield from service.read_block(block)
+            yield ops.Compute(params.compute_per_block)
+            if block % params.rewrite_every == 0:
+                yield from service.write_block(block)
+        yield from service.drain()
+        return params.file_blocks
+
+    def run(self, max_cycles: int = 400_000_000) -> int:
+        """Run the application; return its elapsed cycles."""
+        self.service.start_helpers()
+        self.app_thread = self.kernel.fork(self._app_body, name="app")
+        self.io.start()
+        sim = self.kernel.sim
+        start = sim.now
+        self.kernel.machine.start()
+        deadline = start + max_cycles
+        while sim.now < deadline:
+            if self.app_thread.done:
+                return sim.now - start
+            sim.run_until(min(sim.now + 50_000, deadline))
+        raise ConfigurationError("file workload did not finish")

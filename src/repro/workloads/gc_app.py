@@ -1,0 +1,185 @@
+"""The concurrent garbage collector claim of §6.
+
+"Single threaded applications that use garbage collection also
+benefit.  The application must pay the in-line cost of reference
+counted assignments, but the collector itself runs as a separate
+thread on another processor."
+
+Model: a single-threaded Modula-2+-style application performs work
+units; each unit pays the in-line cost of reference-counted
+assignments (extra instructions plus reads/writes of refcount words in
+the heap) and allocates cells.  When allocations pass a threshold the
+heap must be collected — a trace-and-sweep pass reading every cell.
+
+Two strategies:
+
+- **stop-the-world** — the application collects in-line (the
+  uniprocessor experience);
+- **concurrent** — a collector thread performs the passes; the
+  application requests one and keeps mutating.  On a multiprocessor
+  the pass runs on another CPU, off the application's critical path.
+
+Fairness: the application's completion includes draining outstanding
+collection requests (a request/done handshake through shared memory),
+so every configuration completes identical collection work — the only
+difference is *where in time* it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel
+
+
+@dataclass(frozen=True)
+class GcParams:
+    """Costs of the reference-counted mutator and the collector."""
+
+    work_units: int = 60
+    instructions_per_unit: int = 140
+    ref_assignments_per_unit: int = 10
+    refcount_overhead_instructions: int = 2
+    allocations_per_unit: int = 16
+    heap_cells: int = 384
+    collect_threshold: int = 288
+    collector_instructions_per_cell: int = 3
+
+    def __post_init__(self) -> None:
+        if self.work_units < 1 or self.heap_cells < 2:
+            raise ConfigurationError("degenerate GC workload")
+        if not 0 < self.collect_threshold <= self.heap_cells:
+            raise ConfigurationError("threshold must fit the heap")
+
+
+class GcApplication:
+    """One reference-counted application plus its collector."""
+
+    def __init__(self, kernel: TopazKernel,
+                 params: Optional[GcParams] = None,
+                 concurrent_collector: bool = True) -> None:
+        self.kernel = kernel
+        self.params = params or GcParams()
+        self.concurrent = concurrent_collector
+        p = self.params
+        # The heap: one refcount word per cell, genuinely shared
+        # between the mutator and the collector.
+        self.heap_base = kernel.alloc_shared(p.heap_cells, "gc heap")
+        self.requested_address = kernel.alloc_shared(1, "gc requested")
+        self.done_address = kernel.alloc_shared(1, "gc done")
+        self.gc_mutex = kernel.mutex("gc")
+        self.gc_needed = kernel.condition("gc_needed")
+        self.gc_done = kernel.condition("gc_done")
+        self._allocated = 0
+        self._cursor = 0
+        self.app_thread = None
+        self.collector_thread = None
+
+    # -- program fragments ------------------------------------------------
+
+    def _mutate(self):
+        """One work unit: compute + refcount traffic + allocation."""
+        p = self.params
+        yield ops.Compute(p.instructions_per_unit)
+        for i in range(p.ref_assignments_per_unit):
+            # The in-line cost: bump one refcount, drop another.
+            cell = self.heap_base + ((self._cursor + i * 7) % p.heap_cells)
+            count = yield ops.Read(cell)
+            yield ops.Write(cell, count + 1)
+            yield ops.Compute(p.refcount_overhead_instructions)
+        for _ in range(p.allocations_per_unit):
+            cell = self.heap_base + self._cursor
+            self._cursor = (self._cursor + 1) % p.heap_cells
+            yield ops.Write(cell, 1)
+            self._allocated += 1
+
+    def _collect(self):
+        """A trace-and-sweep pass over the whole heap.
+
+        (Heap-occupancy accounting is done by the requester at request
+        time, so stop-the-world and concurrent runs schedule identical
+        collection work.)
+        """
+        p = self.params
+        for i in range(p.heap_cells):
+            yield ops.Read(self.heap_base + i)
+            yield ops.Compute(p.collector_instructions_per_cell)
+
+    def _app_body(self):
+        p = self.params
+        for unit in range(p.work_units):
+            yield from self._mutate()
+            if self._allocated >= p.collect_threshold:
+                self._allocated //= 2  # account the upcoming collection
+                if self.concurrent:
+                    yield from self._request_collection()
+                else:
+                    yield from self._collect()
+                    done = yield ops.Read(self.done_address)
+                    yield ops.Write(self.done_address, done + 1)
+        if self.concurrent:
+            yield from self._drain_collections()
+        return p.work_units
+
+    def _request_collection(self):
+        yield ops.Lock(self.gc_mutex)
+        requested = yield ops.Read(self.requested_address)
+        yield ops.Write(self.requested_address, requested + 1)
+        yield ops.Signal(self.gc_needed)
+        yield ops.Unlock(self.gc_mutex)
+
+    def _drain_collections(self):
+        """Fairness: completion includes outstanding collector work."""
+        yield ops.Lock(self.gc_mutex)
+        while True:
+            requested = yield ops.Read(self.requested_address)
+            done = yield ops.Read(self.done_address)
+            if done >= requested:
+                break
+            yield ops.Wait(self.gc_done, self.gc_mutex)
+        yield ops.Unlock(self.gc_mutex)
+
+    def _collector_body(self):
+        while True:
+            yield ops.Lock(self.gc_mutex)
+            while True:
+                requested = yield ops.Read(self.requested_address)
+                done = yield ops.Read(self.done_address)
+                if requested > done:
+                    break
+                yield ops.Wait(self.gc_needed, self.gc_mutex)
+            yield ops.Unlock(self.gc_mutex)
+            yield from self._collect()
+            yield ops.Lock(self.gc_mutex)
+            done = yield ops.Read(self.done_address)
+            yield ops.Write(self.done_address, done + 1)
+            yield ops.Signal(self.gc_done)
+            yield ops.Unlock(self.gc_mutex)
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000_000) -> int:
+        """Run the application to completion; return elapsed cycles.
+
+        Completion includes all requested collections (see class doc).
+        """
+        self.app_thread = self.kernel.fork(self._app_body, name="mutator")
+        if self.concurrent:
+            self.collector_thread = self.kernel.fork(self._collector_body,
+                                                     name="collector")
+        sim = self.kernel.sim
+        start = sim.now
+        self.kernel.machine.start()
+        deadline = start + max_cycles
+        while sim.now < deadline:
+            if self.app_thread.done:
+                return sim.now - start
+            sim.run_until(min(sim.now + 20_000, deadline))
+        raise ConfigurationError("GC application did not finish")
+
+    @property
+    def collections(self) -> int:
+        return self.kernel._coherent_value(self.done_address)

@@ -1,0 +1,184 @@
+"""The coarse-grained multiprogramming mix of the paper's introduction.
+
+§2: "workstation users like to keep several activities running at once
+— profiling an application while compiling a module while reading
+mail.  Pipelined execution is another form of coarse-grained
+concurrency.  Experienced Ultrix users, for example, often use
+pipelines of applications such as the text processing utilities awk,
+grep, and sed."
+
+The mix here: several independent single-threaded 'applications'
+(placed in Ultrix address spaces — which permit exactly one thread)
+plus a three-stage text pipeline whose stages pass items through
+bounded shared-memory buffers guarded by mutex + condition pairs.  The
+multiprogramming benchmark measures each application's progress alone
+versus together — §6's claim that "the performance of the system is
+much more predictable than that of a time-shared uniprocessor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.topaz import ops
+from repro.topaz.address_space import SpaceKind
+from repro.topaz.kernel import TopazKernel
+
+
+class BoundedBuffer:
+    """A classic bounded buffer in simulated shared memory."""
+
+    def __init__(self, kernel: TopazKernel, capacity: int,
+                 name: str) -> None:
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.mutex = kernel.mutex(f"{name}.mutex")
+        self.not_full = kernel.condition(f"{name}.not_full")
+        self.not_empty = kernel.condition(f"{name}.not_empty")
+        self.count_address = kernel.alloc_shared(1, f"{name}.count")
+        self.slots = kernel.alloc_shared(capacity, f"{name}.slots")
+        self._write_index = 0
+        self._read_index = 0
+
+    def put(self, value: int):
+        """Topaz fragment: blocking enqueue."""
+        yield ops.Lock(self.mutex)
+        while True:
+            count = yield ops.Read(self.count_address)
+            if count < self.capacity:
+                break
+            yield ops.Wait(self.not_full, self.mutex)
+        slot = self.slots + self._write_index
+        self._write_index = (self._write_index + 1) % self.capacity
+        yield ops.Write(slot, value)
+        yield ops.Write(self.count_address, count + 1)
+        yield ops.Signal(self.not_empty)
+        yield ops.Unlock(self.mutex)
+
+    def take(self):
+        """Topaz fragment: blocking dequeue; 'returns' via the last Read."""
+        yield ops.Lock(self.mutex)
+        while True:
+            count = yield ops.Read(self.count_address)
+            if count > 0:
+                break
+            yield ops.Wait(self.not_empty, self.mutex)
+        slot = self.slots + self._read_index
+        self._read_index = (self._read_index + 1) % self.capacity
+        value = yield ops.Read(slot)
+        yield ops.Write(self.count_address, count - 1)
+        yield ops.Signal(self.not_full)
+        yield ops.Unlock(self.mutex)
+        return value
+
+
+@dataclass
+class AppProgress:
+    """Progress counters for one activity in the mix."""
+
+    name: str
+    address: int
+    iterations: int = 0
+
+
+class MultiprogrammingMix:
+    """Independent apps + an awk|grep|sed-style pipeline."""
+
+    def __init__(self, kernel: TopazKernel,
+                 independent_apps: int = 3,
+                 app_burst_instructions: int = 400,
+                 pipeline_items: int = 0,
+                 pipeline_stage_instructions: int = 120,
+                 buffer_capacity: int = 4) -> None:
+        if independent_apps < 0 or pipeline_items < 0:
+            raise ConfigurationError("counts must be >= 0")
+        self.kernel = kernel
+        self.progress: Dict[str, AppProgress] = {}
+        self._threads: List = []
+
+        for i in range(independent_apps):
+            name = ("profiler", "compiler", "mail")[i % 3] + (
+                str(i // 3) if i >= 3 else "")
+            space = kernel.create_space(f"ultrix:{name}",
+                                        SpaceKind.ULTRIX_APP, 1024)
+            address = kernel.alloc_shared(1, f"{name}.progress")
+            self.progress[name] = AppProgress(name, address)
+            self._threads.append(kernel.fork(
+                self._app_body(name, address, app_burst_instructions),
+                name=name, space=space))
+
+        self.pipeline_items = pipeline_items
+        if pipeline_items > 0:
+            self._build_pipeline(pipeline_items,
+                                 pipeline_stage_instructions,
+                                 buffer_capacity)
+
+    def _app_body(self, name: str, address: int, burst: int):
+        progress = self.progress[name]
+
+        def body():
+            iteration = 0
+            while True:
+                yield ops.Compute(burst)
+                iteration += 1
+                progress.iterations = iteration
+                yield ops.Write(address, iteration)
+        return body
+
+    def _build_pipeline(self, items: int, stage_instructions: int,
+                        capacity: int) -> None:
+        kernel = self.kernel
+        first = BoundedBuffer(kernel, capacity, "pipe0")
+        second = BoundedBuffer(kernel, capacity, "pipe1")
+        self.pipeline_out_address = kernel.alloc_shared(1, "pipe.out")
+        out_address = self.pipeline_out_address
+
+        def awk():
+            for item in range(items):
+                yield ops.Compute(stage_instructions)
+                yield from first.put(item * 3 + 1)
+            return items
+
+        def grep():
+            for _ in range(items):
+                value = yield from first.take()
+                yield ops.Compute(stage_instructions)
+                yield from second.put(value * 2)
+            return items
+
+        def sed():
+            total = 0
+            for _ in range(items):
+                value = yield from second.take()
+                yield ops.Compute(stage_instructions)
+                total += value
+                yield ops.Write(out_address, total)
+            return total
+
+        self.pipeline_threads = [
+            kernel.fork(awk, name="awk"),
+            kernel.fork(grep, name="grep"),
+            kernel.fork(sed, name="sed"),
+        ]
+        self._threads.extend(self.pipeline_threads)
+
+    def expected_pipeline_total(self) -> int:
+        """What sed's accumulator must equal when the pipeline drains."""
+        return sum((item * 3 + 1) * 2 for item in range(self.pipeline_items))
+
+    def run_pipeline(self, max_cycles: int = 50_000_000) -> int:
+        """Run until the pipeline stages finish; return elapsed cycles."""
+        if self.pipeline_items == 0:
+            raise ConfigurationError("mix was built without a pipeline")
+        start = self.kernel.sim.now
+        self.kernel.machine.start()
+        deadline = start + max_cycles
+        while self.kernel.sim.now < deadline:
+            if all(t.done for t in self.pipeline_threads):
+                return self.kernel.sim.now - start
+            self.kernel.sim.run_until(
+                min(self.kernel.sim.now + 20_000, deadline))
+        raise ConfigurationError("pipeline did not drain in the horizon")

@@ -1,0 +1,99 @@
+"""The experimental parallel Modula-2+ compiler of paper §6.
+
+"An experimental version of the Modula-2+ compiler quickly reads in
+the source file and then compiles each procedure body in parallel."
+
+Model: a front-end thread reads the source from disk and parses it
+(serial), then forks one thread per procedure body (compute-dominated,
+each with its own footprint), joins them, and emits the object file.
+The serial fraction gives the workload an Amdahl shape: speedup on
+more processors saturates — a useful contrast with the embarrassingly
+parallel make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.io.subsystem import IoSubsystem
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel
+
+
+@dataclass(frozen=True)
+class CompilerParams:
+    """Shape of one compilation."""
+
+    procedures: int = 12
+    parse_instructions: int = 4000
+    body_instructions: int = 2500
+    emit_instructions: int = 1200
+    source_blocks: int = 12
+    object_blocks: int = 6
+
+    def __post_init__(self) -> None:
+        if self.procedures < 1:
+            raise ConfigurationError("a module has at least one procedure")
+
+
+class ParallelCompiler:
+    """One compilation on a kernel + I/O subsystem."""
+
+    def __init__(self, kernel: TopazKernel, io: IoSubsystem,
+                 params: Optional[CompilerParams] = None) -> None:
+        self.kernel = kernel
+        self.io = io
+        self.params = params or CompilerParams()
+        buffer, buffer_qbus = io.alloc(128 * 8, "compiler buffer")
+        self._buffer_qbus = buffer_qbus
+        self._main = None
+
+    def _body_thread(self, index: int):
+        instructions = self.params.body_instructions + 137 * (index % 5)
+
+        def body():
+            yield ops.Compute(instructions)
+            return index
+        return body
+
+    def _main_thread(self):
+        params, io, buffer_qbus = self.params, self.io, self._buffer_qbus
+        compiler = self
+
+        def body():
+            # Front end: read the source, parse serially.
+            yield ops.DeviceCall(io.disk.read_blocks(
+                10, min(params.source_blocks, 8), buffer_qbus),
+                label="read-source")
+            yield ops.Compute(params.parse_instructions)
+            # Fan out: one thread per procedure body.
+            workers = []
+            for index in range(params.procedures):
+                worker = yield ops.Fork(compiler._body_thread(index),
+                                        name=f"body{index}")
+                workers.append(worker)
+            for worker in workers:
+                yield ops.Join(worker)
+            # Back end: emit serially.
+            yield ops.Compute(params.emit_instructions)
+            yield ops.DeviceCall(io.disk.write_blocks(
+                40, min(params.object_blocks, 8), buffer_qbus),
+                label="write-object")
+            return params.procedures
+        return body
+
+    def run(self, max_cycles: int = 80_000_000) -> int:
+        """Compile; return elapsed cycles."""
+        self._main = self.kernel.fork(self._main_thread(), name="compiler")
+        self.io.start()
+        start = self.kernel.sim.now
+        self.kernel.machine.start()
+        deadline = start + max_cycles
+        while self.kernel.sim.now < deadline:
+            if self._main.done:
+                return self.kernel.sim.now - start
+            self.kernel.sim.run_until(
+                min(self.kernel.sim.now + 20_000, deadline))
+        raise ConfigurationError("compilation did not finish in the horizon")

@@ -1,0 +1,169 @@
+"""Two-machine RPC: client and server Fireflies on one wire.
+
+The A5 benchmark models the remote server as a fixed turnaround delay
+(the documented substitution).  This workload removes the substitution:
+*two complete Firefly machines* — a client and a server, each with its
+own MBus, caches, QBus and Topaz kernel — share one simulator and one
+physical Ethernet segment.  Requests flow client → wire → server
+mailbox; *server threads on the server's own CPUs* unmarshal, compute
+the reply, and transmit it back over the same cable.
+
+Comparing the measured saturation against A5's validates the
+fixed-turnaround substitution (bench A12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.queues import Mailbox
+from repro.common.stats import StatSet
+from repro.io.subsystem import IoSubsystem
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel
+
+
+@dataclass(frozen=True)
+class TwoMachineRpcParams:
+    """Call shape (mirrors RpcParams) plus the server-side work."""
+
+    payload_bytes: int = 1400
+    packets_per_call: int = 4
+    reply_bytes: int = 64
+    marshal_instructions: int = 150
+    unmarshal_instructions: int = 100
+    server_work_instructions: int = 900
+    server_threads: int = 3
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0 or self.packets_per_call <= 0:
+            raise ConfigurationError("call must carry data")
+        if self.server_threads < 1:
+            raise ConfigurationError("the server needs threads")
+
+
+class TwoMachineRpc:
+    """The paired machines, their wire, and the RPC plumbing."""
+
+    def __init__(self, client_processors: int = 5,
+                 server_processors: int = 3,
+                 client_threads: int = 3,
+                 params: Optional[TwoMachineRpcParams] = None,
+                 seed: int = 1987) -> None:
+        if client_threads < 1:
+            raise ConfigurationError("need at least one client thread")
+        self.params = params or TwoMachineRpcParams()
+        self.sim = Simulator()
+        self.client_threads = client_threads
+        self.stats = StatSet("rpc2")
+
+        self.client = TopazKernel.build(
+            processors=client_processors, threads_hint=client_threads + 4,
+            io_enabled=True, seed=seed, sim=self.sim)
+        self.server = TopazKernel.build(
+            processors=server_processors,
+            threads_hint=self.params.server_threads + 4,
+            io_enabled=True, seed=seed + 1, sim=self.sim)
+
+        # One physical cable: both controllers contend for it.
+        segment = self.sim.resource("ethernet.segment")
+        self.client_io = IoSubsystem(self.client.machine)
+        self.server_io = IoSubsystem(self.server.machine)
+        self.client_io.ethernet._segment = segment
+        self.server_io.ethernet._segment = segment
+
+        _, self._client_buffer = self.client_io.alloc(512, "rpc buffer")
+        _, self._server_buffer = self.server_io.alloc(512, "rpc buffer")
+
+        # Frame delivery: the wire's far end is a mailbox per machine.
+        self._server_inbox = Mailbox(self.sim, "server.inbox")
+        self._client_inbox: Dict[int, Mailbox] = {}
+
+        self._spawn_server_threads()
+        self._spawn_client_threads()
+
+    # -- server side -----------------------------------------------------
+
+    def _spawn_server_threads(self) -> None:
+        for i in range(self.params.server_threads):
+            self.server.fork(self._server_body, name=f"server{i}")
+
+    def _server_body(self):
+        """One server thread: take a request, receive it, work, reply."""
+        p = self.params
+        while True:
+            request = yield ops.DeviceCall(self._server_inbox.get(),
+                                           label="rpc-accept")
+            # The request's frames land in server memory via DMA.
+            for _ in range(p.packets_per_call):
+                yield ops.DeviceCall(
+                    self.server_io.ethernet.receive_delivered_into(
+                        self._server_buffer, p.payload_bytes),
+                    label="rpc-rx")
+            yield ops.Compute(p.unmarshal_instructions)
+            yield ops.Compute(p.server_work_instructions)
+            # Transmit the reply back over the shared cable.
+            yield ops.DeviceCall(
+                self.server_io.ethernet.transmit_from(
+                    self._server_buffer, p.reply_bytes),
+                label="rpc-reply-tx")
+            self._client_inbox[request].put("reply")
+            self.stats.incr("served")
+
+    # -- client side --------------------------------------------------------
+
+    def _spawn_client_threads(self) -> None:
+        for i in range(self.client_threads):
+            self._client_inbox[i] = Mailbox(self.sim, f"client{i}.inbox")
+            self.client.fork(self._client_body, i, name=f"client{i}")
+
+    def _client_body(self, client_id: int):
+        p = self.params
+        while True:
+            yield ops.Compute(p.marshal_instructions)
+            for _ in range(p.packets_per_call):
+                yield ops.DeviceCall(
+                    self.client_io.ethernet.transmit_from(
+                        self._client_buffer, p.payload_bytes),
+                    label="rpc-tx")
+                self.stats.incr("data_bits", p.payload_bytes * 8)
+            self._server_inbox.put(client_id)
+            yield ops.DeviceCall(
+                self.client_inbox(client_id).get(), label="rpc-await")
+            yield ops.DeviceCall(
+                self.client_io.ethernet.receive_delivered_into(
+                    self._client_buffer, p.reply_bytes),
+                label="rpc-reply-rx")
+            yield ops.Compute(p.unmarshal_instructions)
+            self.stats.incr("calls")
+
+    def client_inbox(self, client_id: int) -> Mailbox:
+        return self._client_inbox[client_id]
+
+    # -- measurement ------------------------------------------------------------
+
+    def run(self, warmup_cycles: int = 400_000,
+            measure_cycles: int = 2_000_000) -> Dict[str, float]:
+        """Measure sustained goodput with both machines live."""
+        self.client_io.start()
+        self.server_io.start()
+        self.client.machine.start()
+        self.server.machine.start()
+        self.sim.run_until(self.sim.now + warmup_cycles)
+        self.stats.mark_all()
+        self.client.machine.mark_window()
+        self.server.machine.mark_window()
+        start = self.sim.now
+        self.sim.run_until(start + measure_cycles)
+        window = self.sim.now - start
+        return {
+            "goodput_mbit": self.stats["data_bits"].windowed
+            / (window * 1e-7) / 1e6,
+            "calls": self.stats["calls"].windowed,
+            "served": self.stats["served"].windowed,
+            "client_bus_load": self.client.machine.mbus.load(),
+            "server_bus_load": self.server.machine.mbus.load(),
+        }

@@ -1,0 +1,50 @@
+"""A counting semaphore built from the Topaz primitives.
+
+Topaz itself offers Mutex and Condition (paper §4.2); workloads that
+need bounded parallelism (parallel make's ``-j``, bounded pipeline
+buffers) build this classic Mesa-style semaphore on top, exactly as a
+Modula-2+ program would.  The count lives in a shared memory word, so
+semaphore traffic is real coherence traffic.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel
+
+
+class TopazSemaphore:
+    """Counting semaphore: ``yield from sem.acquire()`` in thread code."""
+
+    def __init__(self, kernel: TopazKernel, initial: int,
+                 name: str = "sem") -> None:
+        if initial < 0:
+            raise ConfigurationError("semaphore count must be >= 0")
+        self.kernel = kernel
+        self.name = name
+        self.mutex = kernel.mutex(f"{name}.mutex")
+        self.condition = kernel.condition(f"{name}.cond")
+        self.count_address = kernel.alloc_shared(1, f"{name}.count")
+        # Pre-set the count without bus traffic (setup happens before
+        # the machine starts running).
+        kernel.machine.memory.poke(self.count_address, initial)
+
+    def acquire(self):
+        """Topaz fragment: P().  Blocks while the count is zero."""
+        yield ops.Lock(self.mutex)
+        while True:
+            value = yield ops.Read(self.count_address)
+            if value > 0:
+                yield ops.Write(self.count_address, value - 1)
+                break
+            yield ops.Wait(self.condition, self.mutex)
+        yield ops.Unlock(self.mutex)
+
+    def release(self):
+        """Topaz fragment: V()."""
+        yield ops.Lock(self.mutex)
+        value = yield ops.Read(self.count_address)
+        yield ops.Write(self.count_address, value + 1)
+        yield ops.Signal(self.condition)
+        yield ops.Unlock(self.mutex)

@@ -1,0 +1,183 @@
+"""The Topaz Threads exerciser — the program behind Table 2.
+
+Paper §5.3: "The program used in this example is an exerciser for the
+Topaz Threads package.  The program forks a number of threads, each of
+which then executes and checks the results of Threads package
+primitives.  There is a great deal of synchronization and process
+migration, since the threads deliberately block and reschedule
+themselves."
+
+Each exerciser thread loops over four phases:
+
+1. a short private compute burst;
+2. a mutex episode: lock one of a pool of mutexes, bump the counter it
+   protects, *check* the counter is sane (the 'checks the results'
+   part — the value read must be at least the thread's own
+   contribution count), unlock;
+3. every few rounds, a condition-variable rendezvous: the thread locks
+   the rendezvous mutex and either parks (first arrival) or signals
+   the parked partner (second arrival) — forcing genuine blocking;
+4. a voluntary reschedule (``YieldCpu``), so threads constantly move
+   through the ready queue and across processors.
+
+The exerciser also carries the paper's explanation for its high
+reference rate: the instruction mix is lighter than the VAX average
+(``thread_base_cycles``) and the CPUs run with the prefetcher enabled
+— the two effects that make Table 2's *Actual* columns exceed the
+analytic *Expected* columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
+from repro.common.errors import ConfigurationError
+from repro.processor.cpu import PrefetchConfig
+from repro.topaz import ops
+from repro.topaz.kernel import TopazKernel, TopazParams
+
+
+@dataclass(frozen=True)
+class ExerciserParams:
+    """Shape of the exerciser run."""
+
+    threads: int = 16
+    mutex_pool: int = 8
+    rendezvous_pairs: int = 4
+    compute_burst: int = 150
+    locked_compute: int = 6
+    rendezvous_every: int = 6
+    thread_base_cycles: float = 13.0   # ~6.5 ticks: light instructions
+    prefetch: bool = True
+    avoid_migration: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigurationError("need at least one thread")
+        if self.mutex_pool < 1 or self.rendezvous_pairs < 1:
+            raise ConfigurationError("pools must be non-empty")
+        if self.rendezvous_every < 1:
+            raise ConfigurationError("rendezvous_every must be >= 1")
+
+
+def _exerciser_thread(kernel: TopazKernel, params: ExerciserParams,
+                      tid: int, mutexes, counters, rendezvous):
+    """One exerciser thread body (runs forever; measured by horizon)."""
+    def body():
+        my_bumps = 0
+        round_number = 0
+        while True:
+            round_number += 1
+            yield ops.Compute(params.compute_burst)
+
+            # Mutex episode with a result check.
+            index = (tid + round_number) % params.mutex_pool
+            mutex = mutexes[index]
+            yield ops.Lock(mutex)
+            yield ops.Compute(params.locked_compute)
+            value = yield ops.Read(counters[index])
+            yield ops.Write(counters[index], value + 1)
+            if index == tid % params.mutex_pool:
+                my_bumps += 1
+                if value + 1 < my_bumps:
+                    raise AssertionError(
+                        f"exerciser check failed: counter {index} at "
+                        f"{value + 1} below own contribution {my_bumps}")
+            yield ops.Unlock(mutex)
+
+            # Rendezvous: first arrival parks, second wakes it.
+            if round_number % params.rendezvous_every == 0:
+                pair = (tid + round_number) % params.rendezvous_pairs
+                guard, condition, flag = rendezvous[pair]
+                yield ops.Lock(guard)
+                parked = yield ops.Read(flag)
+                if parked == 0:
+                    yield ops.Write(flag, 1)
+                    yield ops.Wait(condition, guard)
+                else:
+                    yield ops.Write(flag, 0)
+                    yield ops.Signal(condition)
+                yield ops.Unlock(guard)
+
+            yield ops.YieldCpu()
+    return body
+
+
+def build_exerciser(processors: int,
+                    params: Optional[ExerciserParams] = None,
+                    seed: int = 1987, **config_overrides) -> TopazKernel:
+    """A machine running the Threads exerciser, ready to measure.
+
+    Returns the kernel; call ``kernel.run(warmup, measure)`` for a
+    Table 2-style measurement.
+    """
+    params = params or ExerciserParams()
+    topaz_params = TopazParams(
+        avoid_migration=params.avoid_migration,
+        affinity_window=8,
+        thread_base_cycles=params.thread_base_cycles,
+        thread_data_words=256,
+        thread_loop_iterations=14.0,
+        thread_sweep_fraction=0.08,
+        context_switch_instructions=30)
+    prefetch = PrefetchConfig(enabled=params.prefetch)
+    kernel = TopazKernel.build(
+        processors=processors,
+        threads_hint=params.threads + 4,
+        params=topaz_params,
+        prefetch=prefetch,
+        seed=seed,
+        **config_overrides)
+
+    mutexes = [kernel.mutex(f"pool{i}") for i in range(params.mutex_pool)]
+    counters = [kernel.alloc_shared(1, f"counter{i}")
+                for i in range(params.mutex_pool)]
+    rendezvous = []
+    for i in range(params.rendezvous_pairs):
+        guard = kernel.mutex(f"rv_guard{i}")
+        condition = kernel.condition(f"rv_cond{i}")
+        flag = kernel.alloc_shared(1, f"rv_flag{i}")
+        rendezvous.append((guard, condition, flag))
+
+    for tid in range(params.threads):
+        body = _exerciser_thread(kernel, params, tid, mutexes, counters,
+                                 rendezvous)
+        kernel.fork(body, name=f"exerciser{tid}")
+    return kernel
+
+
+def exerciser_expectations(processors: int,
+                           miss_rate: float = 0.2,
+                           dirty_fraction: float = 0.25) -> Dict[str, float]:
+    """Table 2's *Expected* columns, computed the paper's way.
+
+    One CPU: the bus is private, so a miss adds one tick and a dirty
+    victim two ("a Firefly cache that adds one tick to every operation
+    that misses, plus two ticks for every dirty victim write"), giving
+    ~850 K refs/sec.  Multiple CPUs: the analytic model's TPI at the
+    load NP processors produce (~752 K refs/sec per CPU at five).
+    """
+    analytic = FireflyAnalyticModel(AnalyticParameters(
+        miss_rate=miss_rate, dirty_fraction=dirty_fraction))
+    mix = analytic.params.mix
+    if processors == 1:
+        tpi = (analytic.params.base_tpi
+               + mix.total * miss_rate * (1.0 + 2.0 * dirty_fraction))
+        load = 0.0
+    else:
+        point = analytic.operating_point(processors)
+        tpi, load = point.tpi, point.load
+    ticks_per_second = 5e6  # 200 ns ticks
+    instr_rate = ticks_per_second / tpi
+    total = mix.total * instr_rate
+    reads = (mix.instruction_reads + mix.data_reads) * instr_rate
+    writes = mix.data_writes * instr_rate
+    return {
+        "reads_krate": reads / 1e3,
+        "writes_krate": writes / 1e3,
+        "total_krate": total / 1e3,
+        "tpi": tpi,
+        "load": load,
+    }

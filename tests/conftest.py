@@ -1,0 +1,86 @@
+"""Shared fixtures: small machines, rigs and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus.mbus import MBus
+from repro.cache.cache import CacheGeometry, SnoopyCache
+from repro.cache.protocols import protocol_by_name
+from repro.common.events import Simulator
+from repro.common.types import AccessKind, MemRef
+from repro.memory.main_memory import MainMemory, MemoryModule
+
+
+class MiniRig:
+    """A small bus + memory + N caches rig driven from test code.
+
+    ``run(gen)`` executes one generator as a process to completion and
+    returns its result — handy for driving cache operations directly.
+    """
+
+    def __init__(self, protocol: str = "firefly", caches: int = 2,
+                 lines: int = 64, words_per_line: int = 1) -> None:
+        self.sim = Simulator()
+        self.memory = MainMemory(
+            [MemoryModule(0, 1 << 20, is_master=True)],
+            words_per_line=words_per_line)
+        self.mbus = MBus(self.sim, self.memory,
+                         words_per_line=words_per_line)
+        self.protocol = protocol_by_name(protocol)
+        geometry = CacheGeometry(lines, words_per_line)
+        self.caches = [SnoopyCache(self.mbus, self.protocol, i, geometry)
+                       for i in range(caches)]
+
+    def run(self, gen):
+        proc = self.sim.process(gen, "test")
+        self.sim.run()
+        assert proc.done, "test process blocked forever"
+        return proc.result
+
+    def read(self, cache_index: int, address: int,
+             kind: AccessKind = AccessKind.DATA_READ) -> int:
+        def gen():
+            value = yield from self.caches[cache_index].cpu_read(
+                MemRef(address, kind))
+            return value
+        return self.run(gen())
+
+    def write(self, cache_index: int, address: int, value: int,
+              partial: bool = False) -> None:
+        def gen():
+            yield from self.caches[cache_index].cpu_write(
+                MemRef(address, AccessKind.DATA_WRITE, partial=partial),
+                value)
+        self.run(gen())
+
+    def check_coherence(self) -> None:
+        """Apply the machine checker's invariants to this rig."""
+        from repro.system.checker import CoherenceChecker
+
+        class _Shim:
+            caches = self.caches
+            memory = self.memory
+            protocol = self.protocol
+        CoherenceChecker(_Shim()).check()
+
+
+@pytest.fixture
+def rig():
+    """Two Firefly caches on one bus."""
+    return MiniRig()
+
+
+@pytest.fixture
+def rig4():
+    """Four Firefly caches on one bus."""
+    return MiniRig(caches=4)
+
+
+def make_rig(protocol: str, caches: int = 2, **kw) -> MiniRig:
+    return MiniRig(protocol=protocol, caches=caches, **kw)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()

@@ -1,0 +1,151 @@
+"""The analytic model against Table 1, plus structural properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.queueing import (
+    AnalyticParameters,
+    FireflyAnalyticModel,
+    PAPER_TABLE_1,
+)
+from repro.common.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return FireflyAnalyticModel()
+
+
+class TestPaperConstants:
+    def test_sm_coefficient(self, model):
+        """SM = 1.065/(1-L)."""
+        assert model.stall_misses(0.0) == pytest.approx(1.065)
+        assert model.stall_misses(0.5) == pytest.approx(2.13)
+
+    def test_sw_coefficient(self, model):
+        """SW = .08/(1-L)."""
+        assert model.stall_write_through(0.0) == pytest.approx(0.08)
+
+    def test_sp_coefficient(self, model):
+        """SP = .85L (the paper rounds 0.852)."""
+        assert model.stall_probes(1.0 - 1e-12) == pytest.approx(0.852)
+
+    def test_np_denominator(self, model):
+        """NP = L*TPI/1.145."""
+        assert model.params.np_denominator == pytest.approx(1.145)
+
+    def test_tpi_at_zero_load(self, model):
+        assert model.tpi(0.0) == pytest.approx(11.9 + 1.065 + 0.08)
+
+
+class TestTable1:
+    @pytest.mark.parametrize("processors", [2, 4, 6, 8, 10, 12])
+    def test_against_paper(self, model, processors):
+        point = model.operating_point(processors)
+        paper = PAPER_TABLE_1[processors]
+        assert point.load == pytest.approx(paper.load, abs=0.006)
+        assert point.tpi == pytest.approx(paper.tpi, abs=0.06)
+        # The paper prints RP truncated to two decimals (e.g. 11.9/13.89
+        # = 0.857 printed as .85), so the tolerance is a full cent.
+        assert point.relative_performance == pytest.approx(
+            paper.relative_performance, abs=0.01)
+        assert point.total_performance == pytest.approx(
+            paper.total_performance, abs=0.011)
+
+    def test_table1_row_set(self, model):
+        table = model.table1()
+        assert [p.processors for p in table] == [2, 4, 6, 8, 10, 12]
+
+    def test_standard_five_processor_claims(self, model):
+        """'The standard five-processor configuration delivers somewhat
+        more than four times the performance of a single processor ...
+        The average bus load on the standard machine is 0.4 and each
+        processor runs at about 85% of a no-wait-state system.'"""
+        point = model.operating_point(5)
+        assert 4.0 < point.total_performance < 4.4
+        assert 0.38 < point.load < 0.42
+        assert 0.83 < point.relative_performance < 0.87
+
+    def test_knee_is_about_nine_processors(self, model):
+        """'the Firefly MBus can support perhaps nine processors'."""
+        assert model.knee_processors() in (8, 9, 10)
+
+
+class TestInversion:
+    def test_round_trip(self, model):
+        for load in (0.1, 0.3, 0.5, 0.7, 0.9):
+            processors = model.processors_for_load(load)
+            assert model.load_for_processors(processors) == pytest.approx(
+                load, abs=1e-6)
+
+    def test_monotonicity(self, model):
+        loads = [model.load_for_processors(n) for n in range(1, 14)]
+        assert loads == sorted(loads)
+        rps = [model.operating_point(n).relative_performance
+               for n in range(1, 14)]
+        assert rps == sorted(rps, reverse=True)
+
+    def test_total_performance_increases_with_diminishing_returns(
+            self, model):
+        tps = [model.operating_point(n).total_performance
+               for n in range(1, 14)]
+        gains = [b - a for a, b in zip(tps, tps[1:])]
+        assert all(g > 0 for g in gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_non_positive_processor_count_rejected(self, model):
+        # (Any positive count is nominally reachable in the *open*
+        # queueing model — NP(L) diverges as L -> 1 — which is exactly
+        # why the paper calls it inaccurate at high loads.)
+        with pytest.raises(ConfigurationError):
+            model.load_for_processors(0)
+        with pytest.raises(ConfigurationError):
+            model.load_for_processors(-3)
+
+
+class TestParameterSensitivity:
+    def test_lower_miss_rate_supports_more_processors(self):
+        base = FireflyAnalyticModel()
+        better = FireflyAnalyticModel(AnalyticParameters(miss_rate=0.1))
+        assert better.load_for_processors(8) < base.load_for_processors(8)
+        assert (better.operating_point(8).total_performance
+                > base.operating_point(8).total_performance)
+
+    def test_more_sharing_costs_performance(self):
+        base = FireflyAnalyticModel()
+        sharing = FireflyAnalyticModel(
+            AnalyticParameters(shared_write_fraction=0.33))
+        assert (sharing.operating_point(5).total_performance
+                < base.operating_point(5).total_performance)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticParameters(miss_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            AnalyticParameters(dirty_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            AnalyticParameters(base_tpi=0)
+        model = FireflyAnalyticModel()
+        with pytest.raises(ConfigurationError):
+            model.tpi(1.0)
+        with pytest.raises(ConfigurationError):
+            model.knee_processors(marginal_gain=1.5)
+
+    @given(load=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_property_tp_below_np(self, load):
+        """Total performance can never exceed the processor count."""
+        model = FireflyAnalyticModel()
+        np = model.processors_for_load(load)
+        assert model.total_performance(load) <= np + 1e-9
+
+    @given(load=st.floats(min_value=0.01, max_value=0.9),
+           miss=st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_tpi_increases_with_load_and_miss(self, load, miss):
+        model = FireflyAnalyticModel(AnalyticParameters(miss_rate=miss))
+        assert model.tpi(load) > model.tpi(load * 0.5)
+        worse = FireflyAnalyticModel(
+            AnalyticParameters(miss_rate=min(0.9, miss * 1.5)))
+        assert worse.tpi(load) > model.tpi(load)

@@ -1,0 +1,315 @@
+"""The five baseline protocols: state machines and traffic character."""
+
+import pytest
+
+from repro.cache.fsm import transition_map
+from repro.cache.line import LineState
+from repro.cache.protocols import available_protocols, protocol_by_name
+from tests.conftest import MiniRig, make_rig
+
+ALL_PROTOCOLS = ("firefly", "write-through", "berkeley", "dragon",
+                 "mesi", "write-once")
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert set(available_protocols()) == set(ALL_PROTOCOLS)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            protocol_by_name("goodman-2")
+
+    def test_instances_have_names(self):
+        for name in ALL_PROTOCOLS:
+            assert protocol_by_name(name).name == name
+
+
+class TestUniversalBehaviour:
+    """Every protocol must deliver coherent data on these sequences."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_read_your_own_write(self, protocol):
+        rig = make_rig(protocol)
+        rig.write(0, 40, 7)
+        assert rig.read(0, 40) == 7
+        rig.check_coherence()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_other_cpu_sees_write(self, protocol):
+        rig = make_rig(protocol)
+        rig.write(0, 40, 7)
+        assert rig.read(1, 40) == 7
+        rig.check_coherence()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_write_after_shared_read(self, protocol):
+        rig = make_rig(protocol)
+        rig.read(0, 40)
+        rig.read(1, 40)
+        rig.write(0, 40, 9)
+        assert rig.read(1, 40) == 9
+        rig.check_coherence()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_ping_pong_writes(self, protocol):
+        rig = make_rig(protocol, caches=3)
+        for round_number in range(6):
+            writer = round_number % 3
+            rig.write(writer, 40, round_number)
+            for reader in range(3):
+                assert rig.read(reader, 40) == round_number
+        rig.check_coherence()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_eviction_preserves_data(self, protocol):
+        rig = make_rig(protocol, lines=16)
+        rig.write(0, 5, 123)
+        rig.read(0, 5 + 16)   # maybe evicts (same index)
+        rig.write(0, 5 + 32, 9)
+        assert rig.read(1, 5) == 123
+        rig.check_coherence()
+
+
+class TestWriteThroughInvalidate:
+    def test_every_write_reaches_the_bus(self):
+        """The paper's critique: 'substantial write traffic'."""
+        rig = make_rig("write-through")
+        rig.read(0, 10)
+        before = rig.mbus.stats["ops"].total
+        for value in range(5):
+            rig.write(0, 10, value)
+        assert rig.mbus.stats["op.MWrite"].total >= 5
+        assert rig.mbus.stats["ops"].total - before == 5
+
+    def test_snooped_write_invalidates(self):
+        """'extra misses will be required to reload invalidated lines'"""
+        rig = make_rig("write-through")
+        rig.read(0, 10)
+        rig.read(1, 10)
+        rig.write(0, 10, 5)
+        assert not rig.caches[1].present(10)
+        misses_before = rig.caches[1].stats["dread.miss"].total
+        assert rig.read(1, 10) == 5
+        assert rig.caches[1].stats["dread.miss"].total == misses_before + 1
+
+    def test_never_dirty_no_victim_writes(self):
+        rig = make_rig("write-through", lines=8)
+        for i in range(20):
+            rig.write(0, i, i)
+            rig.read(0, i + 64)
+        assert rig.mbus.stats.totals().get("write.victim", 0) == 0
+
+    def test_no_write_allocate(self):
+        rig = make_rig("write-through")
+        rig.write(0, 10, 1)
+        assert not rig.caches[0].present(10)
+
+    def test_fsm(self):
+        fsm = transition_map("write-through")
+        assert fsm[("I", "P-read-miss", False)] == "V"
+        assert fsm[("I", "P-write-miss", False)] == "I"   # no allocate
+        assert fsm[("V", "P-write", False)] == "V"
+        assert fsm[("V", "M-write", False)] == "I"        # invalidation
+        assert fsm[("V", "M-read", False)] == "V"
+
+
+class TestBerkeley:
+    def test_write_requires_ownership_bus_op(self):
+        rig = make_rig("berkeley")
+        rig.read(0, 20)
+        before = rig.mbus.stats["ops"].total
+        rig.write(0, 20, 1)   # VALID -> must invalidate to own
+        assert rig.mbus.stats["op.MInvalidate"].total == 1
+        # Second write is silent (OWNED).
+        rig.write(0, 20, 2)
+        assert rig.mbus.stats["ops"].total == before + 1
+        assert rig.caches[0].state_of(20) is LineState.OWNED
+
+    def test_owner_supplies_without_memory_update(self):
+        rig = make_rig("berkeley")
+        rig.write(0, 20, 9)
+        assert rig.read(1, 20) == 9
+        assert rig.caches[0].state_of(20) is LineState.OWNED_SHARED
+        assert rig.memory.peek(20) != 9   # memory not updated
+
+    def test_owner_writes_back_on_eviction(self):
+        rig = make_rig("berkeley", lines=16)
+        rig.write(0, 20, 9)
+        rig.read(1, 20)
+        rig.read(0, 20 + 16)  # evict the owned line
+        assert rig.memory.peek(20) == 9
+        assert rig.mbus.stats["write.victim"].total == 1
+
+    def test_sharing_ping_pong_costs_invalidations(self):
+        """The ownership-protocol cost under true sharing."""
+        rig = make_rig("berkeley")
+        rig.write(0, 20, 0)
+        for i in range(1, 5):
+            writer = i % 2
+            rig.write(writer, 20, i)
+            rig.read(1 - writer, 20)
+        # Every write by a non-owner forces an ownership transfer.
+        transfers = (rig.mbus.stats.totals().get("op.MInvalidate", 0)
+                     + rig.mbus.stats.totals().get("op.MReadEx", 0))
+        assert transfers >= 4
+
+    def test_fsm(self):
+        fsm = transition_map("berkeley")
+        assert fsm[("I", "P-read-miss", False)] == "V"
+        assert fsm[("I", "P-write-miss", False)] == "O"
+        assert fsm[("V", "P-write", False)] == "O"
+        assert fsm[("O", "M-read", False)] == "OS"
+        assert fsm[("OS", "P-write", False)] == "O"
+        assert fsm[("O", "P-write", False)] == "O"
+
+
+class TestDragon:
+    def test_update_not_invalidate(self):
+        rig = make_rig("dragon")
+        rig.read(0, 30)
+        rig.read(1, 30)
+        rig.write(0, 30, 5)
+        assert rig.caches[1].present(30)
+        assert rig.caches[1].peek(30) == 5
+
+    def test_shared_write_leaves_memory_stale(self):
+        """Dragon's difference from the Firefly (DESIGN.md)."""
+        rig = make_rig("dragon")
+        rig.read(0, 30)
+        rig.read(1, 30)
+        rig.write(0, 30, 5)
+        assert rig.memory.peek(30) != 5
+        assert rig.caches[0].state_of(30) is LineState.SHARED_DIRTY
+
+    def test_owner_victim_write_updates_memory(self):
+        rig = make_rig("dragon", lines=16)
+        rig.read(0, 30)
+        rig.read(1, 30)
+        rig.write(0, 30, 5)   # Sm in cache 0
+        rig.read(0, 30 + 16)  # evict Sm
+        assert rig.memory.peek(30) == 5
+
+    def test_revert_to_modified_when_sharers_vanish(self):
+        rig = make_rig("dragon", lines=16)
+        rig.read(0, 30)
+        rig.read(1, 30)
+        rig.read(1, 30 + 16)  # cache 1 silently drops its copy
+        rig.write(0, 30, 5)   # update sees no MShared
+        assert rig.caches[0].state_of(30) is LineState.DIRTY
+
+    def test_fsm(self):
+        fsm = transition_map("dragon")
+        assert fsm[("V", "P-write", False)] == "D"
+        assert fsm[("S", "P-write", True)] == "SD"   # Sm: owner
+        assert fsm[("S", "P-write", False)] == "D"
+        assert fsm[("D", "M-read", False)] == "SD"
+        assert fsm[("SD", "M-write", False)] == "S"
+
+
+class TestMesi:
+    def test_exclusive_clean_write_is_silent(self):
+        rig = make_rig("mesi")
+        rig.read(0, 35)       # E (no sharers)
+        before = rig.mbus.stats["ops"].total
+        rig.write(0, 35, 1)   # E -> M silently
+        assert rig.mbus.stats["ops"].total == before
+        assert rig.caches[0].state_of(35) is LineState.DIRTY
+
+    def test_shared_write_invalidates(self):
+        rig = make_rig("mesi")
+        rig.read(0, 35)
+        rig.read(1, 35)
+        rig.write(0, 35, 1)
+        assert not rig.caches[1].present(35)
+        assert rig.mbus.stats["op.MInvalidate"].total == 1
+
+    def test_modified_supplier_snarfs_to_memory(self):
+        """Illinois reflection: memory is updated during the supply."""
+        rig = make_rig("mesi")
+        rig.read(0, 35)
+        rig.write(0, 35, 9)   # M; memory stale
+        assert rig.read(1, 35) == 9
+        assert rig.memory.peek(35) == 9
+        assert rig.caches[0].state_of(35) is LineState.SHARED
+
+    def test_write_miss_uses_read_exclusive(self):
+        rig = make_rig("mesi")
+        rig.read(1, 35)
+        rig.write(0, 35, 1)
+        assert rig.mbus.stats["op.MReadEx"].total == 1
+        assert not rig.caches[1].present(35)
+
+    def test_fsm(self):
+        fsm = transition_map("mesi")
+        assert fsm[("I", "P-read-miss", False)] == "V"   # E
+        assert fsm[("I", "P-read-miss", True)] == "S"
+        assert fsm[("I", "P-write-miss", False)] == "D"  # M
+        assert fsm[("V", "P-write", False)] == "D"
+        assert fsm[("S", "P-write", False)] == "D"
+        assert fsm[("D", "M-read", False)] == "S"
+
+
+class TestWriteOnce:
+    def test_first_write_goes_through_second_stays_local(self):
+        rig = make_rig("write-once")
+        rig.read(0, 45)
+        rig.write(0, 45, 1)   # the once
+        assert rig.caches[0].state_of(45) is LineState.RESERVED
+        assert rig.memory.peek(45) == 1
+        before = rig.mbus.stats["ops"].total
+        rig.write(0, 45, 2)   # local
+        assert rig.mbus.stats["ops"].total == before
+        assert rig.caches[0].state_of(45) is LineState.DIRTY
+        assert rig.memory.peek(45) == 1   # not yet written back
+
+    def test_write_through_invalidates_copies(self):
+        rig = make_rig("write-once")
+        rig.read(0, 45)
+        rig.read(1, 45)
+        rig.write(0, 45, 1)
+        assert not rig.caches[1].present(45)
+
+    def test_dirty_supplier_snarfs(self):
+        rig = make_rig("write-once")
+        rig.read(0, 45)
+        rig.write(0, 45, 1)
+        rig.write(0, 45, 2)   # DIRTY; memory holds 1
+        assert rig.read(1, 45) == 2
+        assert rig.memory.peek(45) == 2
+
+    def test_fsm(self):
+        fsm = transition_map("write-once")
+        assert fsm[("V", "P-write", False)] == "R"
+        assert fsm[("R", "P-write", False)] == "D"
+        assert fsm[("D", "P-write", False)] == "D"
+        assert fsm[("R", "M-read", False)] == "V"
+        assert fsm[("D", "M-read", False)] == "V"
+        assert fsm[("V", "M-write", False)] == "I"
+
+
+class TestTrafficComparison:
+    def test_firefly_beats_invalidation_on_heavy_sharing(self):
+        """The design rationale: update protocols win when sharing is
+        real (producer/consumer), because invalidated copies must be
+        reloaded with full misses."""
+        def producer_consumer(protocol):
+            rig = make_rig(protocol)
+            for i in range(20):
+                rig.write(0, 55, i)
+                assert rig.read(1, 55) == i
+            return rig.mbus.stats["ops"].total
+
+        firefly_ops = producer_consumer("firefly")
+        berkeley_ops = producer_consumer("berkeley")
+        mesi_ops = producer_consumer("mesi")
+        assert firefly_ops < berkeley_ops
+        assert firefly_ops < mesi_ops
+
+    def test_write_back_beats_write_through_on_private_data(self):
+        def private_writer(protocol):
+            rig = make_rig(protocol)
+            for i in range(20):
+                rig.write(0, 55, i)
+            return rig.mbus.stats["ops"].total
+
+        assert private_writer("firefly") < private_writer("write-through")

@@ -1,0 +1,156 @@
+"""Unit tests for the cache structure (geometry, lookup, bookkeeping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheGeometry
+from repro.cache.line import CacheLine, LineState
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessKind
+from tests.conftest import MiniRig
+
+
+class TestGeometry:
+    def test_paper_geometries(self):
+        """16 KB MicroVAX cache (4096 lines), 64 KB CVAX (16384)."""
+        assert CacheGeometry.MICROVAX.lines == 4096
+        assert CacheGeometry.MICROVAX.size_bytes == 16 * 1024
+        assert CacheGeometry.CVAX.lines == 16384
+        assert CacheGeometry.CVAX.size_bytes == 64 * 1024
+
+    def test_split_and_rebuild(self):
+        geometry = CacheGeometry(64, 1)
+        index, tag, offset = geometry.split(1000)
+        assert geometry.rebuild_address(index, tag) == 1000
+        assert offset == 0
+
+    def test_multiword_split(self):
+        geometry = CacheGeometry(16, 4)
+        index, tag, offset = geometry.split(100)
+        assert offset == 100 % 4
+        assert geometry.line_address(100) == 100
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(100, 1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64, 3)
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 24),
+           lines_log=st.integers(min_value=1, max_value=14),
+           wpl_log=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_property_split_rebuild_inverse(self, addr, lines_log, wpl_log):
+        geometry = CacheGeometry(1 << lines_log, 1 << wpl_log)
+        index, tag, offset = geometry.split(addr)
+        rebuilt = geometry.rebuild_address(index, tag) + offset
+        assert rebuilt == addr
+        assert 0 <= index < geometry.lines
+        assert 0 <= offset < geometry.words_per_line
+
+
+class TestCacheLine:
+    def test_fill_and_invalidate(self):
+        line = CacheLine(1)
+        assert not line.valid
+        line.fill(7, (42,), LineState.VALID)
+        assert line.valid and line.data == [42]
+        line.invalidate()
+        assert not line.valid
+
+    def test_snapshot_is_immutable_copy(self):
+        line = CacheLine(2)
+        line.fill(0, (1, 2), LineState.DIRTY)
+        snap = line.snapshot()
+        line.data[0] = 99
+        assert snap == (1, 2)
+
+
+class TestLineStateVocabulary:
+    def test_dirty_states(self):
+        assert LineState.DIRTY.is_dirty
+        assert LineState.SHARED_DIRTY.is_dirty
+        assert LineState.OWNED.is_dirty
+        assert LineState.OWNED_SHARED.is_dirty
+        assert not LineState.VALID.is_dirty
+        assert not LineState.SHARED.is_dirty
+        assert not LineState.RESERVED.is_dirty
+
+    def test_shared_states(self):
+        assert LineState.SHARED.is_shared
+        assert LineState.SHARED_DIRTY.is_shared
+        assert LineState.OWNED_SHARED.is_shared
+        assert not LineState.VALID.is_shared
+        assert not LineState.DIRTY.is_shared
+
+    def test_tag_bits_figure3_encoding(self):
+        """The four Firefly states are the Dirty x Shared combinations."""
+        assert LineState.VALID.tag_bits == (0, 0)
+        assert LineState.DIRTY.tag_bits == (1, 0)
+        assert LineState.SHARED.tag_bits == (0, 1)
+        assert LineState.SHARED_DIRTY.tag_bits == (1, 1)
+
+    def test_invalid_is_not_valid(self):
+        assert not LineState.INVALID.is_valid
+        assert LineState.VALID.is_valid
+
+
+class TestCacheBookkeeping:
+    def test_present_and_peek(self):
+        rig = MiniRig()
+        assert not rig.caches[0].present(100)
+        rig.read(0, 100)
+        assert rig.caches[0].present(100)
+        assert rig.caches[0].peek(100) == 0
+        assert rig.caches[0].peek(101) is None
+
+    def test_state_of(self):
+        rig = MiniRig()
+        assert rig.caches[0].state_of(5) is LineState.INVALID
+        rig.read(0, 5)
+        assert rig.caches[0].state_of(5) is LineState.VALID
+
+    def test_hit_miss_counters_by_kind(self):
+        rig = MiniRig()
+        rig.read(0, 10)
+        rig.read(0, 10)
+        rig.read(0, 20, kind=AccessKind.INSTRUCTION_READ)
+        rig.write(0, 10, 1)
+        stats = rig.caches[0].stats
+        assert stats["dread.miss"].total == 1
+        assert stats["dread.hit"].total == 1
+        assert stats["ifetch.miss"].total == 1
+        assert stats["dwrite.hit"].total == 1
+
+    def test_dirty_fraction_and_occupancy(self):
+        rig = MiniRig(lines=16)
+        rig.read(0, 0)
+        rig.read(0, 1)
+        rig.write(0, 2, 5)  # write miss -> clean (optimised)
+        rig.write(0, 0, 5)  # write hit on VALID -> DIRTY
+        cache = rig.caches[0]
+        assert cache.occupancy() == pytest.approx(3 / 16)
+        assert cache.dirty_fraction() == pytest.approx(1 / 3)
+
+    def test_geometry_must_match_bus(self):
+        from repro.cache.cache import SnoopyCache
+        rig = MiniRig()
+        with pytest.raises(ConfigurationError):
+            SnoopyCache(rig.mbus, rig.protocol, 9, CacheGeometry(16, 4))
+
+    def test_tag_contention_window(self):
+        """A snoop probe makes the tag store busy for the next cycle."""
+        rig = MiniRig()
+        rig.read(0, 30)     # cache 0 holds the line
+        rig.read(1, 30)     # cache 1's fill probes cache 0's tags
+        cache = rig.caches[0]
+        assert cache.tag_contention_stall(cache.tag_busy_until - 1)
+        assert not cache.tag_contention_stall(cache.tag_busy_until)
+
+    def test_flush_for_tests(self):
+        rig = MiniRig()
+        rig.read(0, 1)
+        rig.caches[0].flush_for_tests()
+        assert not rig.caches[0].present(1)
+        assert rig.caches[0].occupancy() == 0.0

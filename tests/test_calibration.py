@@ -1,0 +1,116 @@
+"""Calibration pins: the synthetic workload must keep matching the
+paper's trace-derived statistics, and the exerciser must keep the
+Table 2 character.  These tests are the tripwire for anyone adjusting
+workload parameters.
+"""
+
+import pytest
+
+from repro.system import CoherenceChecker, FireflyConfig, FireflyMachine
+from repro.workloads.threads_exerciser import (
+    ExerciserParams,
+    build_exerciser,
+    exerciser_expectations,
+)
+
+
+class TestSyntheticCalibration:
+    """Single-CPU statistics the paper quotes for its traces (§5.2)."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        machine = FireflyMachine(FireflyConfig(processors=1))
+        result = machine.run(warmup_cycles=400_000, measure_cycles=600_000)
+        CoherenceChecker(machine).check()
+        return result
+
+    def test_miss_rate_near_point_two(self, metrics):
+        """'a single processor Firefly cache achieves a miss rate M of
+        0.2' (window-to-window noise allowed: slide-rule accuracy)."""
+        assert 0.15 <= metrics.cpus[0].miss_rate <= 0.26
+
+    def test_dirty_fraction_near_quarter(self, metrics):
+        """'the fraction D of cache entries that are dirty is 0.25'."""
+        assert 0.18 <= metrics.dirty_fraction <= 0.37
+
+    def test_reference_rate_near_expected(self, metrics):
+        """One CPU without prefetch: ~850 K refs/sec (Table 2's
+        'Expected' column)."""
+        assert 780 <= metrics.cpus[0].total_krate <= 920
+
+    def test_read_write_ratio_matches_mix(self, metrics):
+        ratio = metrics.cpus[0].read_write_ratio
+        assert 4.0 <= ratio <= 4.7   # mix gives 4.33
+
+    def test_tpi_slightly_above_base(self, metrics):
+        # Misses cost ~+0.5-0.8 ticks at one CPU.
+        assert 12.2 <= metrics.cpus[0].tpi <= 13.2
+
+
+class TestFiveCpuShape:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        machine = FireflyMachine(FireflyConfig(processors=5))
+        result = machine.run(warmup_cycles=300_000, measure_cycles=500_000)
+        CoherenceChecker(machine).check()
+        return result
+
+    def test_bus_load_near_table1(self, metrics):
+        """Analytic Table 1 puts five processors at L ~= 0.40; the
+        cycle simulator is a little cheaper per miss (overlap), so a
+        band around it."""
+        assert 0.28 <= metrics.bus_load <= 0.48
+
+    def test_per_cpu_slowdown_visible(self, metrics):
+        assert all(c.tpi > 12.3 for c in metrics.cpus)
+
+    def test_sharing_traffic_present(self, metrics):
+        assert metrics.bus_writes_mshared > 0
+        assert metrics.bus_reads_cache > 0
+
+
+class TestExerciserTable2Character:
+    """The four qualitative signatures of Table 2."""
+
+    @pytest.fixture(scope="class")
+    def one_cpu(self):
+        kernel = build_exerciser(1)
+        return kernel.run(warmup_cycles=200_000, measure_cycles=400_000)
+
+    @pytest.fixture(scope="class")
+    def five_cpu(self):
+        kernel = build_exerciser(5)
+        return kernel.run(warmup_cycles=200_000, measure_cycles=400_000)
+
+    def test_actual_exceeds_expected_one_cpu(self, one_cpu):
+        """Table 2: 1350 K measured vs 850 K expected."""
+        expected = exerciser_expectations(1)["total_krate"]
+        assert one_cpu.mean_cpu_krate > 1.2 * expected
+
+    def test_actual_exceeds_expected_five_cpu(self, five_cpu):
+        """752 K expected vs 1075 K measured per CPU."""
+        expected = exerciser_expectations(5)["total_krate"]
+        assert five_cpu.mean_cpu_krate > 1.2 * expected
+
+    def test_one_cpu_misses_higher_than_five(self, one_cpu, five_cpu):
+        """M = 0.3 at one CPU (cold caches from rapid context
+        switching) vs 0.17 at five."""
+        assert one_cpu.mean_miss_rate > five_cpu.mean_miss_rate + 0.08
+        assert 0.25 <= one_cpu.mean_miss_rate <= 0.45
+        assert 0.12 <= five_cpu.mean_miss_rate <= 0.22
+
+    def test_five_cpu_write_sharing_near_third(self, five_cpu):
+        """'75K of the 225K writes done by one CPU (33%) were
+        write-throughs that received MShared'."""
+        cpu_writes = sum(c.data_writes for c in five_cpu.cpus)
+        fraction = five_cpu.bus_writes_mshared / cpu_writes
+        assert 0.2 <= fraction <= 0.5
+
+    def test_five_cpu_bus_load_band(self, five_cpu):
+        """Table 2 reports L = 0.54 for the five-CPU system."""
+        assert 0.45 <= five_cpu.bus_load <= 0.8
+
+    def test_victims_low_because_write_through_cleans(self, five_cpu):
+        """'The number of victim writes is much lower than predicted
+        ... since write-throughs leave cache lines clean.'"""
+        assert five_cpu.bus_victim_writes < five_cpu.bus_writes_mshared

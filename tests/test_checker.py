@@ -1,0 +1,81 @@
+"""The coherence checker must catch planted violations."""
+
+import pytest
+
+from repro.cache.line import LineState
+from repro.common.errors import CoherenceViolation
+from tests.conftest import MiniRig
+
+
+def checker_for(rig):
+    from repro.system.checker import CoherenceChecker
+
+    class _Shim:
+        caches = rig.caches
+        memory = rig.memory
+        protocol = rig.protocol
+    return CoherenceChecker(_Shim())
+
+
+class TestDetection:
+    def test_clean_machine_passes(self, rig):
+        rig.write(0, 10, 5)
+        rig.read(1, 10)
+        assert checker_for(rig).check() >= 1
+
+    def test_disagreeing_copies_detected(self, rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        # Corrupt cache 1's copy behind the protocol's back.
+        line, _, _, offset = rig.caches[1].lookup(10)
+        line.data[offset] = 999
+        with pytest.raises(CoherenceViolation) as excinfo:
+            checker_for(rig).check()
+        assert "disagree" in str(excinfo.value)
+
+    def test_multiple_dirty_holders_detected(self, rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        for i in (0, 1):
+            line, _, _, _ = rig.caches[i].lookup(10)
+            line.state = LineState.DIRTY
+        with pytest.raises(CoherenceViolation) as excinfo:
+            checker_for(rig).check()
+        # Either invariant may fire first; both describe the breakage.
+        message = str(excinfo.value)
+        assert "dirty" in message or "silent-write" in message
+
+    def test_stale_memory_detected(self, rig):
+        rig.read(0, 10)
+        rig.memory.poke(10, 777)  # memory diverges, copy still clean
+        with pytest.raises(CoherenceViolation) as excinfo:
+            checker_for(rig).check()
+        assert "memory" in str(excinfo.value)
+
+    def test_dirty_copy_may_disagree_with_memory(self, rig):
+        rig.read(0, 10)
+        rig.write(0, 10, 5)  # DIRTY; memory stale by design
+        assert rig.memory.peek(10) != 5
+        checker_for(rig).check()
+
+    def test_silent_write_state_with_other_holders_detected(self, rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        line, _, _, _ = rig.caches[0].lookup(10)
+        line.state = LineState.VALID  # believes exclusive; cache1 holds
+        with pytest.raises(CoherenceViolation) as excinfo:
+            checker_for(rig).check()
+        assert "silent-write" in str(excinfo.value)
+
+    def test_audit_word_reports_copies(self, rig):
+        rig.write(0, 10, 5)
+        rig.read(1, 10)
+        report = checker_for(rig).audit_word(10)
+        assert len(report) == 2
+        ids = {cid for cid, _, _ in report}
+        assert ids == {0, 1}
+
+    def test_word_count_returned(self, rig):
+        for address in range(7):
+            rig.read(0, address)
+        assert checker_for(rig).check() == 7

@@ -1,0 +1,90 @@
+"""The closed (MVA) bus model against the open model and theory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.closed_model import ClosedFireflyModel
+from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
+from repro.common.errors import ConfigurationError
+
+
+@pytest.fixture
+def closed():
+    return ClosedFireflyModel()
+
+
+@pytest.fixture
+def open_model():
+    return FireflyAnalyticModel()
+
+
+class TestMva:
+    def test_single_processor_never_queues(self, closed):
+        solution = closed.solve(1)
+        assert solution.residence_ticks == pytest.approx(
+            closed.service_ticks)
+        assert solution.queue_length < 1.0
+
+    def test_throughput_monotone_in_population(self, closed):
+        throughputs = [closed.solve(k).throughput_ops_per_tick
+                       for k in range(1, 20)]
+        assert throughputs == sorted(throughputs)
+
+    def test_load_never_exceeds_one(self, closed):
+        for k in (1, 5, 20, 100):
+            assert closed.operating_point(k).load <= 1.0 + 1e-9
+
+    def test_needs_a_processor(self, closed):
+        with pytest.raises(ConfigurationError):
+            closed.solve(0)
+
+
+class TestAgainstOpenModel:
+    def test_agreement_at_low_load(self, closed, open_model):
+        """'fairly accurate at the moderate loads at which the system
+        actually operates' — both models agree below ~0.5 load."""
+        for np in (1, 2, 4, 5):
+            c = closed.operating_point(np)
+            o = open_model.operating_point(np)
+            assert c.load == pytest.approx(o.load, abs=0.03)
+            assert c.tpi == pytest.approx(o.tpi, rel=0.04)
+
+    def test_closed_model_faster_at_high_load(self, closed, open_model):
+        """The open model over-penalises high load (unbounded queue);
+        the closed model, with its bounded population, predicts lower
+        TPI there — the direction the cycle simulator confirms."""
+        for np in (10, 12):
+            c = closed.operating_point(np)
+            o = open_model.operating_point(np)
+            assert c.tpi < o.tpi
+
+    def test_closed_model_saturates_at_the_asymptotic_bound(self, closed):
+        bound = closed.asymptotic_bound()
+        assert bound == pytest.approx(11.9 / 1.145, rel=1e-6)
+        tp_large = closed.operating_point(64).total_performance
+        assert tp_large <= bound + 1e-6
+        assert tp_large > 0.97 * bound
+
+    def test_open_model_diverges_closed_does_not(self, closed):
+        # The open model cannot even evaluate L >= 1; the closed model
+        # handles any population.
+        point = closed.operating_point(200)
+        assert point.load == pytest.approx(1.0, abs=1e-6)
+        assert point.total_performance <= closed.asymptotic_bound() + 1e-6
+
+    @given(np=st.integers(min_value=1, max_value=40),
+           miss=st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_closed_tpi_bounded_by_open(self, np, miss):
+        """For any parameters, bounded queues never wait longer than
+        unbounded ones: closed TPI <= open TPI wherever both exist."""
+        params = AnalyticParameters(miss_rate=miss)
+        closed = ClosedFireflyModel(params)
+        open_model = FireflyAnalyticModel(params)
+        c = closed.operating_point(np)
+        try:
+            o = open_model.operating_point(np)
+        except ConfigurationError:
+            return  # open model cannot reach this population
+        assert c.tpi <= o.tpi * 1.02  # small MVA/SP coupling slack

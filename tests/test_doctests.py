@@ -1,0 +1,32 @@
+"""The docstring examples must actually work."""
+
+import doctest
+
+import pytest
+
+import repro.bus.signals
+import repro.cache.protocols
+import repro.common.events
+import repro.common.rng
+import repro.common.stats
+import repro.reporting.tables
+import repro.system.config
+
+MODULES = [
+    repro.common.events,
+    repro.common.rng,
+    repro.common.stats,
+    repro.cache.protocols,
+    repro.reporting.tables,
+    repro.system.config,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    # Modules in this list are expected to carry at least one example.
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,162 @@
+"""Edge and error paths across the stack."""
+
+import pytest
+
+from repro.bus.mbus import MBus
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.common.events import Simulator
+from repro.common.types import BusOp
+from repro.io import DisplayCommand, IoSubsystem
+from repro.processor.cpu import PrefetchConfig
+from repro.system import FireflyConfig, FireflyMachine
+from repro.topaz.kernel import TopazKernel
+from tests.conftest import MiniRig
+
+
+class TestProtocolDefenses:
+    def test_firefly_rejects_foreign_bus_ops(self):
+        """A Firefly cache snooping an ownership op is a config bug."""
+        rig = MiniRig()
+        rig.read(0, 8)   # cache 0 holds the line
+
+        def foreign():
+            yield from rig.mbus.transaction(1, BusOp.MREAD_EX, 8,
+                                            initiator=1)
+
+        with pytest.raises(ProtocolError):
+            rig.run(foreign())
+
+    def test_write_through_rejects_foreign_ops(self):
+        rig = MiniRig(protocol="write-through")
+        rig.read(0, 8)
+
+        def foreign():
+            yield from rig.mbus.transaction(1, BusOp.MINVALIDATE, 8,
+                                            initiator=1)
+
+        with pytest.raises(ProtocolError):
+            rig.run(foreign())
+
+
+class TestBusDefenses:
+    def test_read_with_no_memory_and_no_sharer(self):
+        sim = Simulator()
+        bus = MBus(sim)  # no memory attached
+
+        def gen():
+            yield from bus.transaction(0, BusOp.MREAD, 0, initiator=0)
+
+        proc = sim.process(gen(), "t")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_memory_attach_twice_rejected(self):
+        from repro.memory.main_memory import MainMemory, MemoryModule
+        sim = Simulator()
+        memory = MainMemory([MemoryModule(0, 1024, is_master=True)])
+        bus = MBus(sim, memory)
+        with pytest.raises(ConfigurationError):
+            bus.attach_memory(memory)
+
+    def test_late_memory_attach_works(self):
+        from repro.memory.main_memory import MainMemory, MemoryModule
+        sim = Simulator()
+        bus = MBus(sim)
+        memory = MainMemory([MemoryModule(0, 1024, is_master=True)])
+        bus.attach_memory(memory)
+        assert bus.memory is memory
+
+
+class TestMachineDefenses:
+    def test_oversized_shared_region_rejected(self):
+        config = FireflyConfig(processors=5, memory_megabytes=4,
+                               shared_region_words=1_000_000)
+        with pytest.raises(ConfigurationError):
+            FireflyMachine(config)
+
+    def test_kernel_private_allocator_exhaustion(self):
+        kernel = TopazKernel.build(processors=1, threads_hint=2, seed=1,
+                                   memory_megabytes=4)
+        with pytest.raises(ConfigurationError) as excinfo:
+            kernel.alloc_private(10 ** 9, "absurd")
+        assert "exhausted" in str(excinfo.value)
+
+    def test_prefetch_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchConfig(refund_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            PrefetchConfig(wasted_per_jump=-0.5)
+
+
+class TestMdcDefenses:
+    def test_unknown_opcode_raises(self):
+        machine = FireflyMachine(FireflyConfig(processors=1,
+                                               io_enabled=True))
+        io = IoSubsystem(machine)
+        queue = io.mdc_queue
+        head = machine.memory.peek(queue.head_address)
+        machine.memory.poke(queue.entry_address(head), 99)  # bad opcode
+        machine.memory.poke(queue.head_address,
+                            (head + 1) % queue.capacity)
+        io.start()
+        with pytest.raises(SimulationError):
+            machine.sim.run_until(100_000)
+
+    def test_nop_command_is_free(self):
+        machine = FireflyMachine(FireflyConfig(processors=1,
+                                               io_enabled=True))
+        io = IoSubsystem(machine)
+        io.mdc_queue.enqueue_direct(machine.memory, DisplayCommand.NOP)
+        io.start()
+        machine.sim.run_until(100_000)
+        assert io.mdc.lit_pixels() == 0
+
+
+class TestTopazDefenses:
+    def test_signal_without_holding_is_permitted(self):
+        """Signalling a condition does not require holding a mutex
+        (Mesa semantics); it must not corrupt anything."""
+        from repro.topaz import Compute, Signal
+        kernel = TopazKernel.build(processors=1, threads_hint=2, seed=2)
+        condition = kernel.condition("c")
+
+        def body():
+            yield Signal(condition)
+            yield Compute(1)
+
+        kernel.fork(body)
+        kernel.run_until_quiescent(max_cycles=500_000)
+
+    def test_unknown_op_rejected(self):
+        kernel = TopazKernel.build(processors=1, threads_hint=2, seed=2)
+
+        def body():
+            yield "not an op"
+
+        kernel.fork(body)
+        with pytest.raises(SimulationError):
+            kernel.run_until_quiescent(max_cycles=500_000)
+
+    def test_quiescent_timeout_names_blockers(self):
+        from repro.topaz import Lock
+        kernel = TopazKernel.build(processors=1, threads_hint=2, seed=2)
+        mutex = kernel.mutex("m")
+
+        def holder():
+            yield Lock(mutex)
+            while True:
+                from repro.topaz import Compute
+                yield Compute(1000)
+
+        def blocked():
+            yield Lock(mutex)
+
+        kernel.fork(holder, name="holder")
+        kernel.fork(blocked, name="blocked-one")
+        with pytest.raises(SimulationError) as excinfo:
+            kernel.run_until_quiescent(max_cycles=100_000)
+        assert "blocked-one" in str(excinfo.value)

@@ -1,0 +1,45 @@
+"""The example scripts: importable, and the fast ones run end-to-end.
+
+The examples double as acceptance tests of the public API — if an
+example breaks, a user's first contact with the library breaks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+FAST_EXAMPLES = ["threads_workload", "display_demo"]
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_exist(self):
+        assert "quickstart" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 6
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_importable_with_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), \
+            f"{name}.py must define main()"
+        assert module.__doc__, f"{name}.py must document itself"
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_example_runs(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # it reported something substantial

@@ -1,0 +1,64 @@
+"""The threaded file service."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.system import CoherenceChecker
+from repro.workloads.file_system import FileSystemParams, FileSystemWorkload
+
+SMALL = FileSystemParams(file_blocks=8, compute_per_block=3000)
+
+
+class TestFileSystem:
+    def test_synchronous_path_every_read_misses(self):
+        workload = FileSystemWorkload(processors=2, helpers_enabled=False,
+                                      params=SMALL)
+        elapsed = workload.run()
+        stats = workload.service.stats
+        assert elapsed > 0
+        assert stats["demand_misses"] == SMALL.file_blocks
+        assert stats["hits"] == 0
+        assert stats["writebehinds"] == 0
+        CoherenceChecker(workload.kernel.machine).check()
+
+    def test_helpers_prefetch_and_buffer(self):
+        workload = FileSystemWorkload(processors=3, helpers_enabled=True,
+                                      params=SMALL)
+        workload.run()
+        stats = workload.service.stats
+        assert stats["hits"] > stats["demand_misses"]
+        assert stats["readaheads"] > 0
+        assert stats["writebehinds"] > 0
+        CoherenceChecker(workload.kernel.machine).check()
+
+    def test_helpers_speed_up_the_application(self):
+        def elapsed(helpers):
+            workload = FileSystemWorkload(processors=3,
+                                          helpers_enabled=helpers,
+                                          params=SMALL)
+            return workload.run()
+
+        assert elapsed(True) < elapsed(False)
+
+    def test_all_writes_eventually_reach_the_disk(self):
+        workload = FileSystemWorkload(processors=3, helpers_enabled=True,
+                                      params=SMALL)
+        workload.run()
+        stats = workload.service.stats
+        expected_writes = len(range(0, SMALL.file_blocks,
+                                    SMALL.rewrite_every))
+        assert stats["writebehinds"] == expected_writes
+        assert workload.io.disk.stats["writes"].total == expected_writes
+
+    def test_data_reaches_correct_disk_blocks(self):
+        workload = FileSystemWorkload(processors=2, helpers_enabled=False,
+                                      params=SMALL)
+        workload.run()
+        # Reads touched the file's extent.
+        assert workload.io.disk.stats["reads"].total == SMALL.file_blocks
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            FileSystemParams(file_blocks=0)
+        with pytest.raises(ConfigurationError):
+            FileSystemParams(helper_threads=0)

@@ -1,0 +1,122 @@
+"""Final coverage batch: odds and ends across the public surface."""
+
+import pytest
+
+from repro.analytic.queueing import PAPER_TABLE_1
+from repro.common.types import AccessKind, MemRef
+from repro.processor.cpu import Processor
+from repro.processor.timing import MICROVAX_TIMING
+from repro.reporting import render_system_diagram
+from repro.system import FireflyConfig, FireflyMachine
+from repro.topaz import Compute, TopazKernel, TopazParams
+from tests.conftest import MiniRig
+
+
+class TestPaperTable1Constant:
+    def test_all_columns_present(self):
+        assert sorted(PAPER_TABLE_1) == [2, 4, 6, 8, 10, 12]
+        for np, point in PAPER_TABLE_1.items():
+            assert point.processors == np
+            assert 0 < point.load < 1
+            assert point.tpi > 11.9
+            assert 0 < point.relative_performance < 1
+            assert point.total_performance < np
+
+
+class TestOddProcessorCounts:
+    def test_seven_cpu_diagram_has_three_secondary_boards(self):
+        machine = FireflyMachine(FireflyConfig(processors=7))
+        text = render_system_diagram(machine)
+        assert "secondary board 3: CPU 5 + CPU 6" in text
+
+    def test_even_count_leaves_half_board(self):
+        machine = FireflyMachine(FireflyConfig(processors=4))
+        text = render_system_diagram(machine)
+        # CPUs 1+2 on board 1, CPU 3 alone on board 2.
+        assert "secondary board 2: CPU 3 " in text
+
+
+class TestProcessorHalt:
+    def test_halt_stops_after_current_instruction(self):
+        rig = MiniRig()
+
+        class Endless:
+            def next_instruction(self, cpu):
+                from repro.processor.cpu import InstructionBundle
+                return InstructionBundle(refs=(), base_cycles=10)
+
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0],
+                        Endless())
+        cpu.start()
+        rig.sim.run_until(100)
+        cpu.halt()
+        rig.sim.run_until(10_000)
+        executed = cpu.stats["instructions"].total
+        assert executed <= 12
+        assert rig.sim.peek() is None  # nothing left scheduled
+
+
+class TestKernelPreemptionInteraction:
+    def test_preempted_thread_resumes_where_it_left_off(self):
+        kernel = TopazKernel.build(
+            processors=1, threads_hint=4, seed=3,
+            params=TopazParams(time_slice_instructions=50))
+        progress = []
+
+        def counted(name, chunks):
+            for i in range(chunks):
+                yield Compute(30)
+                progress.append((name, i))
+            return chunks
+
+        a = kernel.fork(counted, "a", 5, name="a")
+        b = kernel.fork(counted, "b", 5, name="b")
+        kernel.run_until_quiescent(max_cycles=3_000_000)
+        assert a.result == 5 and b.result == 5
+        # Each thread's own entries are strictly ordered.
+        for name in ("a", "b"):
+            own = [i for n, i in progress if n == name]
+            assert own == sorted(own) == list(range(5))
+
+    def test_slice_resets_on_dispatch(self):
+        kernel = TopazKernel.build(
+            processors=2, threads_hint=4, seed=3,
+            params=TopazParams(time_slice_instructions=100))
+
+        def brief():
+            yield Compute(80)   # under one quantum
+            return "ok"
+
+        threads = [kernel.fork(brief, name=f"t{i}") for i in range(4)]
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert all(t.result == "ok" for t in threads)
+        # Nothing here ever exceeded its quantum while others waited
+        # long enough to matter; preemptions stay rare.
+        assert kernel.stats.totals().get("preemptions", 0) <= 4
+
+
+class TestMemRefBundleContract:
+    def test_write_values_consumed_in_order(self):
+        rig = MiniRig()
+        from repro.processor.cpu import InstructionBundle
+
+        refs = (MemRef(1, AccessKind.DATA_WRITE),
+                MemRef(2, AccessKind.DATA_WRITE))
+        bundle = InstructionBundle(refs=refs, write_values=(11, 22),
+                                   base_cycles=24)
+
+        class One:
+            def __init__(self):
+                self.sent = False
+
+            def next_instruction(self, cpu):
+                if self.sent:
+                    return None
+                self.sent = True
+                return bundle
+
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0], One())
+        cpu.start()
+        rig.sim.run()
+        assert rig.caches[0].peek(1) == 11
+        assert rig.caches[0].peek(2) == 22

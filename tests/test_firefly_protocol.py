@@ -1,0 +1,209 @@
+"""The Firefly protocol against the paper's Figure 3 and prose.
+
+The golden transition table below is transcribed from the paper; the
+``test_figure3_golden_table`` check enumerates the *implemented* FSM
+with a live two-cache rig and requires exact agreement.
+"""
+
+import pytest
+
+from repro.cache.fsm import enumerate_transitions, transition_map
+from repro.cache.line import LineState
+from repro.common.types import AccessKind, BusOp, MemRef
+from tests.conftest import MiniRig
+
+# (start, stimulus, MShared response) -> end state.  P-write rows with
+# a bus operation depend on the response; silent rows use peer=False.
+FIGURE3_GOLDEN = {
+    ("I", "P-read-miss", False): "V",
+    ("I", "P-read-miss", True): "S",
+    ("I", "P-write-miss", False): "V",
+    ("I", "P-write-miss", True): "S",
+    ("V", "P-read", False): "V",
+    ("V", "P-write", False): "D",
+    ("V", "M-read", False): "S",
+    ("V", "M-write", False): "S",
+    ("D", "P-read", False): "D",
+    ("D", "P-write", False): "D",
+    ("D", "M-read", False): "SD",
+    ("D", "M-write", False): "S",
+    ("S", "P-read", False): "S",
+    ("S", "P-write", False): "V",
+    ("S", "P-write", True): "S",
+    ("S", "M-read", False): "S",
+    ("S", "M-write", False): "S",
+    ("SD", "P-read", False): "SD",
+    ("SD", "P-write", False): "V",
+    ("SD", "P-write", True): "S",
+    ("SD", "M-read", False): "SD",
+    ("SD", "M-write", False): "S",
+}
+
+
+class TestFigure3:
+    def test_figure3_golden_table(self):
+        measured = transition_map("firefly")
+        assert measured == FIGURE3_GOLDEN
+
+    def test_every_arc_has_expected_bus_ops(self):
+        by_key = {(t.start.value, t.stimulus, t.peer_holds): t
+                  for t in enumerate_transitions("firefly")}
+        # Silent arcs: P hits on unshared lines.
+        for key in (("V", "P-read", False), ("V", "P-write", False),
+                    ("D", "P-read", False), ("D", "P-write", False),
+                    ("S", "P-read", False), ("SD", "P-read", False)):
+            assert by_key[key].bus_ops == (), key
+        # Shared write hits are exactly one write-through.
+        assert by_key[("S", "P-write", True)].bus_ops == ("MWrite",)
+        assert by_key[("SD", "P-write", True)].bus_ops == ("MWrite",)
+        # Misses are exactly one bus op (no victim in a fresh rig).
+        assert by_key[("I", "P-read-miss", False)].bus_ops == ("MRead",)
+        assert by_key[("I", "P-write-miss", False)].bus_ops == ("MWrite",)
+
+
+class TestConditionalWriteThrough:
+    def test_private_writes_stay_off_the_bus(self, rig):
+        rig.read(0, 100)
+        before = rig.mbus.stats["ops"].total
+        for value in range(5):
+            rig.write(0, 100, value)
+        assert rig.mbus.stats["ops"].total == before
+        assert rig.caches[0].state_of(100) is LineState.DIRTY
+
+    def test_shared_writes_go_through_and_update_everyone(self, rig):
+        rig.read(0, 100)
+        rig.read(1, 100)
+        rig.write(0, 100, 77)
+        assert rig.caches[1].peek(100) == 77
+        assert rig.memory.peek(100) == 77
+        assert rig.caches[0].state_of(100) is LineState.SHARED
+
+    def test_write_through_continues_while_shared(self, rig):
+        rig.read(0, 100)
+        rig.read(1, 100)
+        before = rig.mbus.stats.totals().get("op.MWrite", 0)
+        for value in range(4):
+            rig.write(0, 100, value)
+        assert rig.mbus.stats["op.MWrite"].total - before == 4
+
+    def test_last_sharer_reverts_to_write_back(self, rig):
+        """'Only one extra write-through is done by the last cache.'"""
+        rig.read(0, 100)
+        rig.read(1, 100)
+        # Cache 1 loses its copy through replacement by a conflicting
+        # address (same index, different tag).
+        conflict = 100 + rig.caches[1].geometry.lines
+        rig.read(1, conflict)
+        assert not rig.caches[1].present(100)
+        # The next write still goes through (Shared is stale-true)...
+        rig.write(0, 100, 1)
+        assert rig.caches[0].state_of(100) is LineState.VALID
+        # ...but the one after stays local.
+        before = rig.mbus.stats["ops"].total
+        rig.write(0, 100, 2)
+        assert rig.mbus.stats["ops"].total == before
+        assert rig.caches[0].state_of(100) is LineState.DIRTY
+
+
+class TestMemoryInhibitAndSharedDirty:
+    def test_dirty_supplier_keeps_dirty_and_memory_stays_stale(self, rig):
+        rig.read(0, 50)
+        rig.write(0, 50, 123)          # D in cache 0; memory stale
+        assert rig.memory.peek(50) == 0
+        value = rig.read(1, 50)        # supplied cache-to-cache
+        assert value == 123
+        assert rig.caches[0].state_of(50) is LineState.SHARED_DIRTY
+        assert rig.caches[1].state_of(50) is LineState.SHARED
+        assert rig.memory.peek(50) == 0  # memory was inhibited
+        assert rig.mbus.stats["read.cache_supplied"].total == 1
+
+    def test_shared_dirty_victim_writes_back(self, rig):
+        rig.read(0, 50)
+        rig.write(0, 50, 9)
+        rig.read(1, 50)                # cache 0 now SD
+        conflict = 50 + rig.caches[0].geometry.lines
+        rig.read(0, conflict)          # victimise the SD line
+        assert rig.memory.peek(50) == 9
+        assert rig.mbus.stats["write.victim"].total == 1
+
+    def test_snooped_write_clears_dirty(self, rig):
+        """An MWrite updates memory, so a dirty snooper comes clean."""
+        rig.read(0, 50)
+        rig.write(0, 50, 5)            # cache 0: D
+        rig.read(1, 50)                # cache 0: SD
+        rig.write(1, 50, 6)            # cache 1 writes through
+        assert rig.caches[0].state_of(50) is LineState.SHARED
+        assert rig.memory.peek(50) == 6
+        # Evicting cache 0's line now costs no victim write.
+        before = rig.mbus.stats["write.victim"].total
+        conflict = 50 + rig.caches[0].geometry.lines
+        rig.read(0, conflict)
+        assert rig.mbus.stats["write.victim"].total == before
+
+    def test_clean_sharers_supply_reads(self, rig4):
+        rig4.write(0, 60, 8)           # miss-optimised: clean VALID
+        rig4.read(1, 60)
+        rig4.read(2, 60)               # supplied by sharers
+        assert rig4.mbus.stats["read.cache_supplied"].total >= 1
+        for i in range(3):
+            assert rig4.caches[i].peek(60) == 8
+
+
+class TestWriteMissOptimisation:
+    def test_longword_write_miss_allocates_clean(self, rig):
+        """'the cache simply does write-through, leaving the line clean'"""
+        rig.write(0, 70, 42)
+        assert rig.caches[0].state_of(70) is LineState.VALID
+        assert rig.memory.peek(70) == 42
+        assert rig.mbus.stats["op.MWrite"].total == 1
+        assert rig.mbus.stats.totals().get("op.MRead", 0) == 0
+
+    def test_partial_write_miss_reads_first(self, rig):
+        """Sub-longword writes take read-miss + write-hit."""
+        rig.memory.poke(70, 9)
+        rig.write(0, 70, 42, partial=True)
+        assert rig.mbus.stats["op.MRead"].total == 1
+        assert rig.caches[0].state_of(70) is LineState.DIRTY
+
+    def test_write_miss_sets_shared_from_response(self, rig):
+        rig.read(1, 70)
+        rig.write(0, 70, 1)
+        assert rig.caches[0].state_of(70) is LineState.SHARED
+        assert rig.caches[1].peek(70) == 1
+
+    def test_write_miss_victimises_dirty_resident(self, rig):
+        rig.read(0, 70)
+        rig.write(0, 70, 3)            # dirty at index
+        conflict = 70 + rig.caches[0].geometry.lines
+        rig.write(0, conflict, 4)      # write miss replaces dirty line
+        assert rig.memory.peek(70) == 3
+        assert rig.mbus.stats["write.victim"].total == 1
+
+    def test_multiword_lines_disable_optimisation(self):
+        rig = MiniRig(words_per_line=4)
+        rig.write(0, 70, 42)
+        # Read-for-allocate then write-through of the merged line.
+        assert rig.mbus.stats["op.MRead"].total == 1
+
+
+class TestDataIntegrity:
+    def test_read_your_own_write(self, rig):
+        rig.write(0, 80, 5)
+        assert rig.read(0, 80) == 5
+
+    def test_write_propagation_chain(self, rig4):
+        rig4.write(0, 90, 1)
+        assert rig4.read(1, 90) == 1
+        rig4.write(1, 90, 2)
+        assert rig4.read(2, 90) == 2
+        rig4.write(2, 90, 3)
+        assert rig4.read(3, 90) == 3
+        assert rig4.read(0, 90) == 3
+        rig4.check_coherence()
+
+    def test_interleaved_addresses_do_not_interfere(self, rig):
+        rig.write(0, 10, 100)
+        rig.write(1, 11, 111)
+        assert rig.read(1, 10) == 100
+        assert rig.read(0, 11) == 111
+        rig.check_coherence()

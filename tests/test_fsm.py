@@ -1,0 +1,70 @@
+"""The FSM enumeration machinery itself."""
+
+import pytest
+
+from repro.cache.fsm import (
+    PEER_COSTATE,
+    PROTOCOL_STATES,
+    Transition,
+    enumerate_transitions,
+    transition_map,
+)
+from repro.cache.line import LineState
+from repro.common.errors import ConfigurationError
+
+
+class TestEnumeration:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_transitions("nonexistent")
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_STATES))
+    def test_covers_every_state(self, protocol):
+        transitions = enumerate_transitions(protocol)
+        starts = {t.start for t in transitions}
+        assert starts == set(PROTOCOL_STATES[protocol]) | {LineState.INVALID}
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_STATES))
+    def test_every_end_state_is_legal(self, protocol):
+        legal = set(PROTOCOL_STATES[protocol]) | {LineState.INVALID}
+        for t in enumerate_transitions(protocol):
+            assert t.end in legal, t.label()
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_STATES))
+    def test_processor_arcs_never_leave_invalid(self, protocol):
+        """After a processor read, the line is present (or, for
+        no-allocate write policies, the write completed safely)."""
+        for t in enumerate_transitions(protocol):
+            if t.stimulus == "P-read":
+                assert t.end is not LineState.INVALID, t.label()
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_STATES))
+    def test_snoop_side_adds_no_bus_operations(self, protocol):
+        """An M-arc's recorded ops are exactly the stimulus transaction
+        itself — snooping must never *initiate* bus work."""
+        stimulus_op = {"M-read": "MRead", "M-write": "MWrite"}
+        for t in enumerate_transitions(protocol):
+            if t.stimulus in stimulus_op:
+                assert t.bus_ops == (stimulus_op[t.stimulus],), t.label()
+
+    def test_transition_map_keys(self):
+        fsm = transition_map("firefly")
+        assert ("V", "P-write", False) in fsm
+        assert all(len(k) == 3 for k in fsm)
+
+    def test_label_rendering(self):
+        t = Transition(start=LineState.SHARED, stimulus="P-write",
+                       peer_holds=True, end=LineState.SHARED,
+                       bus_ops=("MWrite",))
+        label = t.label()
+        assert "S --P-write (MShared)--> S [MWrite]" in label
+
+    def test_peer_costates_defined_for_all(self):
+        assert set(PEER_COSTATE) == set(PROTOCOL_STATES)
+
+
+class TestDeterminism:
+    def test_enumeration_is_stable(self):
+        a = enumerate_transitions("firefly")
+        b = enumerate_transitions("firefly")
+        assert a == b

@@ -1,0 +1,185 @@
+"""End-to-end integration: whole machines under combined load."""
+
+import pytest
+
+from repro.io import DisplayCommand, IoSubsystem
+from repro.system import (
+    CoherenceChecker,
+    FireflyConfig,
+    FireflyMachine,
+    Generation,
+)
+from repro.topaz import Compute, DeviceCall, Fork, Join, Lock, Unlock, Write
+from repro.topaz.kernel import TopazKernel
+
+
+class TestCpuPlusDma:
+    def test_cpus_and_dma_stay_coherent(self):
+        """Synthetic CPUs running while DMA hammers overlapping memory."""
+        machine = FireflyMachine(FireflyConfig(processors=3,
+                                               io_enabled=True))
+        io = IoSubsystem(machine)
+        base, qbus_addr = io.alloc(256, "dma target")
+
+        def dma_hammer():
+            for round_number in range(20):
+                values = [round_number * 100 + i for i in range(16)]
+                yield from machine.qbus.dma_write_block(qbus_addr, values)
+                got = yield from machine.qbus.dma_read_block(qbus_addr, 16)
+                assert got == values
+
+        machine.start()
+        proc = machine.sim.process(dma_hammer(), "dma")
+        machine.sim.run_until(400_000)
+        assert proc.done
+        CoherenceChecker(machine).check()
+
+    def test_display_runs_under_cpu_load(self):
+        machine = FireflyMachine(FireflyConfig(processors=3,
+                                               io_enabled=True))
+        io = IoSubsystem(machine)
+        for i in range(8):
+            io.mdc_queue.enqueue_direct(machine.memory,
+                                        DisplayCommand.FILL_RECT,
+                                        (i * 64, 0, 64, 64))
+        io.start()
+        machine.start()
+        machine.sim.run_until(500_000)
+        assert io.mdc.stats["fills"].total == 8
+        CoherenceChecker(machine).check()
+
+
+class TestTopazWithIo:
+    def test_threads_doing_disk_io_and_locks(self):
+        kernel = TopazKernel.build(processors=3, threads_hint=12,
+                                   io_enabled=True, seed=41)
+        io = IoSubsystem(kernel.machine)
+        mutex = kernel.mutex("disk_lock")
+        progress = kernel.alloc_shared(1, "progress")
+        _, buffer_qbus = io.alloc(256, "buf")
+
+        def io_worker(lbn):
+            for round_number in range(3):
+                yield Lock(mutex)
+                yield DeviceCall(io.disk.write_blocks(lbn, 1, buffer_qbus),
+                                 label="write")
+                yield Unlock(mutex)
+                yield Compute(50)
+            return lbn
+
+        def main():
+            kids = []
+            for i in range(4):
+                kid = yield Fork(io_worker, 100 + i * 10)
+                kids.append(kid)
+            done = 0
+            for kid in kids:
+                yield Join(kid)
+                done += 1
+                yield Write(progress, done)
+            return done
+
+        root = kernel.fork(main)
+        io.start()
+        kernel.machine.start()
+        deadline = 60_000_000
+        while kernel.sim.now < deadline and not root.done:
+            kernel.sim.run_until(kernel.sim.now + 100_000)
+        assert root.result == 4
+        assert kernel._coherent_value(progress) == 4
+        CoherenceChecker(kernel.machine).check()
+
+
+class TestSymmetricNetworkAbstraction:
+    def test_any_cpu_can_drive_the_ethernet(self):
+        """Paper §3 footnote 2: 'Any processor can enqueue work for the
+        network and then initiate the transfer by a specialized
+        interprocessor interrupt to the I/O processor.'  A thread that
+        the scheduler keeps away from CPU 0 still transmits frames —
+        and the wake path delivers IPIs over the sideband wires."""
+        kernel = TopazKernel.build(processors=3, threads_hint=8,
+                                   io_enabled=True, seed=71)
+        io = IoSubsystem(kernel.machine)
+        _, buffer_qbus = io.alloc(512, "net buffer")
+
+        def hog():
+            # Pin CPU-0-ish work so the sender lands elsewhere.
+            while True:
+                yield Compute(500)
+
+        def sender():
+            for _ in range(3):
+                yield Compute(50)
+                yield DeviceCall(
+                    io.ethernet.transmit_from(buffer_qbus, 800),
+                    label="net-tx")
+            return "sent"
+
+        kernel.fork(hog, name="hog")
+        sender_thread = kernel.fork(sender, name="sender")
+        kernel.machine.start()
+        deadline = 10_000_000
+        while kernel.sim.now < deadline and not sender_thread.done:
+            kernel.sim.run_until(kernel.sim.now + 50_000)
+        assert sender_thread.result == "sent"
+        assert io.ethernet.stats["tx_frames"].total == 3
+        assert kernel.machine.mbus.stats.totals().get("ipi", 0) > 0
+        CoherenceChecker(kernel.machine).check()
+
+
+class TestDeterminism:
+    def test_exerciser_is_bit_deterministic(self):
+        from repro.workloads.threads_exerciser import build_exerciser
+
+        def run():
+            kernel = build_exerciser(3, seed=1987)
+            metrics = kernel.run(warmup_cycles=50_000,
+                                 measure_cycles=100_000)
+            return (metrics.bus_ops, metrics.bus_writes_mshared,
+                    kernel.total_migrations,
+                    tuple(c.instructions for c in metrics.cpus))
+
+        assert run() == run()
+
+
+class TestGenerations:
+    def test_cvax_faster_than_microvax_same_workload(self):
+        """Ablation A1's core claim, smoke-sized: the CVAX machine
+        executes more instructions in the same simulated time."""
+        def instructions(generation):
+            machine = FireflyMachine(FireflyConfig(
+                processors=2, generation=generation, seed=5))
+            metrics = machine.run(warmup_cycles=50_000,
+                                  measure_cycles=200_000)
+            return sum(c.instructions for c in metrics.cpus)
+
+        micro = instructions(Generation.MICROVAX)
+        cvax = instructions(Generation.CVAX)
+        assert 1.8 < cvax / micro < 2.9
+
+    def test_seven_processor_machine(self):
+        """'We have built a few seven-processor systems.'"""
+        machine = FireflyMachine(FireflyConfig(processors=7))
+        metrics = machine.run(warmup_cycles=50_000, measure_cycles=100_000)
+        assert metrics.processors == 7
+        assert metrics.bus_load > 0.3
+        CoherenceChecker(machine).check()
+
+    def test_full_128mb_cvax_machine(self):
+        machine = FireflyMachine(FireflyConfig(
+            generation=Generation.CVAX, processors=4,
+            memory_megabytes=128))
+        assert machine.memory.total_megabytes == pytest.approx(128)
+        machine.run(warmup_cycles=20_000, measure_cycles=50_000)
+        CoherenceChecker(machine).check()
+
+
+class TestLongRunStability:
+    def test_extended_run_remains_coherent_and_live(self):
+        machine = FireflyMachine(FireflyConfig(processors=4, seed=99))
+        machine.start()
+        for slice_end in range(200_000, 1_200_001, 200_000):
+            machine.sim.run_until(slice_end)
+            CoherenceChecker(machine).check()
+        for cpu in machine.cpus:
+            assert cpu.stats["instructions"].total > 10_000

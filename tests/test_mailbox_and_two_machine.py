@@ -1,0 +1,118 @@
+"""The DES mailbox and the two-machine plumbing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.queues import Mailbox
+from repro.system import CoherenceChecker
+from repro.workloads.rpc_two_machine import TwoMachineRpc, TwoMachineRpcParams
+
+
+class TestMailbox:
+    def test_fifo_delivery(self, sim):
+        box = Mailbox(sim, "m")
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield from box.get()
+                got.append(item)
+
+        def producer():
+            yield sim.timeout(5)
+            for i in range(3):
+                box.put(i)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, sim):
+        box = Mailbox(sim, "m")
+        times = []
+
+        def consumer():
+            item = yield from box.get()
+            times.append((item, sim.now))
+
+        sim.process(consumer())
+        sim.call_at(42, lambda: box.put("late"))
+        sim.run()
+        assert times == [("late", 42)]
+
+    def test_multiple_consumers_served_in_order(self, sim):
+        box = Mailbox(sim, "m")
+        got = []
+
+        def consumer(name, delay):
+            yield sim.timeout(delay)
+            item = yield from box.get()
+            got.append((name, item))
+
+        sim.process(consumer("first", 1))
+        sim.process(consumer("second", 2))
+        sim.call_at(10, lambda: box.put("a"))
+        sim.call_at(11, lambda: box.put("b"))
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_try_get(self, sim):
+        box = Mailbox(sim, "m")
+        assert box.try_get() is None
+        box.put(7)
+        assert len(box) == 1
+        assert box.try_get() == 7
+        assert box.try_get() is None
+
+    def test_put_before_get_is_immediate(self, sim):
+        box = Mailbox(sim, "m")
+        box.put("ready")
+
+        def consumer():
+            item = yield from box.get()
+            return item, sim.now
+
+        proc = sim.process(consumer())
+        sim.run()
+        assert proc.result == ("ready", 0)
+
+
+class TestTwoMachineRpc:
+    def test_machines_share_one_clock_but_not_buses(self):
+        rpc = TwoMachineRpc(client_processors=2, server_processors=2,
+                            client_threads=1)
+        assert rpc.client.sim is rpc.server.sim
+        assert rpc.client.machine.mbus is not rpc.server.machine.mbus
+        assert rpc.client.machine.memory is not rpc.server.machine.memory
+
+    def test_calls_complete_and_both_machines_stay_coherent(self):
+        rpc = TwoMachineRpc(client_processors=2, server_processors=2,
+                            client_threads=2)
+        result = rpc.run(warmup_cycles=100_000, measure_cycles=500_000)
+        assert result["calls"] > 0
+        assert result["served"] > 0
+        CoherenceChecker(rpc.client.machine).check()
+        CoherenceChecker(rpc.server.machine).check()
+
+    def test_served_tracks_calls(self):
+        rpc = TwoMachineRpc(client_processors=2, server_processors=2,
+                            client_threads=2)
+        result = rpc.run(warmup_cycles=100_000, measure_cycles=500_000)
+        # Within a window, served and completed calls differ by at most
+        # the in-flight count.
+        assert abs(result["served"] - result["calls"]) <= \
+            rpc.client_threads + 1
+
+    def test_wire_is_genuinely_shared(self):
+        rpc = TwoMachineRpc(client_processors=2, server_processors=2,
+                            client_threads=2)
+        assert rpc.client_io.ethernet._segment is \
+            rpc.server_io.ethernet._segment
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoMachineRpc(client_threads=0)
+        with pytest.raises(ConfigurationError):
+            TwoMachineRpcParams(server_threads=0)

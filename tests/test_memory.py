@@ -1,0 +1,106 @@
+"""Unit tests for the main-memory model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.memory.main_memory import MEGABYTE_WORDS, MainMemory, MemoryModule
+
+
+class TestModules:
+    def test_module_properties(self):
+        module = MemoryModule(0, 4 * MEGABYTE_WORDS, is_master=True)
+        assert module.size_megabytes == pytest.approx(4.0)
+        assert module.covers(0)
+        assert module.covers(4 * MEGABYTE_WORDS - 1)
+        assert not module.covers(4 * MEGABYTE_WORDS)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModule(-1, 10)
+        with pytest.raises(ConfigurationError):
+            MemoryModule(0, 0)
+
+
+class TestConstruction:
+    def test_needs_exactly_one_master(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory([MemoryModule(0, 100)])
+        with pytest.raises(ConfigurationError):
+            MainMemory([MemoryModule(0, 100, is_master=True),
+                        MemoryModule(100, 100, is_master=True)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory([MemoryModule(0, 100, is_master=True),
+                        MemoryModule(50, 100)])
+
+    def test_needs_modules(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory([])
+
+    def test_standard_microvax_sizes(self):
+        """4 MB master plus 4 MB slaves, 4-16 MB total (paper §5)."""
+        memory = MainMemory.standard_microvax(16)
+        assert memory.total_megabytes == pytest.approx(16.0)
+        assert len(memory.modules) == 4
+        assert sum(m.is_master for m in memory.modules) == 1
+        with pytest.raises(ConfigurationError):
+            MainMemory.standard_microvax(20)
+        with pytest.raises(ConfigurationError):
+            MainMemory.standard_microvax(6)
+
+    def test_standard_cvax_sizes(self):
+        """32 MB modules up to 128 MB (paper abstract/§5)."""
+        memory = MainMemory.standard_cvax(128)
+        assert memory.total_megabytes == pytest.approx(128.0)
+        assert len(memory.modules) == 4
+        with pytest.raises(ConfigurationError):
+            MainMemory.standard_cvax(16)
+
+
+class TestAccess:
+    def test_read_write_line(self):
+        memory = MainMemory.standard_microvax(4)
+        memory.write_line(100, (42,))
+        assert memory.read_line(100) == (42,)
+
+    def test_uninitialised_reads_zero(self):
+        memory = MainMemory.standard_microvax(4)
+        assert memory.read_line(12345) == (0,)
+
+    def test_multiword_lines(self):
+        memory = MainMemory.standard_microvax(4, words_per_line=4)
+        memory.write_line(8, (1, 2, 3, 4))
+        assert memory.read_line(8) == (1, 2, 3, 4)
+        assert memory.peek(10) == 3
+
+    def test_wrong_width_write_rejected(self):
+        memory = MainMemory.standard_microvax(4, words_per_line=4)
+        with pytest.raises(SimulationError):
+            memory.write_line(8, (1, 2))
+
+    def test_unaligned_line_rejected(self):
+        memory = MainMemory.standard_microvax(4, words_per_line=4)
+        with pytest.raises(SimulationError):
+            memory.read_line(6)
+
+    def test_out_of_range_rejected(self):
+        memory = MainMemory.standard_microvax(4)
+        beyond = memory.total_words
+        with pytest.raises(SimulationError):
+            memory.read_line(beyond)
+        with pytest.raises(SimulationError):
+            memory.poke(beyond, 1)
+
+    def test_access_counters(self):
+        memory = MainMemory.standard_microvax(4)
+        memory.read_line(0)
+        memory.write_line(0, (1,))
+        assert memory.stats["reads"].total == 1
+        assert memory.stats["writes"].total == 1
+
+    def test_peek_poke_bypass_stats(self):
+        memory = MainMemory.standard_microvax(4)
+        memory.poke(5, 9)
+        assert memory.peek(5) == 9
+        assert "reads" not in memory.stats

@@ -1,0 +1,75 @@
+"""Unit tests for the metrics layer."""
+
+import pytest
+
+from repro.system.metrics import CpuMetrics, MachineMetrics
+
+
+def cpu(cpu_id=0, **overrides):
+    defaults = dict(cpu_id=cpu_id, instructions=1000, ifetches=950,
+                    data_reads=780, data_writes=400, read_krate=690.0,
+                    write_krate=160.0, miss_rate=0.2, tpi=12.5,
+                    idle_fraction=0.0)
+    defaults.update(overrides)
+    return CpuMetrics(**defaults)
+
+
+def machine(cpus=None, **overrides):
+    defaults = dict(window_cycles=400_000,
+                    cpus=[cpu(0), cpu(1)] if cpus is None else cpus,
+                    bus_load=0.4, bus_ops=20_000,
+                    bus_reads_memory=9_000, bus_reads_cache=1_000,
+                    bus_writes_mshared=3_000, bus_writes_not_mshared=5_000,
+                    bus_victim_writes=2_000, dirty_fraction=0.25)
+    defaults.update(overrides)
+    return MachineMetrics(**defaults)
+
+
+class TestCpuMetrics:
+    def test_totals(self):
+        c = cpu()
+        assert c.references == 2130
+        assert c.total_krate == pytest.approx(850.0)
+        assert c.read_write_ratio == pytest.approx(690 / 160)
+
+    def test_zero_write_ratio(self):
+        c = cpu(write_krate=0.0)
+        assert c.read_write_ratio == 0.0  # safe ratio default
+
+
+class TestMachineMetrics:
+    def test_window_seconds(self):
+        m = machine()
+        assert m.window_seconds == pytest.approx(0.04)
+
+    def test_bus_aggregates(self):
+        m = machine()
+        assert m.bus_reads == 10_000
+        assert m.bus_writes == 10_000
+        assert m.bus_krate == pytest.approx(20_000 / 0.04 / 1e3)
+
+    def test_cpu_means(self):
+        m = machine(cpus=[cpu(0, read_krate=600.0),
+                          cpu(1, read_krate=800.0)])
+        assert m.mean_read_krate == pytest.approx(700.0)
+        assert m.processors == 2
+
+    def test_mean_tpi_skips_fully_idle(self):
+        m = machine(cpus=[cpu(0, tpi=12.0), cpu(1, tpi=0.0)])
+        assert m.mean_tpi == pytest.approx(12.0)
+
+    def test_empty_cpu_list_is_safe(self):
+        m = machine(cpus=[])
+        assert m.mean_cpu_krate == 0.0
+        assert m.mean_miss_rate == 0.0
+        assert m.mean_tpi == 0.0
+
+    def test_total_instruction_krate(self):
+        m = machine()
+        assert m.total_instruction_krate == pytest.approx(2000 / 0.04 / 1e3)
+
+    def test_summary_contains_key_rows(self):
+        text = machine().summary()
+        assert "bus load L = 0.400" in text
+        assert "victims 2000" in text
+        assert "cpu0" in text and "cpu1" in text

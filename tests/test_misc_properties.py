@@ -1,0 +1,75 @@
+"""Odds-and-ends property tests: reporting, MDC geometry, topaz ops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.io import DisplayCommand, IoSubsystem
+from repro.reporting import Column, TextTable
+from repro.system import FireflyConfig, FireflyMachine
+from repro.topaz import ops
+
+
+class TestTextTableProperties:
+    @given(rows=st.lists(st.tuples(
+        st.integers(min_value=-10**9, max_value=10**9),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+        min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_rows_align(self, rows):
+        table = TextTable([Column("a", "d"), Column("b", ".2f")])
+        for a, b in rows:
+            table.add_row(a, b)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1          # perfectly rectangular
+        assert len(lines) == len(rows) + 1
+
+    @given(text=st.text(alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd")), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_string_cells_survive(self, text):
+        table = TextTable([Column("s", "s", align_left=True)])
+        table.add_row(text)
+        assert text in table.render()
+
+
+class TestMdcFillProperty:
+    @given(x=st.integers(min_value=-200, max_value=1200),
+           y=st.integers(min_value=-200, max_value=900),
+           w=st.integers(min_value=0, max_value=600),
+           h=st.integers(min_value=0, max_value=600))
+    @settings(max_examples=30, deadline=None)
+    def test_property_fill_paints_exactly_the_clipped_area(self, x, y, w, h):
+        machine = FireflyMachine(FireflyConfig(processors=1,
+                                               io_enabled=True))
+        io = IoSubsystem(machine)
+        io.mdc_queue.enqueue_direct(machine.memory,
+                                    DisplayCommand.FILL_RECT, (x, y, w, h))
+        io.start()
+        machine.sim.run_until(600_000)
+        expected_w = max(0, min(1024, x + w) - max(0, x))
+        expected_h = max(0, min(768, y + h) - max(0, y))
+        assert io.mdc.lit_pixels() == expected_w * expected_h
+
+
+class TestOpsValidation:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ops.Compute(-1)
+
+    def test_fork_captures_args(self):
+        def fn(a, b):
+            yield ops.Compute(1)
+
+        fork = ops.Fork(fn, 1, 2, name="x")
+        assert fork.args == (1, 2)
+        assert fork.name == "x"
+
+    def test_device_call_holds_generator(self):
+        def gen():
+            yield
+
+        call = ops.DeviceCall(gen(), label="disk")
+        assert call.label == "disk"

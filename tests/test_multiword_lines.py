@@ -1,0 +1,163 @@
+"""Multi-word line geometries (the A7 ablation's substrate).
+
+The real Firefly has one-longword lines; the generalized geometry
+exists for the line-size ablation and must be just as coherent —
+including the subtle case of concurrent writers to *different words of
+the same line*, where grant-time payload merging is what keeps one
+writer from clobbering the other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.qbus import QBus
+from repro.common.types import AccessKind, MemRef
+from tests.conftest import MiniRig
+
+
+def make_rig4(protocol="firefly", caches=3):
+    return MiniRig(protocol=protocol, caches=caches, lines=16,
+                   words_per_line=4)
+
+
+class TestBasics:
+    def test_line_fill_brings_neighbours(self):
+        rig = make_rig4()
+        for i in range(4):
+            rig.memory.poke(8 + i, 100 + i)
+        assert rig.read(0, 9) == 101
+        # The whole line is now resident: neighbours hit.
+        misses = rig.caches[0].stats["dread.miss"].total
+        assert rig.read(0, 8) == 100
+        assert rig.read(0, 11) == 103
+        assert rig.caches[0].stats["dread.miss"].total == misses
+
+    def test_write_updates_one_word_only(self):
+        rig = make_rig4()
+        for i in range(4):
+            rig.memory.poke(8 + i, 100 + i)
+        rig.write(0, 9, 999)
+        assert rig.read(1, 8) == 100
+        assert rig.read(1, 9) == 999
+        assert rig.read(1, 10) == 102
+        rig.check_coherence()
+
+    def test_victim_write_back_preserves_whole_line(self):
+        rig = make_rig4()
+        rig.write(0, 8, 1)
+        rig.write(0, 9, 2)
+        rig.write(0, 10, 3)
+        rig.read(0, 8 + 64)   # conflict (16 lines * 4 words)
+        assert [rig.memory.peek(8 + i) for i in range(3)] == [1, 2, 3]
+
+    def test_shared_write_through_carries_whole_line(self):
+        rig = make_rig4()
+        rig.write(0, 8, 1)
+        rig.read(1, 8)         # share the line
+        rig.write(0, 9, 2)     # write-through of the full line
+        assert rig.caches[1].peek(8) == 1
+        assert rig.caches[1].peek(9) == 2
+        rig.check_coherence()
+
+
+class TestConcurrentWordMerging:
+    def test_concurrent_writers_to_different_words_both_survive(self):
+        """The byte-enable merge: two writers queue writes to words 0
+        and 1 of the same shared line; both words must survive."""
+        rig = make_rig4()
+        base = 16
+        for i in range(3):
+            rig.read(i, base)   # everyone shares the line
+
+        def writer(cache_index, offset, value):
+            def gen():
+                yield from rig.caches[cache_index].cpu_write(
+                    MemRef(base + offset, AccessKind.DATA_WRITE), value)
+            return gen()
+
+        rig.sim.process(writer(0, 0, 111), "w0")
+        rig.sim.process(writer(1, 1, 222), "w1")
+        rig.sim.run()
+        rig.check_coherence()
+        assert rig.memory.peek(base) == 111
+        assert rig.memory.peek(base + 1) == 222
+        for i in range(3):
+            assert rig.caches[i].peek(base) == 111
+            assert rig.caches[i].peek(base + 1) == 222
+
+    @given(offsets=st.lists(st.integers(min_value=0, max_value=3),
+                            min_size=2, max_size=3, unique=True),
+           protocol=st.sampled_from(["firefly", "dragon"]))
+    @settings(max_examples=40, deadline=None)
+    def test_property_distinct_word_writes_merge(self, offsets, protocol):
+        rig = make_rig4(protocol=protocol, caches=len(offsets))
+        base = 32
+        for i in range(len(offsets)):
+            rig.read(i, base)
+
+        def writer(cache_index, offset):
+            def gen():
+                yield from rig.caches[cache_index].cpu_write(
+                    MemRef(base + offset, AccessKind.DATA_WRITE),
+                    1000 + offset)
+            return gen()
+
+        for i, offset in enumerate(offsets):
+            rig.sim.process(writer(i, offset), f"w{i}")
+        rig.sim.run()
+        rig.check_coherence()
+        for offset in offsets:
+            # Under Dragon memory may be stale (owner holds the truth),
+            # so check the coherent view, not raw memory.
+            holder_values = {c.peek(base + offset) for c in rig.caches
+                             if c.peek(base + offset) is not None}
+            assert holder_values == {1000 + offset}
+
+
+class TestDmaMultiword:
+    def test_dma_write_miss_read_modify_writes(self):
+        rig = make_rig4(caches=2)
+        qbus = QBus(rig.sim, rig.caches[0])
+        qbus.map.map_region(0, 4096, words=1024)
+        for i in range(4):
+            rig.memory.poke(4096 + i, 10 + i)
+
+        def gen():
+            yield from qbus.dma_write_block(1, [99])
+
+        rig.run(gen())
+        # Only the second word changed; neighbours preserved via RMW.
+        assert [rig.memory.peek(4096 + i) for i in range(4)] == \
+            [10, 99, 12, 13]
+
+    def test_dma_sees_dirty_multiword_lines(self):
+        rig = make_rig4(caches=2)
+        qbus = QBus(rig.sim, rig.caches[0])
+        qbus.map.map_region(0, 4096, words=1024)
+        rig.write(1, 4098, 777)   # dirty in CPU 1's cache
+
+        def gen():
+            values = yield from qbus.dma_read_block(0, 4)
+            return values
+
+        values = rig.run(gen())
+        assert values[2] == 777
+        rig.check_coherence()
+
+
+class TestAllProtocolsMultiword:
+    @pytest.mark.parametrize("protocol", ["firefly", "write-through",
+                                          "berkeley", "dragon", "mesi",
+                                          "write-once"])
+    def test_sequential_coherence(self, protocol):
+        rig = make_rig4(protocol=protocol, caches=3)
+        token = 0
+        for round_number in range(12):
+            writer = round_number % 3
+            address = 8 + (round_number % 8)
+            token += 1
+            rig.write(writer, address, token)
+            for reader in range(3):
+                assert rig.read(reader, address) == token
+        rig.check_coherence()

@@ -1,0 +1,366 @@
+"""Unit tests for the processor timing model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.rng import RandomStream
+from repro.common.types import AccessKind, MemRef
+from repro.processor.cpu import InstructionBundle, PrefetchConfig, Processor
+from repro.processor.mix import VAX_MIX, ReferenceMix
+from repro.processor.onchip import OnChipICache
+from repro.processor.timing import CVAX_TIMING, MICROVAX_TIMING, ProcessorTiming
+from tests.conftest import MiniRig
+
+
+class ScriptedSource:
+    """Feeds a fixed list of bundles, then halts the CPU."""
+
+    def __init__(self, bundles):
+        self.bundles = list(bundles)
+        self._cursor = 0
+
+    def next_instruction(self, cpu):
+        if self._cursor >= len(self.bundles):
+            return None
+        bundle = self.bundles[self._cursor]
+        self._cursor += 1
+        return bundle
+
+
+def build_cpu(rig, bundles, timing=MICROVAX_TIMING, prefetch=None,
+              cpu_index=0):
+    source = ScriptedSource(bundles)
+    rng = RandomStream(1, "prefetch") if (prefetch and prefetch.enabled) \
+        else None
+    cpu = Processor(rig.sim, cpu_index, timing, rig.caches[cpu_index],
+                    source, prefetch=prefetch, rng=rng)
+    return cpu
+
+
+def run_cpu(rig, cpu):
+    """Start the CPU and return its *elapsed* execution time (warm-up
+    operations may already have advanced the rig's clock)."""
+    started = rig.sim.now
+    cpu.start()
+    rig.sim.run()
+    return rig.sim.now - started
+
+
+def bundle(refs=(), jump=False, base_cycles=None):
+    return InstructionBundle(refs=tuple(refs), is_jump=jump,
+                             base_cycles=base_cycles)
+
+
+class TestTimingConstants:
+    def test_microvax_parameters(self):
+        assert MICROVAX_TIMING.base_tpi == pytest.approx(11.9)
+        assert MICROVAX_TIMING.tick_cycles == 2
+        assert MICROVAX_TIMING.instructions_per_second_nowait == \
+            pytest.approx(420_168, rel=1e-3)
+
+    def test_cvax_parameters(self):
+        assert CVAX_TIMING.has_onchip_icache
+        assert CVAX_TIMING.miss_overhead_cycles == 2
+        # ~2.6x the MicroVAX raw issue rate.
+        ratio = (CVAX_TIMING.instructions_per_second_nowait
+                 / MICROVAX_TIMING.instructions_per_second_nowait)
+        assert 2.5 < ratio < 2.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorTiming("bad", tick_cycles=0,
+                            base_cycles_per_instruction=10)
+        with pytest.raises(ConfigurationError):
+            ProcessorTiming("bad", tick_cycles=4,
+                            base_cycles_per_instruction=2)
+        with pytest.raises(ConfigurationError):
+            ProcessorTiming("bad", tick_cycles=2,
+                            base_cycles_per_instruction=10,
+                            has_onchip_icache=True)
+
+
+class TestBaseCost:
+    def test_refless_instruction_costs_base(self):
+        rig = MiniRig()
+        cpu = build_cpu(rig, [bundle(base_cycles=24)])
+        assert run_cpu(rig, cpu) == 24
+
+    def test_accumulator_base_converges(self):
+        rig = MiniRig()
+        cpu = build_cpu(rig, [bundle() for _ in range(100)])
+        elapsed = run_cpu(rig, cpu)
+        # 100 instructions at 23.8 cycles each.
+        assert abs(elapsed - 2380) <= 2
+
+    def test_bundle_override(self):
+        rig = MiniRig()
+        cpu = build_cpu(rig, [bundle(base_cycles=10),
+                              bundle(base_cycles=30)])
+        assert run_cpu(rig, cpu) == 40
+
+
+class TestMissAccounting:
+    def test_hit_costs_nothing_extra(self):
+        rig = MiniRig()
+        rig.read(0, 5)  # warm the line
+        ref = MemRef(5, AccessKind.DATA_READ)
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=24)])
+        assert run_cpu(rig, cpu) == 24
+
+    def test_miss_adds_one_tick_on_free_bus(self):
+        """Paper: 'misses add only one cycle to a MicroVAX CPU access'
+        (one 200 ns tick: the 4-cycle bus op minus the 2-cycle hit)."""
+        rig = MiniRig()
+        ref = MemRef(5, AccessKind.DATA_READ)
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=24)])
+        assert run_cpu(rig, cpu) == 26
+
+    def test_dirty_victim_adds_two_more_ticks(self):
+        """'plus two ticks for every dirty victim write'."""
+        rig = MiniRig(lines=16)
+        rig.read(0, 5)
+        rig.write(0, 5, 1)   # dirty at index 5
+        ref = MemRef(5 + 16, AccessKind.DATA_READ)  # conflict miss
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=24)])
+        assert run_cpu(rig, cpu) == 24 + 2 + 4  # +1 tick miss +2 ticks victim
+
+    def test_shared_write_through_stalls_one_tick(self):
+        rig = MiniRig()
+        rig.read(0, 5)
+        rig.read(1, 5)   # shared now
+        ref = MemRef(5, AccessKind.DATA_WRITE)
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=24)])
+        assert run_cpu(rig, cpu) == 26
+
+    def test_cvax_miss_overhead(self):
+        """CVAX: 'cache misses add four CVAX cycles' (hit 2 + 4 = 6)."""
+        rig = MiniRig()
+        ref = MemRef(5, AccessKind.DATA_READ)
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=9)],
+                        timing=CVAX_TIMING)
+        # base 9 cycles; the access's budgeted 2 are spent during the
+        # 4-cycle bus op, plus 2 overhead: 9 - 2 + 4 + 2 = 13.
+        assert run_cpu(rig, cpu) == 13
+
+    def test_bus_contention_stalls_accumulate(self):
+        rig = MiniRig()
+        ref_a = MemRef(5, AccessKind.DATA_READ)
+        ref_b = MemRef(6, AccessKind.DATA_READ)
+        cpu0 = build_cpu(rig, [bundle([ref_a], base_cycles=24)], cpu_index=0)
+        cpu1 = build_cpu(rig, [bundle([ref_b], base_cycles=24)], cpu_index=1)
+        cpu0.start()
+        cpu1.start()
+        rig.sim.run()
+        # One of the two waited a full bus tenure.
+        assert rig.mbus.queue_wait_cycles == 4
+        assert cpu1.stats["bus_stall_cycles"].total >= 8
+
+
+class TestTagContention:
+    def test_sp_stall_when_snooped(self):
+        rig = MiniRig()
+        rig.read(0, 5)  # cache 0 holds line 5
+        # CPU 1 misses on address 5 concurrently with CPU 0 hitting it:
+        probe_ref = MemRef(5, AccessKind.DATA_READ)
+        hit_ref = MemRef(5, AccessKind.DATA_READ)
+        cpu1 = build_cpu(rig, [bundle([probe_ref], base_cycles=24)],
+                         cpu_index=1)
+
+        def cpu0_hitter():
+            # Wait until cpu1's transaction has probed our tags.
+            yield rig.sim.timeout(1)
+            started = rig.sim.now
+            if rig.caches[0].tag_contention_stall(rig.sim.now):
+                yield rig.sim.timeout(2)
+            value = yield from rig.caches[0].cpu_read(hit_ref)
+            return rig.sim.now - started
+
+        cpu1.start()
+        proc = rig.sim.process(cpu0_hitter(), "hitter")
+        rig.sim.run()
+        assert proc.result == 2  # stalled one tick by the probe
+
+
+class TestPrefetch:
+    def test_prefetch_requires_rng(self):
+        rig = MiniRig()
+        with pytest.raises(ConfigurationError):
+            Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0],
+                      ScriptedSource([]),
+                      prefetch=PrefetchConfig(enabled=True))
+
+    def test_covered_sequential_fetch_refunds_cycles(self):
+        rig = MiniRig()
+        rig.read(0, 100, kind=AccessKind.INSTRUCTION_READ)  # warm
+        ref = MemRef(100, AccessKind.INSTRUCTION_READ)
+        prefetch = PrefetchConfig(enabled=True, refund_cycles=3,
+                                  wasted_per_jump=0.0)
+        cpu = build_cpu(rig, [bundle([ref], base_cycles=24)],
+                        prefetch=prefetch)
+        assert run_cpu(rig, cpu) == 21  # 24 - 3 refund
+        assert cpu.stats["prefetch_covered"].total == 1
+
+    def test_jump_fetches_not_refunded(self):
+        rig = MiniRig()
+        rig.read(0, 100, kind=AccessKind.INSTRUCTION_READ)
+        ref = MemRef(100, AccessKind.INSTRUCTION_READ)
+        prefetch = PrefetchConfig(enabled=True, refund_cycles=3,
+                                  wasted_per_jump=0.0)
+        cpu = build_cpu(rig, [InstructionBundle(refs=(ref,), is_jump=True,
+                                                base_cycles=24)],
+                        prefetch=prefetch)
+        assert run_cpu(rig, cpu) == 24
+
+    def test_wasted_prefetches_add_reference_traffic(self):
+        rig = MiniRig()
+        prefetch = PrefetchConfig(enabled=True, refund_cycles=0,
+                                  wasted_per_jump=2.0)
+        jump = InstructionBundle(refs=(), is_jump=True,
+                                 prefetch_addresses=(300, 301, 302),
+                                 base_cycles=24)
+        cpu = build_cpu(rig, [jump], prefetch=prefetch)
+        run_cpu(rig, cpu)
+        assert cpu.stats["wasted_prefetches"].total == 2
+        assert cpu.stats["refs.ifetch"].total == 2
+
+    def test_wasted_prefetch_deferred_when_bus_busy(self):
+        rig = MiniRig()
+        prefetch = PrefetchConfig(enabled=True, refund_cycles=0,
+                                  wasted_per_jump=1.0)
+        jump = InstructionBundle(refs=(), is_jump=True,
+                                 prefetch_addresses=(300,), base_cycles=24)
+        cpu = build_cpu(rig, [jump], prefetch=prefetch, cpu_index=0)
+
+        def hog():
+            # Keep the bus busy over the jump window.
+            ref = yield from rig.caches[1].cpu_read(
+                MemRef(900, AccessKind.DATA_READ))
+
+        rig.sim.process(hog(), "hog")
+        cpu.start()
+        rig.sim.run()
+        assert cpu.stats.totals().get("wasted_prefetches", 0) == 0
+        assert cpu.stats["prefetch_deferred"].total == 1
+
+
+class TestOnChipICache:
+    def test_hit_after_allocate(self):
+        onchip = OnChipICache(64)
+        assert not onchip.access(10)
+        assert onchip.access(10)
+        assert onchip.hit_rate == 0.5
+
+    def test_conflict_eviction(self):
+        onchip = OnChipICache(64)
+        onchip.access(10)
+        onchip.access(10 + 64)
+        assert not onchip.access(10)
+
+    def test_invalidate_line(self):
+        onchip = OnChipICache(64)
+        onchip.access(10)
+        onchip.invalidate_line(10)
+        assert not onchip.access(10)
+        assert onchip.stats["invalidated"].total == 1
+
+    def test_flush(self):
+        onchip = OnChipICache(64)
+        for address in range(10):
+            onchip.access(address)
+        onchip.flush()
+        assert not onchip.access(3)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            OnChipICache(100)
+
+    def test_snooped_write_invalidates_onchip_copy(self):
+        """Another CPU rewriting code must drop the on-chip copy, or
+        the CVAX would execute stale instructions."""
+        rig = MiniRig()
+        iref = MemRef(40, AccessKind.INSTRUCTION_READ)
+        cpu = build_cpu(rig, [bundle([iref], base_cycles=9),
+                              bundle([iref], base_cycles=9)],
+                        timing=CVAX_TIMING)
+
+        def code_patcher():
+            # CPU 1 rewrites the instruction word mid-run.
+            yield rig.sim.timeout(6)
+            yield from rig.caches[1].cpu_write(
+                MemRef(40, AccessKind.DATA_WRITE), 0xBEEF)
+
+        cpu.start()
+        rig.sim.process(code_patcher(), "patcher")
+        rig.sim.run()
+        # The second fetch could not be an on-chip hit: the write-
+        # through invalidated the on-chip line.
+        assert cpu.onchip.stats["invalidated"].total >= 1
+        assert cpu.onchip.stats.totals().get("hit", 0) == 0
+
+    def test_cvax_cpu_uses_onchip_for_instructions_only(self):
+        rig = MiniRig()
+        iref = MemRef(40, AccessKind.INSTRUCTION_READ)
+        dref = MemRef(41, AccessKind.DATA_READ)
+        cpu = build_cpu(rig, [bundle([iref], base_cycles=9),
+                              bundle([iref], base_cycles=9),
+                              bundle([dref], base_cycles=9),
+                              bundle([dref], base_cycles=9)],
+                        timing=CVAX_TIMING)
+        run_cpu(rig, cpu)
+        # Second ifetch hits on-chip: off-chip cache sees only one.
+        assert cpu.onchip.stats["hit"].total == 1
+        assert rig.caches[0].stats["ifetch.miss"].total == 1
+        # Data reads always go off-chip.
+        assert rig.caches[0].stats["dread.miss"].total \
+            + rig.caches[0].stats["dread.hit"].total == 2
+
+
+class TestLifecycle:
+    def test_source_none_halts(self):
+        rig = MiniRig()
+        cpu = build_cpu(rig, [bundle(base_cycles=10)])
+        run_cpu(rig, cpu)
+        assert cpu.stats["instructions"].total == 1
+        assert "halted_at" in cpu.stats
+
+    def test_idle_event_counts_idle_cycles(self):
+        rig = MiniRig()
+
+        class IdleOnce:
+            def __init__(self, sim):
+                self.sim = sim
+                self.state = 0
+
+            def next_instruction(self, cpu):
+                self.state += 1
+                if self.state == 1:
+                    event = self.sim.event("wake")
+                    self.sim.call_at(50, event.succeed)
+                    return event
+                return None
+
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0],
+                        IdleOnce(rig.sim))
+        cpu.start()
+        rig.sim.run()
+        assert cpu.stats["idle_cycles"].total == 50
+
+    def test_measurement_window(self):
+        rig = MiniRig()
+        bundles = [bundle(base_cycles=20) for _ in range(10)]
+        cpu = build_cpu(rig, bundles)
+        cpu.start()
+        rig.sim.run_until(100)   # 5 instructions
+        cpu.mark_window()
+        rig.sim.run_until(200)   # 5 more
+        assert cpu.stats["instructions"].windowed == 5
+        assert cpu.measured_tpi() == pytest.approx(10.0)  # 20 cy = 10 ticks
+
+    def test_write_tokens_are_unique_per_cpu(self):
+        rig = MiniRig()
+        ref = MemRef(5, AccessKind.DATA_WRITE)
+        cpu0 = build_cpu(rig, [bundle([ref], base_cycles=24)], cpu_index=0)
+        run_cpu(rig, cpu0)
+        first = rig.memory.peek(5)
+        assert first != 0

@@ -1,0 +1,221 @@
+"""Regression tests for bus-serialisation races.
+
+These reproduce, as deterministic schedules, the concurrency bugs a
+queued transaction can hit: a write-through queued behind another write
+to the same line, a victim write queued behind a write-through, and an
+invalidation queued behind a competing invalidation.  Each was (or
+would be) a real coherence violation if payloads were captured at
+request time or invalidations were not re-checked after the grant.
+"""
+
+import pytest
+
+from repro.cache.line import LineState
+from repro.common.types import AccessKind, MemRef
+from tests.conftest import MiniRig, make_rig
+
+
+def concurrent(rig, *gens):
+    """Run several generators as simultaneous processes."""
+    procs = [rig.sim.process(gen, f"p{i}") for i, gen in enumerate(gens)]
+    rig.sim.run()
+    for proc in procs:
+        assert proc.done
+
+
+def write_gen(rig, cache_index, address, value, delay=0):
+    def gen():
+        if delay:
+            yield rig.sim.timeout(delay)
+        yield from rig.caches[cache_index].cpu_write(
+            MemRef(address, AccessKind.DATA_WRITE), value)
+    return gen()
+
+
+def read_gen(rig, cache_index, address, delay=0):
+    def gen():
+        if delay:
+            yield rig.sim.timeout(delay)
+        value = yield from rig.caches[cache_index].cpu_read(
+            MemRef(address, AccessKind.DATA_READ))
+        return value
+    return gen()
+
+
+class TestConcurrentWriteThrough:
+    def test_queued_writer_own_copy_not_regressed(self):
+        """The bug found during bring-up: a writer queued behind another
+        write to the same line must end with its own value everywhere,
+        including its own cache."""
+        rig = MiniRig(caches=3)
+        address = 100
+        # All three share the line.
+        for i in range(3):
+            rig.read(i, address)
+        rig.write(0, address, 1)  # make it genuinely shared-written
+
+        concurrent(rig,
+                   write_gen(rig, 1, address, 111),
+                   write_gen(rig, 2, address, 222))
+        rig.check_coherence()
+        final = rig.memory.peek(address)
+        assert final in (111, 222)
+        for i in range(3):
+            assert rig.caches[i].peek(address) == final
+
+    def test_many_concurrent_writers_converge(self):
+        rig = MiniRig(caches=4)
+        address = 64
+        for i in range(4):
+            rig.read(i, address)
+        concurrent(rig, *[write_gen(rig, i, address, 1000 + i)
+                          for i in range(4)])
+        rig.check_coherence()
+        values = {rig.caches[i].peek(address) for i in range(4)}
+        assert len(values) == 1
+        assert rig.memory.peek(address) == values.pop()
+
+    def test_concurrent_write_and_read_miss(self):
+        rig = MiniRig(caches=3)
+        address = 32
+        rig.read(0, address)
+        rig.read(1, address)
+        concurrent(rig,
+                   write_gen(rig, 0, address, 9),
+                   read_gen(rig, 2, address, delay=1))
+        rig.check_coherence()
+        assert rig.caches[2].peek(address) in (0, 9)
+
+
+class TestPendingWriteSupplyRace:
+    def test_sharer_with_queued_write_supplies_consistent_data(self):
+        """A sharer whose write-through is still queued must answer an
+        intervening bus read with the value the OTHER sharers hold —
+        not its pending store — or two suppliers drive different data.
+
+        Schedule: cache 0 occupies the bus; cache 2 (a sharer) queues a
+        write-through; cache 1 queues a higher-priority read of the
+        same line.  The read is granted first and both sharers (2, 3)
+        must supply identical data."""
+        rig = MiniRig(caches=4)
+        address = 12
+        rig.read(2, address)
+        rig.read(3, address)   # caches 2 and 3 share the line
+
+        def bus_hog():
+            yield from rig.caches[0].cpu_read(
+                MemRef(900, AccessKind.DATA_READ))
+
+        def queued_writer():
+            yield rig.sim.timeout(1)
+            yield from rig.caches[2].cpu_write(
+                MemRef(address, AccessKind.DATA_WRITE), 555)
+
+        def intervening_reader():
+            yield rig.sim.timeout(2)
+            value = yield from rig.caches[1].cpu_read(
+                MemRef(address, AccessKind.DATA_READ))
+            return value
+
+        rig.sim.process(bus_hog(), "hog")
+        rig.sim.process(queued_writer(), "writer")
+        reader = rig.sim.process(intervening_reader(), "reader")
+        rig.sim.run()
+        # The reader got the pre-write value (its read serialised
+        # first); the write then updated every copy.
+        assert reader.result == 0
+        rig.check_coherence()
+        for i in (1, 2, 3):
+            assert rig.caches[i].peek(address) == 555
+        assert rig.memory.peek(address) == 555
+
+
+class TestVictimWriteRace:
+    def test_victim_queued_behind_write_through_does_not_regress(self):
+        """A victim write's payload must be taken at grant time: a
+        write-through serialised ahead of it refreshes the line, and
+        the stale request-time snapshot would roll memory back."""
+        rig = MiniRig(caches=2, lines=16)
+        address = 8
+        rig.read(0, address)
+        rig.write(0, address, 5)    # D in cache 0
+        rig.read(1, address)        # cache 0 SD, cache 1 S
+
+        conflict = address + 16     # same index, forces victimisation
+
+        def victimiser():
+            # Cache 0 read-misses on the conflicting address: victim
+            # write of the SD line, then the fill.
+            value = yield from rig.caches[0].cpu_read(
+                MemRef(conflict, AccessKind.DATA_READ))
+            return value
+
+        concurrent(rig,
+                   write_gen(rig, 1, address, 777),
+                   victimiser())
+        rig.check_coherence()
+        assert rig.memory.peek(address) == 777
+
+    def test_plain_victim_write_back_still_works(self):
+        rig = MiniRig(lines=16)
+        rig.write(0, 3, 1)
+        rig.write(0, 3, 2)
+        rig.read(0, 3 + 16)
+        assert rig.memory.peek(3) == 2
+
+
+class TestInvalidationRaces:
+    @pytest.mark.parametrize("protocol", ["mesi", "berkeley"])
+    def test_competing_upgrades_serialise(self, protocol):
+        """Two caches in shared state both try to upgrade; the loser's
+        copy is invalidated before its own bus op lands and it must
+        fall back to a write miss."""
+        rig = make_rig(protocol, caches=2)
+        address = 16
+        rig.read(0, address)
+        rig.read(1, address)
+        concurrent(rig,
+                   write_gen(rig, 0, address, 100),
+                   write_gen(rig, 1, address, 200))
+        rig.check_coherence()
+        # Exactly one writer ends as the owner with the final value.
+        states = [rig.caches[i].state_of(address) for i in range(2)]
+        valid = [s for s in states if s is not LineState.INVALID]
+        assert len(valid) == 1
+        final = [rig.caches[i].peek(address) for i in range(2)
+                 if rig.caches[i].peek(address) is not None]
+        assert final[0] in (100, 200)
+
+    def test_write_once_concurrent_first_writes(self):
+        rig = make_rig("write-once", caches=2)
+        address = 24
+        rig.read(0, address)
+        rig.read(1, address)
+        concurrent(rig,
+                   write_gen(rig, 0, address, 1),
+                   write_gen(rig, 1, address, 2))
+        rig.check_coherence()
+        assert rig.memory.peek(address) in (1, 2)
+
+    def test_write_through_concurrent_writers(self):
+        rig = make_rig("write-through", caches=3)
+        address = 40
+        for i in range(3):
+            rig.read(i, address)
+        concurrent(rig, *[write_gen(rig, i, address, 50 + i)
+                          for i in range(3)])
+        rig.check_coherence()
+        assert rig.memory.peek(address) in (50, 51, 52)
+
+    def test_dragon_concurrent_updates(self):
+        rig = make_rig("dragon", caches=3)
+        address = 48
+        for i in range(3):
+            rig.read(i, address)
+        concurrent(rig,
+                   write_gen(rig, 0, address, 10),
+                   write_gen(rig, 1, address, 20),
+                   write_gen(rig, 2, address, 30))
+        rig.check_coherence()
+        values = {rig.caches[i].peek(address) for i in range(3)}
+        assert len(values) == 1

@@ -1,0 +1,239 @@
+"""Unit tests for the QBus, its mapping registers and DMA pacing."""
+
+import pytest
+
+from repro.bus.qbus import (
+    DEFAULT_CYCLES_PER_WORD,
+    DMA_REACH_WORDS,
+    QBUS_PAGE_WORDS,
+    QBUS_PAGES,
+    QBus,
+    QBusMap,
+)
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import MBUS_OP_CYCLES, AccessKind, MemRef
+from tests.conftest import MiniRig
+
+
+class TestQBusMap:
+    def test_translate_round_trip(self):
+        qmap = QBusMap()
+        qmap.map_page(3, 8192)
+        assert qmap.translate(3 * QBUS_PAGE_WORDS + 17) == 8192 + 17
+
+    def test_unmapped_page_rejected(self):
+        qmap = QBusMap()
+        with pytest.raises(SimulationError):
+            qmap.translate(0)
+
+    def test_out_of_space_address_rejected(self):
+        qmap = QBusMap()
+        with pytest.raises(SimulationError):
+            qmap.translate(QBUS_PAGES * QBUS_PAGE_WORDS)
+
+    def test_unaligned_target_rejected(self):
+        qmap = QBusMap()
+        with pytest.raises(ConfigurationError):
+            qmap.map_page(0, 5)
+
+    def test_dma_reach_enforced(self):
+        """DMA can only reach the first 16 MB (paper §5)."""
+        qmap = QBusMap()
+        with pytest.raises(ConfigurationError):
+            qmap.map_page(0, DMA_REACH_WORDS)
+        qmap.map_page(0, DMA_REACH_WORDS - QBUS_PAGE_WORDS)  # last page OK
+
+    def test_map_region_spans_pages(self):
+        qmap = QBusMap()
+        qmap.map_region(0, 4096, words=300)
+        assert qmap.mapped_pages() == 3  # ceil(300 / 128)
+        assert qmap.translate(200) == 4096 + 200
+
+    def test_unmap(self):
+        qmap = QBusMap()
+        qmap.map_page(1, 0)
+        qmap.unmap_page(1)
+        with pytest.raises(SimulationError):
+            qmap.translate(QBUS_PAGE_WORDS)
+
+
+def _qbus_rig():
+    rig = MiniRig(caches=2)
+    qbus = QBus(rig.sim, rig.caches[0])
+    qbus.map.map_region(0, 4096, words=1024)
+    return rig, qbus
+
+
+class TestDma:
+    def test_write_block_lands_in_memory(self):
+        rig, qbus = _qbus_rig()
+
+        def gen():
+            yield from qbus.dma_write_block(0, [11, 22, 33])
+
+        rig.run(gen())
+        assert [rig.memory.peek(4096 + i) for i in range(3)] == [11, 22, 33]
+
+    def test_read_block_returns_memory(self):
+        rig, qbus = _qbus_rig()
+        for i in range(4):
+            rig.memory.poke(4096 + i, 100 + i)
+
+        def gen():
+            values = yield from qbus.dma_read_block(0, 4)
+            return values
+
+        assert rig.run(gen()) == [100, 101, 102, 103]
+
+    def test_dma_word_pacing(self):
+        """Each word costs cycles_per_word of QBus time plus MBus ops."""
+        rig, qbus = _qbus_rig()
+
+        def gen():
+            yield from qbus.dma_write_block(0, [1] * 5)
+            return rig.sim.now
+
+        elapsed = rig.run(gen())
+        minimum = 5 * (DEFAULT_CYCLES_PER_WORD + MBUS_OP_CYCLES)
+        assert elapsed >= minimum
+
+    def test_saturated_qbus_mbus_load_near_thirty_percent(self):
+        """Paper: 'the QBus consumes about 30% of the main memory
+        bandwidth' when fully loaded."""
+        rig, qbus = _qbus_rig()
+        rig.mbus.mark_window()
+
+        def gen():
+            yield from qbus.dma_write_block(0, [1] * 200)
+
+        rig.run(gen())
+        load = rig.mbus.load()
+        assert 0.25 < load < 0.35
+
+    def test_dma_goes_through_io_cache_without_allocation(self):
+        rig, qbus = _qbus_rig()
+
+        def gen():
+            yield from qbus.dma_read_block(0, 3)
+
+        rig.run(gen())
+        assert rig.caches[0].stats["dma.read_miss"].total == 3
+        # Misses do not allocate: the words are still absent.
+        assert not rig.caches[0].present(4096)
+
+    def test_dma_read_hits_in_io_cache(self):
+        rig, qbus = _qbus_rig()
+        rig.memory.poke(4096, 77)
+        rig.read(0, 4096)  # CPU 0 caches the word
+
+        def gen():
+            values = yield from qbus.dma_read_block(0, 1)
+            return values
+
+        assert rig.run(gen()) == [77]
+        assert rig.caches[0].stats["dma.read_hit"].total == 1
+
+    def test_pio_occupies_qbus_only(self):
+        rig, qbus = _qbus_rig()
+        rig.mbus.mark_window()
+
+        def gen():
+            yield from qbus.pio()
+
+        rig.run(gen())
+        assert qbus.stats["pio"].total == 1
+        assert rig.mbus.stats["ops"].total == 0
+
+    def test_bad_cycles_per_word(self):
+        rig = MiniRig()
+        with pytest.raises(ConfigurationError):
+            QBus(rig.sim, rig.caches[0], cycles_per_word=0)
+
+
+class TestDmaOwnCacheRaces:
+    def test_dma_write_queued_while_cpu_fills_the_line(self):
+        """Regression (found by hypothesis): the DMA shares CPU 0's
+        cache, and its queued bus write does not snoop its own cache —
+        so a line the CPU filled while the write waited must be patched
+        at the grant, or it goes permanently stale."""
+        rig, qbus = _qbus_rig()
+
+        def cpu0_reads():
+            # Two reads: the first occupies the bus so the DMA write
+            # queues; the second fills the target line while it waits.
+            yield from rig.caches[0].cpu_read(
+                MemRef(4097, AccessKind.DATA_READ))
+            yield from rig.caches[0].cpu_read(
+                MemRef(4096, AccessKind.DATA_READ))
+
+        def cpu1_reads():
+            yield from rig.caches[1].cpu_read(
+                MemRef(4096, AccessKind.DATA_READ))
+
+        def dma():
+            yield from qbus.dma_write_block(0, [1001])
+
+        rig.sim.process(cpu0_reads(), "cpu0")
+        rig.sim.process(cpu1_reads(), "cpu1")
+        rig.sim.process(dma(), "dma")
+        rig.sim.run()
+        rig.check_coherence()
+        for i in (0, 1):
+            cached = rig.caches[i].peek(4096)
+            assert cached in (None, 1001)
+        assert rig.memory.peek(4096) == 1001
+
+    def test_dma_read_queued_while_cpu_dirties_the_line(self):
+        """The read-side of the same hole: the DMA read must observe a
+        store CPU 0 completed before the read's serialisation point."""
+        rig, qbus = _qbus_rig()
+        results = []
+
+        def cpu0_writes():
+            yield from rig.caches[0].cpu_read(
+                MemRef(4097, AccessKind.DATA_READ))   # bus occupier
+            yield from rig.caches[0].cpu_write(
+                MemRef(4096, AccessKind.DATA_WRITE), 777)
+
+        def dma():
+            yield rig.sim.timeout(1)
+            values = yield from qbus.dma_read_block(0, 1)
+            results.extend(values)
+
+        rig.sim.process(cpu0_writes(), "cpu0")
+        rig.sim.process(dma(), "dma")
+        rig.sim.run()
+        rig.check_coherence()
+        assert results == [777] or results == [0]
+        # Whatever the interleaving, the final state is coherent and
+        # the CPU's store survives.
+        assert rig.caches[0].peek(4096) == 777
+
+
+class TestDmaCoherence:
+    def test_dma_write_updates_cpu_caches(self):
+        """A DMA write must be seen by CPUs holding the line."""
+        rig, qbus = _qbus_rig()
+        rig.write(1, 4096, 5)   # CPU 1 holds the word dirty
+        rig.read(0, 4096)       # IO cache shares it
+
+        def gen():
+            yield from qbus.dma_write_block(0, [999])
+
+        rig.run(gen())
+        assert rig.caches[1].peek(4096) == 999
+        assert rig.memory.peek(4096) == 999
+        assert rig.read(1, 4096) == 999
+        rig.check_coherence()
+
+    def test_dma_read_sees_dirty_cpu_data(self):
+        """DMA must observe data a CPU wrote but has not written back."""
+        rig, qbus = _qbus_rig()
+        rig.write(1, 4100, 321)  # dirty in CPU 1's cache only
+
+        def gen():
+            values = yield from qbus.dma_read_block(4, 1)
+            return values
+
+        assert rig.run(gen()) == [321]
+        rig.check_coherence()

@@ -1,0 +1,184 @@
+"""Unit tests for the synthetic reference generator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomStream
+from repro.common.types import AccessKind
+from repro.processor.cpu import InstructionBundle
+from repro.processor.mix import VAX_MIX, ReferenceMix
+from repro.processor.refgen import (
+    RegionLayout,
+    SharedRegion,
+    SyntheticReferenceSource,
+    WorkloadShape,
+    default_layout,
+)
+
+
+def make_source(seed=1, shape=None, shared=None, mix=VAX_MIX, limit=None):
+    return SyntheticReferenceSource(
+        rng=RandomStream(seed, "src"),
+        layout=default_layout(0),
+        shared=shared,
+        shape=shape or WorkloadShape(shared_write_fraction=0.0,
+                                     shared_read_fraction=0.0),
+        mix=mix,
+        instruction_limit=limit)
+
+
+def collect(source, n):
+    bundles = []
+    for _ in range(n):
+        item = source.next_instruction(None)
+        if item is None:
+            break
+        bundles.append(item)
+    return bundles
+
+
+class TestMixRates:
+    def test_reference_mix_is_exact(self):
+        """The long-run mix must be the paper's 0.95/0.78/0.40."""
+        source = make_source()
+        counts = {kind: 0 for kind in AccessKind}
+        n = 2000
+        for bundle in collect(source, n):
+            for ref in bundle.refs:
+                counts[ref.kind] += 1
+        assert abs(counts[AccessKind.INSTRUCTION_READ] - 0.95 * n) <= 2
+        assert abs(counts[AccessKind.DATA_READ] - 0.78 * n) <= 2
+        assert abs(counts[AccessKind.DATA_WRITE] - 0.40 * n) <= 2
+
+    def test_custom_mix(self):
+        mix = ReferenceMix(1.0, 0.5, 0.25)
+        source = make_source(mix=mix)
+        total = sum(len(b.refs) for b in collect(source, 1000))
+        assert abs(total - 1750) <= 3
+
+    def test_mix_properties(self):
+        assert VAX_MIX.total == pytest.approx(2.13)
+        assert VAX_MIX.read_write_ratio == pytest.approx(4.325)
+        with pytest.raises(ConfigurationError):
+            ReferenceMix(-0.1, 0, 0)
+
+
+class TestInstructionStream:
+    def test_code_addresses_stay_in_region(self):
+        source = make_source()
+        layout = source.layout
+        for bundle in collect(source, 500):
+            for ref in bundle.refs:
+                if ref.kind is AccessKind.INSTRUCTION_READ:
+                    assert layout.code_base <= ref.address \
+                        < layout.code_base + layout.code_words
+
+    def test_loops_reuse_addresses(self):
+        """A loop-structured stream revisits instruction words."""
+        source = make_source()
+        seen = set()
+        revisits = 0
+        for bundle in collect(source, 500):
+            for ref in bundle.refs:
+                if ref.kind is AccessKind.INSTRUCTION_READ:
+                    if ref.address in seen:
+                        revisits += 1
+                    seen.add(ref.address)
+        assert revisits > 200  # most fetches are loop re-walks
+
+    def test_jumps_marked(self):
+        source = make_source()
+        jumps = sum(1 for b in collect(source, 500) if b.is_jump)
+        # One jump per loop_length=40 instructions, roughly.
+        assert 5 <= jumps <= 30
+
+    def test_prefetch_addresses_follow_pc(self):
+        source = make_source()
+        bundle = source.next_instruction(None)
+        assert len(bundle.prefetch_addresses) == 3
+
+
+class TestDataStreams:
+    def test_data_addresses_stay_in_heap(self):
+        source = make_source()
+        layout = source.layout
+        for bundle in collect(source, 500):
+            for ref in bundle.refs:
+                if ref.kind is not AccessKind.INSTRUCTION_READ:
+                    assert layout.heap_base <= ref.address \
+                        < layout.heap_base + layout.heap_words
+
+    def test_partial_write_fraction(self):
+        shape = WorkloadShape(shared_write_fraction=0.0,
+                              shared_read_fraction=0.0,
+                              partial_write_fraction=0.5)
+        source = make_source(shape=shape)
+        writes = partials = 0
+        for bundle in collect(source, 2000):
+            for ref in bundle.refs:
+                if ref.kind is AccessKind.DATA_WRITE:
+                    writes += 1
+                    partials += ref.partial
+        assert 0.4 < partials / writes < 0.6
+
+    def test_shared_fractions(self):
+        shared = SharedRegion(10_000_000, 128)
+        shape = WorkloadShape(shared_write_fraction=0.25,
+                              shared_read_fraction=0.10)
+        source = make_source(shape=shape, shared=shared)
+        writes = shared_writes = reads = shared_reads = 0
+        for bundle in collect(source, 4000):
+            for ref in bundle.refs:
+                if ref.kind is AccessKind.DATA_WRITE:
+                    writes += 1
+                    shared_writes += shared.contains(ref.address)
+                elif ref.kind is AccessKind.DATA_READ:
+                    reads += 1
+                    shared_reads += shared.contains(ref.address)
+        assert 0.20 < shared_writes / writes < 0.30
+        assert 0.06 < shared_reads / reads < 0.14
+
+    def test_shared_shape_without_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_source(shape=WorkloadShape())  # defaults want sharing
+
+
+class TestLimitsAndDeterminism:
+    def test_instruction_limit(self):
+        source = make_source(limit=10)
+        assert len(collect(source, 100)) == 10
+
+    def test_same_seed_same_stream(self):
+        a = collect(make_source(seed=5), 50)
+        b = collect(make_source(seed=5), 50)
+        assert [x.refs for x in a] == [y.refs for y in b]
+
+    def test_different_seed_differs(self):
+        a = collect(make_source(seed=5), 50)
+        b = collect(make_source(seed=6), 50)
+        assert [x.refs for x in a] != [y.refs for y in b]
+
+
+class TestValidation:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadShape(loop_length=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadShape(data_reuse=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadShape(shared_write_fraction=0.7,
+                          partial_write_fraction=0.5)
+
+    def test_layout_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegionLayout(code_base=0, code_words=100,
+                         heap_base=50, heap_words=100)
+        with pytest.raises(ConfigurationError):
+            default_layout(0, code_words=200_000, heap_words=200_000)
+
+    def test_shared_region_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedRegion(0, 0)
+        region = SharedRegion(100, 10)
+        assert region.contains(105)
+        assert not region.contains(110)

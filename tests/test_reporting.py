@@ -1,0 +1,121 @@
+"""Tables and figure renderers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.reporting import (
+    Column,
+    TextTable,
+    render_state_diagram,
+    render_system_diagram,
+    render_topaz_diagram,
+)
+from repro.system import FireflyConfig, FireflyMachine, Generation
+from repro.topaz.kernel import TopazKernel
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable([Column("NP", "d"), Column("L", ".2f")])
+        table.add_row(2, 0.171)
+        table.add_row(12, 0.78)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].split() == ["NP", "L"]
+        assert lines[1].split() == ["2", "0.17"]
+        assert lines[2].split() == ["12", "0.78"]
+
+    def test_column_widths_fit_contents(self):
+        table = TextTable([Column("x", "d")])
+        table.add_row(1234567)
+        width = len(table.render().splitlines()[1])
+        assert width == 7
+
+    def test_none_renders_dash(self):
+        table = TextTable([Column("a", "d"), Column("b", ".1f")])
+        table.add_row(None, 1.0)
+        assert table.render().splitlines()[1].split() == ["-", "1.0"]
+
+    def test_left_alignment(self):
+        table = TextTable([Column("name", "s", align_left=True),
+                           Column("v", "d")])
+        table.add_row("ab", 1)
+        table.add_row("abcdef", 2)
+        lines = table.render().splitlines()
+        assert lines[1].startswith("ab ")
+
+    def test_separator(self):
+        table = TextTable([Column("a", "d")])
+        table.add_row(1)
+        table.add_separator()
+        table.add_row(2)
+        separator_line = table.render().splitlines()[2]
+        assert set(separator_line) == {"-"}
+        assert table.row_count == 2
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable([Column("a", "d")])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1, 2)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TextTable([])
+
+
+class TestStateDiagram:
+    def test_firefly_diagram_contains_all_states(self):
+        text = render_state_diagram("firefly")
+        for state in ("state V:", "state D:", "state S:", "state SD:"):
+            assert state in text
+
+    def test_annotations_present(self):
+        text = render_state_diagram("firefly")
+        assert "(MShared)" in text and "(not MShared)" in text
+        assert "MWrite" in text
+
+    def test_baselines_render(self):
+        for protocol in ("mesi", "berkeley", "dragon", "write-once",
+                         "write-through"):
+            assert protocol in render_state_diagram(protocol)
+
+
+class TestSystemDiagram:
+    def test_standard_machine(self):
+        machine = FireflyMachine(FireflyConfig(io_enabled=True))
+        text = render_system_diagram(machine)
+        assert "primary processor board" in text
+        assert "secondary board 1: CPU 1 + CPU 2" in text
+        assert "secondary board 2: CPU 3 + CPU 4" in text
+        assert "MBus" in text
+        assert text.count("memory module") == 4
+        assert "DEQNA" in text and "RQDX3" in text and "MDC" in text
+
+    def test_uniprocessor_has_no_secondary_boards(self):
+        machine = FireflyMachine(FireflyConfig(processors=1))
+        text = render_system_diagram(machine)
+        assert "secondary board" not in text
+
+    def test_cvax_machine(self):
+        machine = FireflyMachine(FireflyConfig(
+            generation=Generation.CVAX, processors=4))
+        text = render_system_diagram(machine)
+        assert "CVAX 78034" in text
+        assert "64 KB cache" in text
+        assert "32 MB" in text
+
+
+class TestTopazDiagram:
+    def test_renders_live_kernel(self):
+        kernel = TopazKernel.build(processors=2, threads_hint=4, seed=1)
+
+        def body():
+            from repro.topaz import Compute
+            yield Compute(1)
+
+        kernel.fork(body, name="app-thread")
+        text = render_topaz_diagram(kernel)
+        assert "Nub (VAX kernel mode)" in text
+        assert "Taos" in text and "Trestle" in text and "UserTTD" in text
+        assert "1 thread(s)" in text
+        assert "2 processors" in text

@@ -1,0 +1,148 @@
+"""Unit and property tests for random streams and accumulators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import FractionalAccumulator, RandomStream, StreamFactory
+
+
+class TestStreamFactory:
+    def test_same_name_same_seed_reproduces(self):
+        a = StreamFactory(7).stream("cpu0")
+        b = StreamFactory(7).stream("cpu0")
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        factory = StreamFactory(7)
+        a = factory.stream("cpu0")
+        b = factory.stream("cpu1")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = StreamFactory(1).stream("x")
+        b = StreamFactory(2).stream("x")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_duplicate_name_rejected(self):
+        factory = StreamFactory(0)
+        factory.stream("x")
+        with pytest.raises(ConfigurationError):
+            factory.stream("x")
+
+    def test_creation_order_irrelevant(self):
+        first = StreamFactory(3)
+        second = StreamFactory(3)
+        a1 = first.stream("a")
+        first.stream("b")
+        second.stream("b")
+        a2 = second.stream("a")
+        assert a1.random() == a2.random()
+
+
+class TestRandomStream:
+    def test_bernoulli_extremes(self):
+        stream = RandomStream(0, "bern")
+        assert not any(stream.bernoulli(0.0) for _ in range(100))
+        assert all(stream.bernoulli(1.0) for _ in range(100))
+
+    def test_randint_bounds(self):
+        stream = RandomStream(0, "ri")
+        values = [stream.randint(3, 7) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_geometric_mean_and_minimum(self):
+        stream = RandomStream(0, "geo")
+        values = [stream.geometric(5.0) for _ in range(3000)]
+        assert min(values) >= 1
+        mean = sum(values) / len(values)
+        assert 4.5 < mean < 5.5
+
+    def test_geometric_one_is_constant(self):
+        stream = RandomStream(0, "geo1")
+        assert all(stream.geometric(1.0) == 1 for _ in range(20))
+
+    def test_geometric_below_one_rejected(self):
+        stream = RandomStream(0, "geo_bad")
+        with pytest.raises(ConfigurationError):
+            stream.geometric(0.5)
+
+    def test_expovariate_mean(self):
+        stream = RandomStream(0, "exp")
+        values = [stream.expovariate(100.0) for _ in range(5000)]
+        mean = sum(values) / len(values)
+        assert 90 < mean < 110
+
+    def test_expovariate_requires_positive_mean(self):
+        stream = RandomStream(0, "exp_bad")
+        with pytest.raises(ConfigurationError):
+            stream.expovariate(0)
+
+    def test_choice(self):
+        stream = RandomStream(0, "choice")
+        options = ["a", "b", "c"]
+        assert all(stream.choice(options) in options for _ in range(50))
+
+
+class TestFractionalAccumulator:
+    def test_integer_rate_is_constant(self):
+        acc = FractionalAccumulator(2.0)
+        assert [acc.next() for _ in range(5)] == [2, 2, 2, 2, 2]
+
+    def test_long_run_mean_exact(self):
+        acc = FractionalAccumulator(2.13)
+        total = sum(acc.next() for _ in range(10_000))
+        # Error diffusion keeps the running total within one step of
+        # exact (floating-point residue accounts for the slack).
+        assert abs(total - 21_300) <= 1
+
+    def test_paper_mix_rates_exact(self):
+        for rate, n, expected in ((0.95, 100, 95), (0.78, 100, 78),
+                                  (0.40, 100, 40)):
+            acc = FractionalAccumulator(rate)
+            total = sum(acc.next() for _ in range(n))
+            assert abs(total - expected) <= 1  # binary-float residue
+
+    def test_zero_rate(self):
+        acc = FractionalAccumulator(0.0)
+        assert all(acc.next() == 0 for _ in range(10))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FractionalAccumulator(-0.1)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FractionalAccumulator(1.0, phase=1.0)
+
+    def test_reset_restores_phase(self):
+        acc = FractionalAccumulator(0.5)
+        first = [acc.next() for _ in range(4)]
+        acc.reset()
+        assert [acc.next() for _ in range(4)] == first
+
+    @given(rate=st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+           steps=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_mean_within_one(self, rate, steps):
+        """The accumulated total never drifts more than 1 from exact."""
+        acc = FractionalAccumulator(rate)
+        total = sum(acc.next() for _ in range(steps))
+        assert abs(total - rate * steps) <= 1.0 + 1e-6
+
+    @given(rate=st.floats(min_value=0.0, max_value=5.0,
+                          allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_property_each_step_near_rate(self, rate):
+        """Every step yields floor(rate) or ceil(rate)."""
+        import math
+        acc = FractionalAccumulator(rate)
+        for _ in range(100):
+            step = acc.next()
+            assert step in (math.floor(rate), math.ceil(rate))

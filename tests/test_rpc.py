@@ -1,0 +1,98 @@
+"""The RPC transport: shape of the paper's 4.6 Mbit/s claim."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.io.subsystem import IoSubsystem
+from repro.topaz import Compute
+from repro.topaz.kernel import TopazKernel
+from repro.topaz.rpc import RpcParams, RpcTransport
+from repro.workloads.rpc_server import RpcWorkload, sweep_client_threads
+
+
+def make_transport(processors=2, params=None):
+    kernel = TopazKernel.build(processors=processors, threads_hint=8,
+                               seed=17, io_enabled=True)
+    io = IoSubsystem(kernel.machine)
+    _, buffer_qbus = io.alloc(512, "rpc buffer")
+    transport = RpcTransport(kernel, io.ethernet, buffer_qbus,
+                             params=params)
+    return kernel, io, transport
+
+
+class TestCallMechanics:
+    def test_one_call_completes_and_counts(self):
+        kernel, io, transport = make_transport()
+
+        def client():
+            yield from transport.call()
+            return "ok"
+
+        thread = kernel.fork(client)
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        assert thread.result == "ok"
+        assert transport.stats["calls"].total == 1
+        assert io.ethernet.stats["tx_frames"].total == \
+            transport.params.packets_per_call
+        assert io.ethernet.stats["rx_frames"].total == 1
+
+    def test_call_duration_bounded_below_by_wire_time(self):
+        kernel, io, transport = make_transport()
+        durations = []
+
+        def client():
+            start = kernel.sim.now
+            yield from transport.call()
+            durations.append(kernel.sim.now - start)
+
+        kernel.fork(client)
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        p = transport.params
+        wire_floor = p.packets_per_call * io.ethernet.params.frame_bits(
+            p.payload_bytes)
+        assert durations[0] > wire_floor
+
+    def test_local_call_costs_reschedules(self):
+        kernel, io, transport = make_transport(processors=1)
+
+        def client():
+            yield from transport.local_call()
+            yield Compute(1)
+
+        kernel.fork(client)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert transport.stats["local_calls"].total == 1
+        assert kernel.stats["yields"].total >= 2
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            RpcParams(payload_bytes=0)
+        with pytest.raises(ConfigurationError):
+            RpcParams(reply_bytes=0)
+        assert RpcParams().data_bits_per_call == 1400 * 4 * 8
+
+
+class TestThroughputShape:
+    def test_saturation_near_paper_figure(self):
+        """'4.6 megabits per second using an average of three
+        concurrent threads' — we assert the shape: saturated goodput in
+        [4.0, 5.2] Mbit/s, reached at about three threads, with one
+        thread clearly below saturation."""
+        results = sweep_client_threads([1, 3, 6],
+                                       measure_cycles=2_000_000)
+        one, three, six = (results[k].goodput_mbit for k in (1, 3, 6))
+        assert 4.0 < three < 5.2
+        assert one < 0.85 * three
+        assert abs(six - three) < 0.6 * three * 0.2 + 0.6
+
+    def test_throughput_monotone_to_saturation(self):
+        results = sweep_client_threads([1, 2, 3],
+                                       measure_cycles=1_500_000)
+        assert results[1].goodput_mbit <= results[2].goodput_mbit + 0.3
+        assert results[2].goodput_mbit <= results[3].goodput_mbit + 0.3
+
+    def test_goodput_never_exceeds_wire_rate(self):
+        result = RpcWorkload(client_threads=8).run(
+            measure_cycles=1_000_000)
+        assert result.goodput_mbit < 10.0
+        assert result.wire_utilization <= 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for the Topaz scheduler policy in isolation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.topaz.scheduler import Scheduler
+from repro.topaz.thread import ThreadState
+
+
+class FakeThread:
+    """Just enough of a thread for the scheduler: name + last_cpu."""
+
+    def __init__(self, name, last_cpu=None):
+        self.name = name
+        self.last_cpu = last_cpu
+        self.state = ThreadState.BLOCKED
+
+    def __repr__(self):
+        return f"<{self.name}>"
+
+
+class TestFifoPolicy:
+    def test_fifo_order_without_affinity(self):
+        sched = Scheduler(avoid_migration=False)
+        a, b, c = FakeThread("a"), FakeThread("b"), FakeThread("c")
+        for t in (a, b, c):
+            sched.enqueue(t)
+        assert sched.pick(0) is a
+        assert sched.pick(1) is b
+        assert sched.pick(0) is c
+        assert sched.pick(0) is None
+
+    def test_enqueue_sets_ready(self):
+        sched = Scheduler()
+        t = FakeThread("t")
+        sched.enqueue(t)
+        assert t.state is ThreadState.READY
+
+
+class TestAffinityPolicy:
+    def test_prefers_own_thread_within_window(self):
+        sched = Scheduler(avoid_migration=True, affinity_window=4)
+        other = FakeThread("other", last_cpu=1)
+        mine = FakeThread("mine", last_cpu=0)
+        sched.enqueue(other)
+        sched.enqueue(mine)
+        assert sched.pick(0) is mine       # skipped the head
+        assert sched.pick(0) is other      # work conservation
+
+    def test_fresh_threads_count_as_affine(self):
+        sched = Scheduler(avoid_migration=True)
+        fresh = FakeThread("fresh", last_cpu=None)
+        sched.enqueue(fresh)
+        assert sched.pick(3) is fresh
+        assert sched.affinity_hits == 1
+
+    def test_window_limits_the_search(self):
+        sched = Scheduler(avoid_migration=True, affinity_window=2)
+        others = [FakeThread(f"o{i}", last_cpu=1) for i in range(3)]
+        mine = FakeThread("mine", last_cpu=0)
+        for t in others:
+            sched.enqueue(t)
+        sched.enqueue(mine)   # position 3, outside the window of 2
+        # CPU 0 must take the head (no affine thread within window).
+        assert sched.pick(0) is others[0]
+
+    def test_work_conservation_never_idles_with_ready_work(self):
+        """A runnable thread is never left waiting for an idle CPU."""
+        sched = Scheduler(avoid_migration=True, affinity_window=8)
+        foreign = FakeThread("foreign", last_cpu=5)
+        sched.enqueue(foreign)
+        assert sched.pick(0) is foreign    # stolen rather than idling
+
+    def test_counters(self):
+        sched = Scheduler(avoid_migration=True)
+        t = FakeThread("t", last_cpu=0)
+        sched.enqueue(t)
+        sched.pick(0)
+        assert sched.enqueues == 1
+        assert sched.picks == 1
+        assert sched.affinity_hits == 1
+        assert sched.ready_count == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(affinity_window=0)

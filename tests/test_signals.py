@@ -1,0 +1,81 @@
+"""Unit tests for signal tracing and the Figure 4 timing diagram."""
+
+from repro.bus.signals import SignalTrace, TimingDiagram
+from repro.common.types import BusOp
+
+
+def record_read(trace, start=0, shared=False, supplied=False):
+    trace.record(BusOp.MREAD, 0x40, initiator=0, start_cycle=start,
+                 shared_response=shared, supplied_by_cache=supplied)
+
+
+def record_write(trace, start=0, shared=False):
+    trace.record(BusOp.MWRITE, 0x40, initiator=1, start_cycle=start,
+                 shared_response=shared, supplied_by_cache=False)
+
+
+class TestSignalTrace:
+    def test_read_cycle_layout(self):
+        """The Figure 4 layout: address@1, probe@2, MShared@3, data@4."""
+        trace = SignalTrace()
+        record_read(trace, start=10, shared=True, supplied=True)
+        events = {e.signal: e.cycle for e in trace.transactions[0].events}
+        assert events["Arbitrate"] == 10
+        assert events["Address"] == 10
+        assert events["TagProbe"] == 11
+        assert events["MShared"] == 12
+        assert events["ReadData"] == 13
+
+    def test_write_carries_data_in_cycle_two(self):
+        trace = SignalTrace()
+        record_write(trace, start=0)
+        events = {e.signal: e.cycle for e in trace.transactions[0].events}
+        assert events["WriteData"] == 1
+        assert "ReadData" not in events
+
+    def test_no_mshared_event_when_unshared(self):
+        trace = SignalTrace()
+        record_read(trace, shared=False)
+        signals = {e.signal for e in trace.transactions[0].events}
+        assert "MShared" not in signals
+
+    def test_data_source_annotation(self):
+        trace = SignalTrace()
+        record_read(trace, shared=True, supplied=True)
+        read_data = [e for e in trace.transactions[0].events
+                     if e.signal == "ReadData"][0]
+        assert "inhibited" in read_data.detail
+
+    def test_end_cycle(self):
+        trace = SignalTrace()
+        record_read(trace, start=8)
+        assert trace.transactions[0].end_cycle == 12
+
+
+class TestTimingDiagram:
+    def test_renders_all_signal_rows(self):
+        trace = SignalTrace()
+        record_read(trace, shared=True, supplied=True)
+        text = TimingDiagram(trace).render()
+        for signal in TimingDiagram.SIGNAL_ORDER:
+            assert signal in text
+
+    def test_empty_trace(self):
+        text = TimingDiagram(SignalTrace()).render()
+        assert "no transactions" in text
+
+    def test_back_to_back_operations(self):
+        trace = SignalTrace()
+        record_read(trace, start=0)
+        record_write(trace, start=4, shared=True)
+        text = TimingDiagram(trace).render()
+        assert "MRead@0" in text
+        assert "MWrite@4 (MShared)" in text
+
+    def test_window_selection(self):
+        trace = SignalTrace()
+        for i in range(5):
+            record_read(trace, start=i * 4)
+        text = TimingDiagram(trace).render(first=2, count=2)
+        assert "MRead@8" in text and "MRead@12" in text
+        assert "MRead@0" not in text

@@ -1,0 +1,420 @@
+"""The Topaz threads runtime: semantics of every primitive."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.system import CoherenceChecker
+from repro.topaz import (
+    Broadcast,
+    Compute,
+    Fork,
+    Join,
+    Lock,
+    Read,
+    Signal,
+    SpaceKind,
+    ThreadState,
+    TopazKernel,
+    TopazParams,
+    Unlock,
+    Wait,
+    Write,
+    YieldCpu,
+)
+
+
+def kernel_with(processors=2, **kw):
+    return TopazKernel.build(processors=processors, threads_hint=16,
+                             seed=13, **kw)
+
+
+class TestForkJoin:
+    def test_join_returns_child_result(self):
+        kernel = kernel_with()
+
+        def child(n):
+            yield Compute(10)
+            return n * 2
+
+        def main():
+            kid = yield Fork(child, 21)
+            result = yield Join(kid)
+            return result
+
+        root = kernel.fork(main, name="main")
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert root.result == 42
+
+    def test_join_on_finished_thread_is_immediate(self):
+        kernel = kernel_with()
+
+        def quick():
+            yield Compute(1)
+            return "done"
+
+        def main():
+            kid = yield Fork(quick)
+            yield Compute(500)   # let the child finish first
+            result = yield Join(kid)
+            return result
+
+        root = kernel.fork(main)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert root.result == "done"
+
+    def test_many_children(self):
+        kernel = kernel_with(processors=3)
+
+        def child(n):
+            yield Compute(20)
+            return n
+
+        def main():
+            kids = []
+            for n in range(8):
+                kid = yield Fork(child, n)
+                kids.append(kid)
+            total = 0
+            for kid in kids:
+                total += yield Join(kid)
+            return total
+
+        root = kernel.fork(main)
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        assert root.result == sum(range(8))
+
+    def test_multiple_joiners(self):
+        kernel = kernel_with()
+
+        def slow():
+            yield Compute(200)
+            return 7
+
+        def waiter(target):
+            result = yield Join(target)
+            return result
+
+        slow_thread = kernel.fork(slow, name="slow")
+        waiters = [kernel.fork(waiter, slow_thread, name=f"w{i}")
+                   for i in range(3)]
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert all(w.result == 7 for w in waiters)
+
+    def test_thread_body_must_be_generator(self):
+        kernel = kernel_with()
+        with pytest.raises(ConfigurationError):
+            kernel.fork(lambda: 42)
+
+
+class TestMutex:
+    def test_mutual_exclusion_on_shared_counter(self):
+        kernel = kernel_with(processors=4)
+        counter = kernel.alloc_shared(1, "counter")
+        mutex = kernel.mutex("m")
+
+        def incrementer(rounds):
+            for _ in range(rounds):
+                yield Lock(mutex)
+                value = yield Read(counter)
+                yield Compute(3)  # widen the window for races
+                yield Write(counter, value + 1)
+                yield Unlock(mutex)
+            return rounds
+
+        threads = [kernel.fork(incrementer, 15, name=f"inc{i}")
+                   for i in range(4)]
+        kernel.run_until_quiescent(max_cycles=10_000_000)
+        assert kernel._coherent_value(counter) == 60
+        CoherenceChecker(kernel.machine).check()
+
+    def test_mutex_word_reflects_state(self):
+        kernel = kernel_with(processors=1)
+        mutex = kernel.mutex("m")
+        observed = []
+
+        def locker():
+            yield Lock(mutex)
+            yield Compute(5)
+            value = yield Read(mutex.address)
+            observed.append(value)
+            yield Unlock(mutex)
+            value = yield Read(mutex.address)
+            observed.append(value)
+
+        kernel.fork(locker)
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+        assert observed == [1, 0]
+
+    def test_contention_blocks_and_hands_off(self):
+        kernel = kernel_with(processors=2)
+        mutex = kernel.mutex("m")
+        order = []
+
+        def holder():
+            yield Lock(mutex)
+            yield Compute(300)
+            order.append("holder-release")
+            yield Unlock(mutex)
+
+        def contender():
+            yield Compute(5)
+            yield Lock(mutex)
+            order.append("contender-acquired")
+            yield Unlock(mutex)
+
+        kernel.fork(holder)
+        kernel.fork(contender)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert order == ["holder-release", "contender-acquired"]
+        assert kernel.stats["lock_contended"].total == 1
+
+    def test_unlock_by_non_owner_is_error(self):
+        kernel = kernel_with(processors=1)
+        mutex = kernel.mutex("m")
+
+        def bad():
+            yield Unlock(mutex)
+
+        kernel.fork(bad)
+        with pytest.raises(SimulationError):
+            kernel.run_until_quiescent(max_cycles=1_000_000)
+
+
+class TestConditions:
+    def test_wait_signal(self):
+        kernel = kernel_with(processors=2)
+        mutex = kernel.mutex("m")
+        condition = kernel.condition("c")
+        flag = kernel.alloc_shared(1, "flag")
+        log = []
+
+        def consumer():
+            yield Lock(mutex)
+            while True:
+                ready = yield Read(flag)
+                if ready:
+                    break
+                yield Wait(condition, mutex)
+            log.append("consumed")
+            yield Unlock(mutex)
+
+        def producer():
+            yield Compute(100)
+            yield Lock(mutex)
+            yield Write(flag, 1)
+            yield Signal(condition)
+            log.append("produced")
+            yield Unlock(mutex)
+
+        kernel.fork(consumer)
+        kernel.fork(producer)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert log == ["produced", "consumed"]
+
+    def test_broadcast_wakes_everyone(self):
+        kernel = kernel_with(processors=2)
+        mutex = kernel.mutex("m")
+        condition = kernel.condition("c")
+        go = kernel.alloc_shared(1, "go")
+        woken = []
+
+        def waiter(i):
+            yield Lock(mutex)
+            while True:
+                ready = yield Read(go)
+                if ready:
+                    break
+                yield Wait(condition, mutex)
+            woken.append(i)
+            yield Unlock(mutex)
+
+        def broadcaster():
+            yield Compute(300)
+            yield Lock(mutex)
+            yield Write(go, 1)
+            yield Broadcast(condition)
+            yield Unlock(mutex)
+
+        for i in range(4):
+            kernel.fork(waiter, i)
+        kernel.fork(broadcaster)
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        assert sorted(woken) == [0, 1, 2, 3]
+
+    def test_signal_with_no_waiters_is_noop(self):
+        kernel = kernel_with(processors=1)
+        condition = kernel.condition("c")
+
+        def signaller():
+            yield Signal(condition)
+            yield Compute(1)
+
+        kernel.fork(signaller)
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+
+    def test_deadlock_reported_at_horizon(self):
+        kernel = kernel_with(processors=1)
+        mutex = kernel.mutex("m")
+        condition = kernel.condition("never")
+
+        def stuck():
+            yield Lock(mutex)
+            yield Wait(condition, mutex)
+
+        kernel.fork(stuck, name="stuck")
+        with pytest.raises(SimulationError) as excinfo:
+            kernel.run_until_quiescent(max_cycles=200_000)
+        assert "stuck" in str(excinfo.value)
+
+
+class TestSchedulingAndMigration:
+    def test_yield_reschedules(self):
+        kernel = kernel_with(processors=1)
+        order = []
+
+        def polite(name, rounds):
+            for _ in range(rounds):
+                yield Compute(5)
+                order.append(name)
+                yield YieldCpu()
+
+        kernel.fork(polite, "a", 3)
+        kernel.fork(polite, "b", 3)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_migrations_counted(self):
+        kernel = kernel_with(processors=3)
+
+        def wanderer():
+            for _ in range(20):
+                yield Compute(10)
+                yield YieldCpu()
+
+        threads = [kernel.fork(wanderer, name=f"t{i}") for i in range(6)]
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        assert kernel.total_migrations == sum(t.migrations for t in threads)
+
+    def test_affinity_reduces_migration(self):
+        def run(avoid):
+            kernel = TopazKernel.build(
+                processors=3, threads_hint=16, seed=13,
+                params=TopazParams(avoid_migration=avoid))
+
+            def worker():
+                for _ in range(30):
+                    yield Compute(15)
+                    yield YieldCpu()
+
+            for i in range(6):
+                kernel.fork(worker, name=f"w{i}")
+            kernel.run_until_quiescent(max_cycles=10_000_000)
+            return kernel.total_migrations
+
+        assert run(avoid=True) < run(avoid=False)
+
+    def test_preemption_time_slices_compute_hogs(self):
+        """Two non-yielding compute loops must share one CPU."""
+        kernel = TopazKernel.build(
+            processors=1, threads_hint=4, seed=13,
+            params=TopazParams(time_slice_instructions=200))
+        progress = {"a": 0, "b": 0}
+
+        def hog(name):
+            while True:
+                yield Compute(50)
+                progress[name] += 1
+
+        kernel.fork(hog, "a", name="a")
+        kernel.fork(hog, "b", name="b")
+        kernel.machine.start()
+        kernel.sim.run_until(400_000)
+        assert progress["a"] > 0 and progress["b"] > 0
+        total = progress["a"] + progress["b"]
+        assert abs(progress["a"] - progress["b"]) < 0.3 * total
+        assert kernel.stats["preemptions"].total > 0
+
+    def test_preemption_disabled_runs_to_completion(self):
+        kernel = TopazKernel.build(
+            processors=1, threads_hint=4, seed=13,
+            params=TopazParams(time_slice_instructions=None))
+        order = []
+
+        def finite(name):
+            yield Compute(3000)
+            order.append(name)
+
+        kernel.fork(finite, "first", name="first")
+        kernel.fork(finite, "second", name="second")
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert order == ["first", "second"]  # strict run-to-completion
+        assert kernel.stats.totals().get("preemptions", 0) == 0
+
+    def test_idle_cpus_wake_on_work(self):
+        kernel = kernel_with(processors=4)
+
+        def late_worker():
+            yield Compute(50)
+            return "ok"
+
+        def spawner():
+            yield Compute(2000)  # other CPUs idle meanwhile
+            kid = yield Fork(late_worker)
+            result = yield Join(kid)
+            return result
+
+        root = kernel.fork(spawner)
+        kernel.run_until_quiescent(max_cycles=3_000_000)
+        assert root.result == "ok"
+        assert kernel.stats["idle_waits"].total > 0
+
+
+class TestAddressSpaces:
+    def test_default_spaces_exist(self):
+        kernel = kernel_with()
+        names = {space.name for space in kernel.address_spaces}
+        assert {"Nub", "Taos", "UserTTD", "Trestle"} <= names
+
+    def test_ultrix_space_single_thread(self):
+        """'An Ultrix address space can support only one thread.'"""
+        kernel = kernel_with()
+        space = kernel.create_space("ultrix", SpaceKind.ULTRIX_APP)
+
+        def body():
+            yield Compute(1)
+
+        kernel.fork(body, space=space)
+        with pytest.raises(ConfigurationError):
+            kernel.fork(body, space=space)
+
+    def test_topaz_space_many_threads(self):
+        kernel = kernel_with()
+        space = kernel.create_space("app", SpaceKind.TOPAZ_APP)
+
+        def body():
+            yield Compute(1)
+
+        for _ in range(5):
+            kernel.fork(body, space=space)
+        assert len(kernel.threads_in_space(space)) == 5
+
+
+class TestAllocation:
+    def test_shared_heap_exhaustion(self):
+        kernel = TopazKernel.build(processors=1, threads_hint=1,
+                                   shared_region_words=128, seed=1)
+        with pytest.raises(ConfigurationError) as excinfo:
+            kernel.alloc_shared(10_000, "too much")
+        assert "shared region" in str(excinfo.value)
+
+    def test_thread_states_progress(self):
+        kernel = kernel_with(processors=1)
+
+        def body():
+            yield Compute(10)
+            return 1
+
+        thread = kernel.fork(body)
+        assert thread.state is ThreadState.READY
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+        assert thread.state is ThreadState.DONE

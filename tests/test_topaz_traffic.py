@@ -1,0 +1,205 @@
+"""Topaz kernel traffic: scheduling and sync generate real bus activity."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.topaz import (
+    Compute,
+    DeviceCall,
+    Lock,
+    TopazKernel,
+    Unlock,
+    Write,
+    YieldCpu,
+)
+
+
+def kernel_with(processors=2, **kw):
+    return TopazKernel.build(processors=processors, threads_hint=16,
+                             seed=29, **kw)
+
+
+class TestSchedulerTraffic:
+    def test_context_switches_touch_shared_words(self):
+        """Dispatch on different CPUs must write-through the ready-queue
+        words — the mechanism behind Table 2's MShared write rate."""
+        kernel = kernel_with(processors=2)
+
+        def bouncer():
+            for _ in range(10):
+                yield Compute(5)
+                yield YieldCpu()
+
+        kernel.fork(bouncer, name="a")
+        kernel.fork(bouncer, name="b")
+        kernel.fork(bouncer, name="c")
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        bus = kernel.machine.mbus.stats
+        assert bus.totals().get("write.mshared", 0) > 0
+        assert kernel.stats["context_switches"].total >= 6
+
+    def test_ipis_sent_on_wakeup(self):
+        kernel = kernel_with(processors=2)
+
+        def sleeper():
+            yield Compute(2000)
+
+        def quick():
+            yield Compute(5)
+
+        kernel.fork(sleeper)
+        # CPU 1 idles after quick finishes, then gets kicked by forks.
+        kernel.fork(quick)
+        kernel.fork(quick)
+        kernel.run_until_quiescent(max_cycles=2_000_000)
+        assert kernel.machine.mbus.stats.totals().get("ipi", 0) >= 0
+
+    def test_lock_traffic_is_bus_visible(self):
+        kernel = kernel_with(processors=2)
+        mutex = kernel.mutex("hot")
+
+        def fighter():
+            for _ in range(10):
+                yield Lock(mutex)
+                yield Compute(20)
+                yield Unlock(mutex)
+
+        kernel.fork(fighter, name="f0")
+        kernel.fork(fighter, name="f1")
+        before = kernel.machine.mbus.stats.totals().get("ops", 0)
+        kernel.run_until_quiescent(max_cycles=5_000_000)
+        after = kernel.machine.mbus.stats["ops"].total
+        assert after - before > 20  # test&set + release writes at least
+
+
+class TestDeviceCalls:
+    def test_device_call_blocks_and_returns_value(self):
+        kernel = kernel_with(processors=1)
+        sim = kernel.sim
+
+        def device_op():
+            yield sim.timeout(500)
+            return "payload"
+
+        def body():
+            started = sim.now
+            result = yield DeviceCall(device_op(), label="disk")
+            return result, sim.now - started
+
+        thread = kernel.fork(body)
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+        result, elapsed = thread.result
+        assert result == "payload"
+        assert elapsed >= 500
+
+    def test_cpu_runs_other_threads_during_device_call(self):
+        kernel = kernel_with(processors=1)
+        sim = kernel.sim
+        progress = []
+
+        def device_op():
+            yield sim.timeout(5_000)
+
+        def io_thread():
+            yield DeviceCall(device_op(), label="slow")
+            progress.append("io-done")
+
+        def compute_thread():
+            yield Compute(50)
+            progress.append("compute-done")
+
+        kernel.fork(io_thread)
+        kernel.fork(compute_thread)
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+        assert progress == ["compute-done", "io-done"]
+
+    def test_device_call_failure_propagates(self):
+        kernel = kernel_with(processors=1)
+
+        def broken_device():
+            raise SimulationError("device exploded")
+            yield  # pragma: no cover
+
+        def body():
+            yield DeviceCall(broken_device(), label="bad")
+
+        kernel.fork(body)
+        with pytest.raises(SimulationError):
+            kernel.run_until_quiescent(max_cycles=500_000)
+
+
+class TestInterruptService:
+    def test_device_completions_load_the_io_processor(self):
+        """§3 asymmetry: device interrupts are serviced on CPU 0, so an
+        I/O-heavy workload shows up as primary-board kernel work."""
+        kernel = kernel_with(processors=3)
+        sim = kernel.sim
+
+        def device_op():
+            yield sim.timeout(2_000)
+
+        def io_heavy():
+            for _ in range(25):
+                yield DeviceCall(device_op(), label="dev")
+            return "done"
+
+        def compute_only():
+            for _ in range(200):
+                yield Compute(40)
+                yield YieldCpu()
+
+        io_thread = kernel.fork(io_heavy, name="io")
+        kernel.fork(compute_only, name="cpu-a")
+        kernel.fork(compute_only, name="cpu-b")
+        kernel.machine.start()
+        deadline = 10_000_000
+        while sim.now < deadline and not io_thread.done:
+            sim.run_until(sim.now + 50_000)
+        assert io_thread.result == "done"
+        assert kernel.stats["device_interrupts"].total == 25
+        # The ISR's instructions executed on CPU 0 and IPIs were sent.
+        assert kernel.machine.mbus.stats["ipi"].total >= 25
+
+    def test_interrupt_service_can_be_disabled(self):
+        from repro.topaz import TopazParams
+        kernel = TopazKernel.build(
+            processors=2, threads_hint=4, seed=29,
+            params=TopazParams(interrupt_service_instructions=0))
+        sim = kernel.sim
+
+        def device_op():
+            yield sim.timeout(500)
+
+        def body():
+            yield DeviceCall(device_op(), label="dev")
+            return "ok"
+
+        thread = kernel.fork(body)
+        kernel.run_until_quiescent(max_cycles=1_000_000)
+        assert thread.result == "ok"
+        assert kernel.stats.totals().get("device_interrupts", 0) == 0
+
+
+class TestKernelDataValues:
+    def test_explicit_writes_land_in_simulated_memory(self):
+        kernel = kernel_with(processors=1)
+        slot = kernel.alloc_shared(1, "slot")
+
+        def body():
+            yield Write(slot, 424242)
+
+        kernel.fork(body)
+        kernel.run_until_quiescent(max_cycles=500_000)
+        assert kernel._coherent_value(slot) == 424242
+
+    def test_tcb_words_are_written_during_dispatch(self):
+        kernel = kernel_with(processors=1)
+
+        def body():
+            yield Compute(5)
+
+        thread = kernel.fork(body)
+        kernel.run_until_quiescent(max_cycles=500_000)
+        tcb_values = [kernel._coherent_value(thread.tcb_address + i)
+                      for i in range(kernel.params.tcb_words)]
+        assert any(v != 0 for v in tcb_values)

@@ -1,0 +1,142 @@
+"""Trace format, recording, and replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RandomStream
+from repro.common.types import AccessKind, MemRef
+from repro.processor.cpu import Processor
+from repro.processor.refgen import SyntheticReferenceSource, WorkloadShape, \
+    default_layout
+from repro.processor.timing import MICROVAX_TIMING
+from repro.trace.format import (
+    TraceFormatError,
+    TraceRecord,
+    decode_record,
+    encode_record,
+)
+from repro.trace.recorder import RecordingSource
+from repro.trace.replay import TraceSource, load_trace, save_trace
+from tests.conftest import MiniRig
+
+
+def record(*tokens, jump=False):
+    refs = []
+    for kind, address in tokens:
+        partial = kind == "w*"
+        kind_map = {"i": AccessKind.INSTRUCTION_READ,
+                    "r": AccessKind.DATA_READ,
+                    "w": AccessKind.DATA_WRITE,
+                    "w*": AccessKind.DATA_WRITE}
+        refs.append(MemRef(address, kind_map[kind], partial=partial))
+    return TraceRecord(refs=tuple(refs), is_jump=jump)
+
+
+class TestFormat:
+    def test_encode(self):
+        line = encode_record(record(("i", 4000), ("r", 12), ("w", 13),
+                                    jump=True))
+        assert line == "i:4000 r:12 w:13 J"
+
+    def test_partial_write_encoding(self):
+        line = encode_record(record(("w*", 9)))
+        assert line == "w*:9"
+
+    def test_decode_round_trip(self):
+        original = record(("i", 1), ("r", 2), ("w*", 3), jump=True)
+        assert decode_record(encode_record(original)) == original
+
+    def test_empty_record(self):
+        assert decode_record("") == TraceRecord(refs=())
+
+    @pytest.mark.parametrize("bad", ["x:5", "i:", "i:abc", "i:-3", "r*:5"])
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(TraceFormatError):
+            decode_record(bad, line_number=7)
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["i", "r", "w", "w*"]),
+        st.integers(min_value=0, max_value=1 << 24)), max_size=6),
+        st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_property_round_trip(self, tokens, jump):
+        original = record(*tokens, jump=jump)
+        assert decode_record(encode_record(original)) == original
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        records = [record(("i", i), ("w", i + 1)) for i in range(10)]
+        path = tmp_path / "t.trace"
+        assert save_trace(records, path) == 10
+        assert load_trace(path) == records
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\ni:5\n   \nr:6\n")
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+
+
+class TestRecordingAndReplay:
+    def _synthetic(self, limit=200):
+        return SyntheticReferenceSource(
+            rng=RandomStream(3, "t"),
+            layout=default_layout(0),
+            shape=WorkloadShape(shared_write_fraction=0.0,
+                                shared_read_fraction=0.0),
+            instruction_limit=limit)
+
+    def test_recorder_captures_stream(self):
+        rig = MiniRig()
+        recorder = RecordingSource(self._synthetic(50))
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0], recorder)
+        cpu.start()
+        rig.sim.run()
+        assert len(recorder.records) == 50
+
+    def test_replay_reproduces_cache_behaviour(self):
+        """Replaying a recorded trace yields identical cache statistics
+        — the foundation for protocol A/B comparisons."""
+        rig1 = MiniRig()
+        recorder = RecordingSource(self._synthetic(300))
+        cpu1 = Processor(rig1.sim, 0, MICROVAX_TIMING, rig1.caches[0],
+                         recorder)
+        cpu1.start()
+        rig1.sim.run()
+
+        rig2 = MiniRig()
+        cpu2 = Processor(rig2.sim, 0, MICROVAX_TIMING, rig2.caches[0],
+                         TraceSource(recorder.records))
+        cpu2.start()
+        rig2.sim.run()
+
+        assert rig1.caches[0].stats.totals() == rig2.caches[0].stats.totals()
+        assert rig1.sim.now == rig2.sim.now
+
+    def test_replay_halts_at_end(self):
+        rig = MiniRig()
+        source = TraceSource([record(("i", 1))])
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0], source)
+        cpu.start()
+        rig.sim.run()
+        assert cpu.stats["instructions"].total == 1
+
+    def test_repeat_loops_forever(self):
+        rig = MiniRig()
+        source = TraceSource([record(("i", 1)), record(("i", 2))],
+                             repeat=True)
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0], source)
+        cpu.start()
+        rig.sim.run_until(5000)
+        assert source.replays > 10
+        assert cpu.stats["instructions"].total > 50
+
+    def test_empty_repeat_trace_halts(self):
+        rig = MiniRig()
+        source = TraceSource([], repeat=True)
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0], source)
+        cpu.start()
+        rig.sim.run()
+        assert cpu.stats["instructions"].total == 0

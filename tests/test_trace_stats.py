@@ -1,0 +1,129 @@
+"""Trace reduction and working-set analysis."""
+
+import pytest
+
+from repro.cache.cache import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomStream
+from repro.common.types import AccessKind, MemRef
+from repro.processor.refgen import (
+    SyntheticReferenceSource,
+    WorkloadShape,
+    default_layout,
+)
+from repro.trace.format import TraceRecord
+from repro.trace.stats import reduce_trace, working_set_curve
+
+
+def record(*tokens, jump=False):
+    kind_map = {"i": AccessKind.INSTRUCTION_READ,
+                "r": AccessKind.DATA_READ,
+                "w": AccessKind.DATA_WRITE}
+    refs = tuple(MemRef(addr, kind_map[k]) for k, addr in tokens)
+    return TraceRecord(refs=refs, is_jump=jump)
+
+
+def synthetic_trace(instructions=5000, seed=3):
+    source = SyntheticReferenceSource(
+        rng=RandomStream(seed, "ts"),
+        layout=default_layout(0),
+        shape=WorkloadShape(shared_write_fraction=0.0,
+                            shared_read_fraction=0.0),
+        instruction_limit=instructions)
+    records = []
+    while True:
+        bundle = source.next_instruction(None)
+        if bundle is None:
+            break
+        records.append(TraceRecord(refs=bundle.refs, is_jump=bundle.is_jump))
+    return records
+
+
+class TestReduceTrace:
+    def test_counts_and_mix(self):
+        records = [record(("i", 0), ("r", 10), ("w", 20)),
+                   record(("i", 1)),
+                   record(("i", 2), ("w", 20))]
+        reduction = reduce_trace(records, CacheGeometry(16, 1))
+        assert reduction.instructions == 3
+        assert reduction.references == 6
+        assert reduction.instruction_reads == 3
+        assert reduction.data_reads == 1
+        assert reduction.data_writes == 2
+        assert reduction.mix.total == pytest.approx(2.0)
+
+    def test_miss_and_dirty_on_tiny_trace(self):
+        # Two refs to one word: one compulsory miss, then a dirty hit.
+        records = [record(("r", 5)), record(("w", 5))]
+        reduction = reduce_trace(records, CacheGeometry(16, 1))
+        assert reduction.miss_rate == pytest.approx(0.5)
+        assert reduction.dirty_fraction == pytest.approx(1.0)
+
+    def test_matches_live_cache_simulation(self):
+        """The functional reduction must agree with the full cache."""
+        from tests.conftest import MiniRig
+        from repro.processor.cpu import Processor
+        from repro.processor.timing import MICROVAX_TIMING
+        from repro.trace.replay import TraceSource
+
+        records = synthetic_trace(3000)
+        reduction = reduce_trace(records, CacheGeometry.MICROVAX)
+
+        rig = MiniRig(lines=4096)
+        # Match geometry to the reduction's.
+        from repro.cache.cache import SnoopyCache
+        cpu = Processor(rig.sim, 0, MICROVAX_TIMING, rig.caches[0],
+                        TraceSource(records))
+        cpu.start()
+        rig.sim.run()
+        stats = rig.caches[0].stats.totals()
+        hits = sum(stats.get(k, 0) for k in ("ifetch.hit", "dread.hit",
+                                             "dwrite.hit"))
+        misses = sum(stats.get(k, 0) for k in ("ifetch.miss", "dread.miss",
+                                               "dwrite.miss"))
+        live_miss_rate = misses / (hits + misses)
+        # Same geometry (4096 x 1): the rates agree closely.  (Not
+        # exactly: the live Firefly cache's optimised write misses
+        # allocate clean, the functional model marks them dirty, which
+        # can change later victim decisions — but never hit/miss for
+        # direct-mapped tags... so they ARE exact.)
+        assert live_miss_rate == pytest.approx(reduction.miss_rate,
+                                               abs=1e-9)
+
+    def test_calibrated_workload_reduces_to_paper_figures(self):
+        records = synthetic_trace(20_000)
+        reduction = reduce_trace(records, CacheGeometry.MICROVAX)
+        assert 0.15 < reduction.miss_rate < 0.26     # the paper's M=0.2
+        assert 2.0 < reduction.refs_per_instruction < 2.3
+        assert reduction.mix.instruction_reads == pytest.approx(0.95,
+                                                                abs=0.02)
+
+    def test_bigger_cache_reduces_miss_rate(self):
+        records = synthetic_trace(10_000)
+        small = reduce_trace(records, CacheGeometry(1024, 1))
+        big = reduce_trace(records, CacheGeometry(16384, 1))
+        assert big.miss_rate < small.miss_rate
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduce_trace([])
+
+
+class TestWorkingSetCurve:
+    def test_monotone_in_window_length(self):
+        records = synthetic_trace(5000)
+        curve = working_set_curve(records, (100, 1000, 5000))
+        values = [curve[w] for w in (100, 1000, 5000)]
+        assert values == sorted(values)
+
+    def test_window_bounded_by_distinct_addresses(self):
+        records = [record(("i", i % 7)) for i in range(100)]
+        curve = working_set_curve(records, (10, 1000))
+        assert curve[10] <= 7
+        assert curve[1000] == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            working_set_curve([record(("i", 1))], (0,))
+        with pytest.raises(ConfigurationError):
+            working_set_curve([TraceRecord(refs=())])

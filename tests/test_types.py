@@ -1,0 +1,84 @@
+"""Unit tests for value types and timing constants."""
+
+import pytest
+
+from repro.common.types import (
+    AccessKind,
+    BusOp,
+    MBUS_CYCLE_NS,
+    MBUS_OP_CYCLES,
+    MemRef,
+    SECONDS_PER_CYCLE,
+    align_to_line,
+)
+
+
+class TestConstants:
+    def test_paper_timing(self):
+        # "Each requires four 100 ns. bus cycles."
+        assert MBUS_CYCLE_NS == 100
+        assert MBUS_OP_CYCLES == 4
+        assert SECONDS_PER_CYCLE == pytest.approx(1e-7)
+
+    def test_bandwidth_is_ten_megabytes(self):
+        # One four-byte transfer per 400 ns = 10 MB/s.
+        transfers_per_second = 1.0 / (MBUS_OP_CYCLES * SECONDS_PER_CYCLE)
+        assert transfers_per_second * 4 == pytest.approx(10e6)
+
+
+class TestAccessKind:
+    def test_write_flag(self):
+        assert AccessKind.DATA_WRITE.is_write
+        assert not AccessKind.DATA_READ.is_write
+        assert not AccessKind.INSTRUCTION_READ.is_write
+
+    def test_instruction_flag(self):
+        assert AccessKind.INSTRUCTION_READ.is_instruction
+        assert not AccessKind.DATA_READ.is_instruction
+
+
+class TestBusOp:
+    def test_write_data(self):
+        assert BusOp.MWRITE.carries_write_data
+        assert not BusOp.MREAD.carries_write_data
+        assert not BusOp.MINVALIDATE.carries_write_data
+
+    def test_returns_data(self):
+        assert BusOp.MREAD.returns_data
+        assert BusOp.MREAD_EX.returns_data
+        assert not BusOp.MWRITE.returns_data
+        assert not BusOp.MINVALIDATE.returns_data
+
+    def test_invalidates(self):
+        assert BusOp.MREAD_EX.invalidates
+        assert BusOp.MINVALIDATE.invalidates
+        assert not BusOp.MREAD.invalidates
+        assert not BusOp.MWRITE.invalidates
+
+
+class TestMemRef:
+    def test_valid_construction(self):
+        ref = MemRef(100, AccessKind.DATA_READ)
+        assert ref.address == 100 and not ref.partial
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef(-1, AccessKind.DATA_READ)
+
+    def test_partial_only_for_writes(self):
+        MemRef(0, AccessKind.DATA_WRITE, partial=True)
+        with pytest.raises(ValueError):
+            MemRef(0, AccessKind.DATA_READ, partial=True)
+
+    def test_frozen(self):
+        ref = MemRef(1, AccessKind.DATA_READ)
+        with pytest.raises(Exception):
+            ref.address = 2
+
+
+class TestAlign:
+    @pytest.mark.parametrize("addr,wpl,expected", [
+        (0, 1, 0), (17, 1, 17), (17, 4, 16), (15, 4, 12), (16, 8, 16),
+    ])
+    def test_align(self, addr, wpl, expected):
+        assert align_to_line(addr, wpl) == expected
