@@ -8,6 +8,7 @@ even under pytest's capture), and saves a copy under
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -32,8 +33,14 @@ def _grab_capture_manager(request):
     yield
 
 
-def emit(name: str, text: str) -> None:
-    """Print an artifact to the real stdout and save it to disk."""
+def emit(name: str, text: str, metrics=None) -> None:
+    """Print an artifact to the real stdout and save it to disk.
+
+    ``metrics`` — a :class:`~repro.system.metrics.MachineMetrics` (or a
+    ``{label: MachineMetrics}`` dict) — is additionally serialised next
+    to the text artifact as ``<name>.json`` via ``to_dict()``, so runs
+    can be diffed numerically, not just textually.
+    """
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     if _CAPTURE_MANAGER:
         with _CAPTURE_MANAGER[0].global_and_fixture_disabled():
@@ -45,6 +52,13 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     safe = name.lower().replace(" ", "_").replace("/", "-")
     (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    if metrics is not None:
+        if isinstance(metrics, dict):
+            payload = {str(k): m.to_dict() for k, m in metrics.items()}
+        else:
+            payload = metrics.to_dict()
+        (RESULTS_DIR / f"{safe}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 check: the full test suite plus a bytecode compile sweep.
+#
+# Usage: scripts/check.sh [extra pytest args]
+# e.g.:  scripts/check.sh -m telemetry
+set -eu
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src examples benchmarks
+
+echo "== pytest =="
+python -m pytest -x -q "$@"

@@ -28,9 +28,10 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.events import Simulator
-from repro.common.stats import StatSet, Utilization
+from repro.common.stats import Histogram, StatSet, Utilization
 from repro.common.types import MBUS_OP_CYCLES, BusOp, BusTransaction
 from repro.bus.signals import SignalTrace
+from repro.telemetry.probe import NULL_PROBE
 
 LineData = Tuple[int, ...]
 
@@ -121,6 +122,16 @@ class MBus:
         self._interrupt_handlers: Dict[int, List[Callable[[int], None]]] = {}
         self.stats = StatSet("mbus")
         self.utilization = Utilization("mbus")
+        #: Bus-grant wait distribution (arbitration queueing latency).
+        self.grant_wait = Histogram("mbus.grant_wait")
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
+        # The reporting counters exist from construction (not lazily on
+        # first increment), so metric collection can tell "zero events"
+        # apart from "counter renamed" — see StatSet.get_windowed.
+        for key in ("ops", "read.memory_supplied", "read.cache_supplied",
+                    "write.mshared", "write.not_mshared", "write.victim"):
+            self.stats.counter(key)
 
     # -- configuration -------------------------------------------------
 
@@ -184,8 +195,10 @@ class MBus:
             raise SimulationError(
                 f"unaligned line address {line_address:#x} "
                 f"(words_per_line={self.words_per_line})")
+        requested = self.sim.now
         yield self._resource.acquire(priority=priority)
         start = self.sim.now
+        self.grant_wait.record(start - requested)
         txn = self._execute(op, line_address, initiator, data, is_victim,
                             start, update_memory)
         yield self.sim.timeout(MBUS_OP_CYCLES)
@@ -193,6 +206,16 @@ class MBus:
         if holder is None:  # pragma: no cover - defensive
             raise SimulationError("bus released mid-transaction")
         self._resource.release(holder)
+        probe = self.probe
+        if probe.active:
+            probe.complete("bus.op", "bus", start, MBUS_OP_CYCLES,
+                           op=op.value, address=line_address,
+                           initiator=initiator, shared=txn.shared_response,
+                           cache_supplied=txn.supplied_by_cache,
+                           victim=is_victim)
+            if start > requested:
+                probe.instant_at("bus.grant", "bus", start,
+                                 wait=start - requested, initiator=initiator)
         return txn
 
     def _execute(self, op: BusOp, line_address: int, initiator: int,
@@ -296,6 +319,11 @@ class MBus:
         """Whether a transaction is in flight right now (prefetch throttle)."""
         return self._resource.holder is not None
 
+    @property
+    def queue_depth(self) -> int:
+        """Initiators currently waiting for a grant (sampler gauge)."""
+        return self._resource.queue_length
+
     # -- interprocessor interrupts ---------------------------------------
 
     def register_interrupt_handler(self, target: int,
@@ -310,5 +338,7 @@ class MBus:
         delivery is immediate (handlers run at the current time).
         """
         self.stats.incr("ipi")
+        if self.probe.active:
+            self.probe.instant("bus.ipi", "bus", target=target, sender=sender)
         for handler in self._interrupt_handlers.get(target, []):
             handler(sender)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.events import Simulator
 from repro.common.stats import StatSet, Utilization
+from repro.telemetry.probe import NULL_PROBE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.cache import SnoopyCache
@@ -138,10 +139,13 @@ class QBus:
         self._resource = sim.resource("QBus")
         self.stats = StatSet("qbus")
         self.utilization = Utilization("qbus")
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
 
     def dma_write_block(self, qbus_word_address: int,
                         values: Sequence[int]):
         """Generator: device -> memory DMA of ``values``."""
+        start = self.sim.now
         for i, value in enumerate(values):
             target = self.map.translate(qbus_word_address + i)
             yield self._resource.acquire()
@@ -150,9 +154,15 @@ class QBus:
             self._release()
             yield from self.io_cache.dma_write(target, value)
             self.stats.incr("dma_words_in")
+        if self.probe.active:
+            self.probe.complete("dma.burst", "qbus", start,
+                                self.sim.now - start, direction="in",
+                                words=len(values),
+                                qbus_address=qbus_word_address)
 
     def dma_read_block(self, qbus_word_address: int, nwords: int):
         """Generator: memory -> device DMA; returns the words read."""
+        start = self.sim.now
         values = []
         for i in range(nwords):
             target = self.map.translate(qbus_word_address + i)
@@ -163,6 +173,10 @@ class QBus:
             value = yield from self.io_cache.dma_read(target)
             values.append(value)
             self.stats.incr("dma_words_out")
+        if self.probe.active:
+            self.probe.complete("dma.burst", "qbus", start,
+                                self.sim.now - start, direction="out",
+                                words=nwords, qbus_address=qbus_word_address)
         return values
 
     def pio(self, register_cycles: int = 8):

@@ -21,8 +21,9 @@ from typing import Optional, Tuple
 from repro.bus.mbus import MBus, SnoopResult
 from repro.cache.line import CacheLine, LineState
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.common.stats import StatSet
+from repro.common.stats import Histogram, StatSet
 from repro.common.types import AccessKind, BusOp, MemRef
+from repro.telemetry.probe import NULL_PROBE
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,12 @@ class SnoopyCache:
         self.lines = [CacheLine(geometry.words_per_line)
                       for _ in range(geometry.lines)]
         self.stats = StatSet(f"cache{cache_id}")
+        #: Miss service time distribution (cycles from miss detection to
+        #: the protocol's fill/write completing on the bus).
+        self.miss_latency = Histogram(f"cache{cache_id}.miss_latency")
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
+        self._track = f"cache{cache_id}"
         self.tag_busy_until = 0
         #: Optional hook invoked with the line address of every snooped
         #: bus write (or invalidating operation).  The CVAX CPU wires
@@ -153,7 +160,17 @@ class SnoopyCache:
             value = self.protocol.read_hit(self, line, offset)
             return value
         self.stats.incr(f"{kind}.miss")
+        start = self.mbus.sim.now
         value = yield from self.protocol.read_miss(self, line, index, tag, offset)
+        elapsed = self.mbus.sim.now - start
+        self.miss_latency.record(elapsed)
+        if self.probe.active:
+            # Figure 3 FSM event: a miss is the P-arc out of INVALID.
+            self.probe.complete(
+                "cache.transition", self._track, start, elapsed,
+                stimulus=f"P{kind}.miss", before=LineState.INVALID.name,
+                after=line.state.name,
+                address=self.geometry.line_address(ref.address))
         return value
 
     def cpu_write(self, ref: MemRef, value: int):
@@ -161,13 +178,38 @@ class SnoopyCache:
         if ref.kind is not AccessKind.DATA_WRITE:
             raise SimulationError(f"cpu_write given non-write ref {ref}")
         line, index, tag, offset = self.lookup(ref.address)
+        probe = self.probe
         if line.valid and line.tag == tag:
             self.stats.incr("dwrite.hit")
-            yield from self.protocol.write_hit(self, line, index, offset, value)
+            if not probe.active:
+                yield from self.protocol.write_hit(self, line, index, offset,
+                                                   value)
+                return
+            before = line.state
+            start = self.mbus.sim.now
+            yield from self.protocol.write_hit(self, line, index, offset,
+                                               value)
+            # Self-loops with no bus work (e.g. DIRTY write-back hits)
+            # are the common case and carry no FSM information.
+            if line.state is not before or self.mbus.sim.now != start:
+                probe.complete(
+                    "cache.transition", self._track, start,
+                    self.mbus.sim.now - start, stimulus="Pwrite.hit",
+                    before=before.name, after=line.state.name,
+                    address=self.geometry.line_address(ref.address))
         else:
             self.stats.incr("dwrite.miss")
+            start = self.mbus.sim.now
             yield from self.protocol.write_miss(
                 self, line, index, tag, offset, value, ref.partial)
+            elapsed = self.mbus.sim.now - start
+            self.miss_latency.record(elapsed)
+            if probe.active:
+                probe.complete(
+                    "cache.transition", self._track, start, elapsed,
+                    stimulus="Pwrite.miss", before=LineState.INVALID.name,
+                    after=line.state.name,
+                    address=self.geometry.line_address(ref.address))
 
     # -- DMA port (the I/O processor's cache only, in practice) -------------
 
@@ -271,7 +313,17 @@ class SnoopyCache:
         if not (line.valid and line.tag == tag):
             return SnoopResult(shared=False)
         self.stats.incr("snoop.hits")
-        return self.protocol.snoop(self, line, line_address, op, data)
+        if not self.probe.active:
+            return self.protocol.snoop(self, line, line_address, op, data)
+        before = line.state
+        result = self.protocol.snoop(self, line, line_address, op, data)
+        after = (line.state if line.valid and line.tag == tag
+                 else LineState.INVALID)
+        self.probe.instant(
+            "cache.transition", self._track, stimulus=f"M{op.value}",
+            before=before.name, after=after.name, address=line_address,
+            shared=result.shared)
+        return result
 
     def tag_contention_stall(self, now: int) -> bool:
         """Whether a CPU access at ``now`` collides with a snoop probe."""

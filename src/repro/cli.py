@@ -13,6 +13,12 @@ Subcommands:
 ``fsm``
     Print a coherence protocol's measured state-transition table
     (Figure 3 for the firefly protocol).
+``trace``
+    Run a workload with full telemetry, write a Chrome-trace/JSONL
+    file, and print the per-phase ASCII timeline.
+
+``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
+capture a trace of an ordinary run.
 
 Examples::
 
@@ -20,6 +26,8 @@ Examples::
     firefly-sim simulate --generation cvax --processors 7 --diagram
     firefly-sim table1 --miss-rate 0.1
     firefly-sim exerciser --processors 5 --threads 16
+    firefly-sim exerciser --processors 5 --telemetry-out run.trace.json
+    firefly-sim trace --workload exerciser --out trace.json
     firefly-sim fsm --protocol dragon
 """
 
@@ -38,6 +46,12 @@ from repro.system import (
     FireflyConfig,
     FireflyMachine,
     Generation,
+)
+from repro.telemetry import (
+    DEFAULT_SAMPLE_INTERVAL,
+    telemetry_for_kernel,
+    telemetry_for_machine,
+    write_export,
 )
 from repro.workloads.threads_exerciser import (
     ExerciserParams,
@@ -67,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the Figure 1 system diagram")
     sim.add_argument("--skip-check", action="store_true",
                      help="skip the coherence audit")
+    _add_telemetry_args(sim)
 
     table1 = sub.add_parser("table1", help="print the analytic Table 1")
     table1.add_argument("--miss-rate", type=float, default=0.2)
@@ -79,12 +94,67 @@ def _build_parser() -> argparse.ArgumentParser:
     exerciser.add_argument("--threads", type=int, default=16)
     exerciser.add_argument("--seed", type=int, default=1987)
     exerciser.add_argument("--measure-cycles", type=int, default=400_000)
+    _add_telemetry_args(exerciser)
 
     fsm = sub.add_parser("fsm", help="print a protocol's measured FSM")
     fsm.add_argument("--protocol", choices=sorted(available_protocols()),
                      default="firefly")
 
+    trace = sub.add_parser(
+        "trace", help="run a workload under full telemetry")
+    trace.add_argument("--workload", choices=("exerciser", "synthetic"),
+                       default="exerciser")
+    trace.add_argument("--out", default="firefly.trace.json",
+                       help="output path (default firefly.trace.json)")
+    trace.add_argument("--format", choices=("chrome", "jsonl"), default=None,
+                       help="export format (default: by file suffix)")
+    trace.add_argument("--processors", type=int, default=5)
+    trace.add_argument("--threads", type=int, default=16)
+    trace.add_argument("--protocol", choices=sorted(available_protocols()),
+                       default="firefly")
+    trace.add_argument("--seed", type=int, default=1987)
+    trace.add_argument("--warmup-cycles", type=int, default=100_000)
+    trace.add_argument("--measure-cycles", type=int, default=200_000)
+    trace.add_argument("--sample-interval", type=int,
+                       default=DEFAULT_SAMPLE_INTERVAL)
+
     return parser
+
+
+def _add_telemetry_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="capture telemetry and write a Chrome-trace JSON "
+             "(or JSONL if PATH ends in .jsonl)")
+    sub_parser.add_argument(
+        "--sample-interval", type=int, default=DEFAULT_SAMPLE_INTERVAL,
+        help="cycles between time-series samples "
+             f"(default {DEFAULT_SAMPLE_INTERVAL})")
+
+
+def _begin_telemetry(args, subject, for_kernel: bool):
+    """(hub, sampler) when ``--telemetry-out`` was given, else (None, None)."""
+    if getattr(args, "telemetry_out", None) is None:
+        return None, None
+    setup = telemetry_for_kernel if for_kernel else telemetry_for_machine
+    hub, sampler = setup(subject, interval=args.sample_interval)
+    sampler.start()
+    return hub, sampler
+
+
+def _finish_telemetry(args, hub, sampler) -> None:
+    """Stop sampling, export, and print the per-phase timeline."""
+    if hub is None:
+        return
+    sampler.stop()
+    fmt = write_export(args.telemetry_out, hub, [sampler],
+                       fmt=getattr(args, "format", None))
+    from repro.reporting import render_phase_timeline
+    print()
+    print(render_phase_timeline(hub, sampler))
+    print()
+    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped) -> "
+          f"{args.telemetry_out} [{fmt}]")
 
 
 def _cmd_simulate(args) -> int:
@@ -98,12 +168,14 @@ def _cmd_simulate(args) -> int:
     if args.diagram:
         print(render_system_diagram(machine))
         print()
+    hub, sampler = _begin_telemetry(args, machine, for_kernel=False)
     metrics = machine.run(warmup_cycles=args.warmup_cycles,
                           measure_cycles=args.measure_cycles)
     print(metrics.summary())
     if not args.skip_check:
         audited = CoherenceChecker(machine).check()
         print(f"coherence OK ({audited} cached words audited)")
+    _finish_telemetry(args, hub, sampler)
     return 0
 
 
@@ -129,6 +201,7 @@ def _cmd_exerciser(args) -> int:
     kernel = build_exerciser(args.processors,
                              ExerciserParams(threads=args.threads),
                              seed=args.seed)
+    hub, sampler = _begin_telemetry(args, kernel, for_kernel=True)
     metrics = kernel.run(warmup_cycles=200_000,
                          measure_cycles=args.measure_cycles)
     expected = exerciser_expectations(args.processors)
@@ -138,6 +211,7 @@ def _cmd_exerciser(args) -> int:
     print(metrics.summary())
     print(f"migrations: {kernel.total_migrations}   context switches: "
           f"{kernel.stats['context_switches'].total}")
+    _finish_telemetry(args, hub, sampler)
     return 0
 
 
@@ -146,11 +220,44 @@ def _cmd_fsm(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.reporting import render_phase_timeline
+    if args.workload == "exerciser":
+        kernel = build_exerciser(args.processors,
+                                 ExerciserParams(threads=args.threads),
+                                 seed=args.seed)
+        hub, sampler = telemetry_for_kernel(kernel,
+                                            interval=args.sample_interval)
+        subject = kernel
+    else:
+        config = FireflyConfig(processors=args.processors,
+                               protocol=args.protocol, seed=args.seed)
+        machine = FireflyMachine(config)
+        hub, sampler = telemetry_for_machine(machine,
+                                             interval=args.sample_interval)
+        subject = machine
+    sampler.start()
+    metrics = subject.run(warmup_cycles=args.warmup_cycles,
+                          measure_cycles=args.measure_cycles)
+    sampler.stop()
+    fmt = write_export(args.out, hub, [sampler], fmt=args.format)
+    print(render_phase_timeline(hub, sampler))
+    print()
+    print(metrics.summary())
+    print()
+    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped) -> "
+          f"{args.out} [{fmt}]")
+    if fmt == "chrome":
+        print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
     "exerciser": _cmd_exerciser,
     "fsm": _cmd_fsm,
+    "trace": _cmd_trace,
 }
 
 

@@ -12,11 +12,21 @@ from repro.reporting.figures import (
     render_system_diagram,
     render_topaz_diagram,
 )
+from repro.reporting.timeline import (
+    render_event_summary,
+    render_phase_timeline,
+    render_series_table,
+    sparkline,
+)
 
 __all__ = [
     "Column",
     "TextTable",
+    "render_event_summary",
+    "render_phase_timeline",
+    "render_series_table",
     "render_state_diagram",
     "render_system_diagram",
     "render_topaz_diagram",
+    "sparkline",
 ]

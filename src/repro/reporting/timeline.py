@@ -1,0 +1,154 @@
+"""ASCII sparkline / timeline rendering for telemetry data.
+
+The paper's authors watched the Firefly on a logic analyser; this
+module is the terminal equivalent: sampler series become Unicode
+sparklines, hub events become a per-phase activity summary, so a
+``firefly-sim`` run can show *when* the bus saturated or the run queue
+backed up without leaving the shell.
+
+Rendering is pure string construction over
+:class:`~repro.telemetry.probe.TelemetryHub` and
+:class:`~repro.telemetry.sampler.Sampler` objects — no I/O here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.probe import TelemetryHub
+from repro.telemetry.sampler import Sampler, Series
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+"""Eighth-block ramp used for sparklines."""
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render ``values`` as a fixed-width Unicode sparkline.
+
+    Longer series are bucketed (bucket mean) down to ``width``; shorter
+    ones render one glyph per value.  ``lo``/``hi`` pin the scale
+    (e.g. 0..1 for a load fraction); by default the data's own range is
+    used, and a flat series renders as a run of the lowest block.
+
+    >>> sparkline([0, 1, 2, 3], width=4, lo=0, hi=3)
+    '▁▃▆█'
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not values:
+        return ""
+    values = _bucket(list(values), width)
+    floor = min(values) if lo is None else lo
+    ceil = max(values) if hi is None else hi
+    span = ceil - floor
+    if span <= 0:
+        return BLOCKS[0] * len(values)
+    top = len(BLOCKS) - 1
+    out = []
+    for v in values:
+        scaled = (min(max(v, floor), ceil) - floor) / span
+        out.append(BLOCKS[round(scaled * top)])
+    return "".join(out)
+
+
+def _bucket(values: List[float], width: int) -> List[float]:
+    """Downsample to at most ``width`` points by bucket means."""
+    n = len(values)
+    if n <= width:
+        return values
+    out = []
+    for i in range(width):
+        start = i * n // width
+        end = max(start + 1, (i + 1) * n // width)
+        chunk = values[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def render_series_table(sampler: Sampler, width: int = 48,
+                        names: Optional[Sequence[str]] = None) -> str:
+    """One sparkline row per sampler series, with min/mean/max columns."""
+    series = (sampler.all_series() if names is None
+              else [sampler.series(n) for n in names])
+    lines = []
+    label_width = max((len(s.name) for s in series), default=0)
+    for s in series:
+        values = s.values()
+        if not values:
+            lines.append(f"{s.name:<{label_width}}  (no samples)")
+            continue
+        lines.append(
+            f"{s.name:<{label_width}}  {sparkline(values, width)}  "
+            f"min={min(values):.3g} mean={sum(values) / len(values):.3g} "
+            f"max={max(values):.3g}")
+    return "\n".join(lines)
+
+
+def render_event_summary(hub: TelemetryHub, top: int = 12) -> str:
+    """Event counts by name, densest first."""
+    counts: Dict[str, int] = {}
+    for event in hub.events:
+        counts[event.name] = counts.get(event.name, 0) + 1
+    if not counts:
+        return "(no events)"
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    name_width = max(len(name) for name, _ in ranked)
+    total = max(count for _, count in ranked)
+    lines = []
+    for name, count in ranked:
+        bar = "#" * max(1, round(24 * count / total))
+        lines.append(f"{name:<{name_width}}  {count:>8}  {bar}")
+    if len(counts) > top:
+        lines.append(f"... and {len(counts) - top} more event kinds")
+    return "\n".join(lines)
+
+
+def _phase_spans(hub: TelemetryHub) -> List[Tuple[str, int, int]]:
+    """(name, start, end) spans from ``phase.*`` markers, in order."""
+    markers = [(e.time, e.name.split(".", 1)[1]) for e in hub.events
+               if e.name.startswith("phase.")]
+    markers.sort()
+    end_time = hub.now()
+    spans = []
+    for i, (time, name) in enumerate(markers):
+        if name == "end":
+            continue
+        nxt = markers[i + 1][0] if i + 1 < len(markers) else end_time
+        spans.append((name, time, nxt))
+    return spans
+
+
+def render_phase_timeline(hub: TelemetryHub, sampler: Optional[Sampler] = None,
+                          width: int = 48) -> str:
+    """The per-phase run summary the CLI prints.
+
+    For each ``phase.*`` span (warm-up, measurement window): the event
+    count inside it, and — when a sampler is given — a sparkline of
+    each series restricted to that span.  Without phase markers the
+    whole run is rendered as one span.
+    """
+    spans = _phase_spans(hub) or [("run", 0, hub.now())]
+    sections = []
+    for name, start, end in spans:
+        inside = sum(1 for e in hub.events
+                     if start <= e.time < end and not e.name.startswith("phase."))
+        header = (f"phase {name}: cycles {start}..{end} "
+                  f"({end - start} cycles, {inside} events)")
+        lines = [header, "-" * len(header)]
+        if sampler is not None:
+            label_width = max((len(s.name) for s in sampler.all_series()),
+                              default=0)
+            for s in sampler.all_series():
+                values = [v for t, v in s.samples() if start <= t < end]
+                if not values:
+                    continue
+                lines.append(
+                    f"  {s.name:<{label_width}}  "
+                    f"{sparkline(values, width)}  "
+                    f"mean={sum(values) / len(values):.3g} "
+                    f"max={max(values):.3g}")
+        sections.append("\n".join(lines))
+    sections.append("event mix\n---------\n" + render_event_summary(hub))
+    return "\n\n".join(sections)

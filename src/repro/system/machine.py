@@ -32,6 +32,7 @@ from repro.processor.refgen import (
 )
 from repro.system.config import FireflyConfig, Generation
 from repro.system.metrics import MachineMetrics, collect_metrics
+from repro.telemetry.probe import NULL_PROBE
 
 SourceFactory = Callable[[int, "FireflyMachine"], ReferenceSource]
 
@@ -92,6 +93,8 @@ class FireflyMachine:
         if config.io_enabled:
             self.qbus = QBus(self.sim, self.io_cache)
 
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
         self._started = False
 
     # -- construction helpers ------------------------------------------
@@ -187,10 +190,18 @@ class FireflyMachine:
         if warmup_cycles < 0 or measure_cycles <= 0:
             raise ConfigurationError("invalid warmup/measure horizon")
         self.start()
+        if self.probe.active:
+            self.probe.instant("phase.warmup", "machine",
+                               cycles=warmup_cycles)
         self.sim.run_until(self.sim.now + warmup_cycles)
         self.mark_window()
         start = self.sim.now
+        if self.probe.active:
+            self.probe.instant("phase.measure", "machine",
+                               cycles=measure_cycles)
         self.sim.run_until(start + measure_cycles)
+        if self.probe.active:
+            self.probe.instant("phase.end", "machine")
         return collect_metrics(self, window_cycles=measure_cycles)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -12,8 +12,8 @@ definitions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List
 
 from repro.common.stats import ratio
 from repro.common.types import SECONDS_PER_CYCLE
@@ -45,6 +45,16 @@ class CpuMetrics:
     @property
     def read_write_ratio(self) -> float:
         return ratio(self.read_krate, self.write_krate)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (field values only, properties recomputable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CpuMetrics":
+        """Rebuild from :meth:`to_dict` output (extra keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
 
 
 @dataclass(frozen=True)
@@ -122,6 +132,24 @@ class MachineMetrics:
         instructions = sum(c.instructions for c in self.cpus)
         return instructions / self.window_seconds / 1e3
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; one schema shared with telemetry samples.
+
+        Benchmark result files and telemetry exports both serialise
+        through this, so downstream tooling parses a single format.
+        """
+        data = asdict(self)
+        data["cpus"] = [cpu.to_dict() for cpu in self.cpus]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MachineMetrics":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        names = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        kwargs["cpus"] = [CpuMetrics.from_dict(c) for c in data.get("cpus", [])]
+        return cls(**kwargs)
+
     def summary(self) -> str:
         """A human-readable block, in the spirit of Table 2."""
         lines = [
@@ -175,17 +203,12 @@ def collect_metrics(machine, window_cycles: int) -> MachineMetrics:
         window_cycles=window_cycles,
         cpus=cpus,
         bus_load=machine.mbus.load(),
-        bus_ops=bus["ops"].windowed,
-        bus_reads_memory=bus["read.memory_supplied"].windowed
-        if "read.memory_supplied" in bus else 0,
-        bus_reads_cache=bus["read.cache_supplied"].windowed
-        if "read.cache_supplied" in bus else 0,
-        bus_writes_mshared=bus["write.mshared"].windowed
-        if "write.mshared" in bus else 0,
-        bus_writes_not_mshared=bus["write.not_mshared"].windowed
-        if "write.not_mshared" in bus else 0,
-        bus_victim_writes=bus["write.victim"].windowed
-        if "write.victim" in bus else 0,
+        bus_ops=bus.get_windowed("ops"),
+        bus_reads_memory=bus.get_windowed("read.memory_supplied"),
+        bus_reads_cache=bus.get_windowed("read.cache_supplied"),
+        bus_writes_mshared=bus.get_windowed("write.mshared"),
+        bus_writes_not_mshared=bus.get_windowed("write.not_mshared"),
+        bus_victim_writes=bus.get_windowed("write.victim"),
         dirty_fraction=sum(dirty) / len(dirty) if dirty else 0.0,
         qbus_load=machine.qbus.load() if machine.qbus is not None else 0.0,
     )

@@ -1,0 +1,154 @@
+"""Telemetry exporters: Chrome-trace JSON and JSONL event streams.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto JSON object
+format: a ``traceEvents`` array of phase-tagged records.  Each
+telemetry *track* (``bus``, ``cpu0`` …, ``cache0`` …, ``qbus``,
+``rpc``) becomes one named thread under a single ``firefly-sim``
+process, so the UI draws one timeline row per CPU/bus/device; sampler
+series become counter (``C``) events, which the UI draws as stacked
+area charts.
+
+Timestamps are microseconds in the Chrome format (one MBus cycle is
+0.1 µs) and raw cycles in the JSONL format.
+
+The JSONL format is one JSON object per line: a ``meta`` header, then
+``event`` and ``sample`` records in time order — trivially greppable
+and streamable into pandas/jq.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.common.types import SECONDS_PER_CYCLE
+from repro.telemetry.probe import COMPLETE, INSTANT, TelemetryHub
+from repro.telemetry.sampler import Sampler, Series
+
+MICROSECONDS_PER_CYCLE = SECONDS_PER_CYCLE * 1e6
+"""Chrome-trace ``ts`` units per simulator cycle (0.1 µs per cycle)."""
+
+_PID = 0
+
+
+def _flatten_series(samplers: Sequence[Union[Sampler, Series]]) -> List[Series]:
+    series: List[Series] = []
+    for item in samplers:
+        if isinstance(item, Sampler):
+            series.extend(item.all_series())
+        else:
+            series.append(item)
+    return series
+
+
+def chrome_trace(hub: TelemetryHub,
+                 samplers: Sequence[Union[Sampler, Series]] = (),
+                 process_name: str = "firefly-sim") -> Dict[str, Any]:
+    """Build a ``chrome://tracing`` JSON object from a hub + samplers.
+
+    Tracks are assigned thread ids in first-appearance order and named
+    via metadata events; ``X`` (complete) events carry their duration,
+    instants render as arrows, and sampler series become counters.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": process_name},
+    }]
+    tids: Dict[str, int] = {}
+    for track in hub.tracks():
+        tid = tids[track] = len(tids)
+        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                       "tid": tid, "args": {"name": track}})
+        events.append({"name": "thread_sort_index", "ph": "M", "pid": _PID,
+                       "tid": tid, "args": {"sort_index": tid}})
+
+    for event in hub.events:
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "ph": event.phase,
+            "ts": event.time * MICROSECONDS_PER_CYCLE,
+            "pid": _PID,
+            "tid": tids[event.track],
+            "args": dict(event.args),
+        }
+        if event.phase == COMPLETE:
+            record["dur"] = event.duration * MICROSECONDS_PER_CYCLE
+        elif event.phase == INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        events.append(record)
+
+    for series in _flatten_series(samplers):
+        for time, value in series.samples():
+            events.append({
+                "name": series.name, "cat": "sample", "ph": "C",
+                "ts": time * MICROSECONDS_PER_CYCLE, "pid": _PID,
+                "args": {"value": value},
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "emitted": hub.emitted,
+            "dropped": hub.dropped,
+            "cycle_ns": SECONDS_PER_CYCLE * 1e9,
+        },
+    }
+
+
+def write_chrome_trace(path, hub: TelemetryHub,
+                       samplers: Sequence[Union[Sampler, Series]] = ()) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(hub, samplers), fh)
+
+
+def jsonl_records(hub: TelemetryHub,
+                  samplers: Sequence[Union[Sampler, Series]] = ()
+                  ) -> Iterable[Dict[str, Any]]:
+    """Yield the JSONL records: meta header, events, then samples."""
+    yield {"type": "meta", "format": "firefly-telemetry", "version": 1,
+           "cycle_ns": SECONDS_PER_CYCLE * 1e9, "emitted": hub.emitted,
+           "dropped": hub.dropped}
+    for event in hub.events:
+        record = event.to_dict()
+        record["type"] = "event"
+        yield record
+    for series in _flatten_series(samplers):
+        for time, value in series.samples():
+            yield {"type": "sample", "series": series.name,
+                   "time": time, "value": value}
+
+
+def write_jsonl(path, hub: TelemetryHub,
+                samplers: Sequence[Union[Sampler, Series]] = ()) -> None:
+    """Write the hub's events (and sampler series) as JSON Lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump_jsonl(fh, hub, samplers)
+
+
+def dump_jsonl(fh: IO[str], hub: TelemetryHub,
+               samplers: Sequence[Union[Sampler, Series]] = ()) -> None:
+    """Stream JSONL records to an open text file."""
+    for record in jsonl_records(hub, samplers):
+        fh.write(json.dumps(record))
+        fh.write("\n")
+
+
+def write_export(path: str, hub: TelemetryHub,
+                 samplers: Sequence[Union[Sampler, Series]] = (),
+                 fmt: Optional[str] = None) -> str:
+    """Write ``path`` in ``fmt`` (``chrome``/``jsonl``; None = by suffix).
+
+    Returns the format actually used.
+    """
+    if fmt is None:
+        fmt = "jsonl" if str(path).endswith(".jsonl") else "chrome"
+    if fmt == "chrome":
+        write_chrome_trace(path, hub, samplers)
+    elif fmt == "jsonl":
+        write_jsonl(path, hub, samplers)
+    else:
+        raise ValueError(f"unknown telemetry export format {fmt!r}")
+    return fmt

@@ -1,0 +1,124 @@
+"""Wiring telemetry into built machines and kernels.
+
+Components carry an inert probe by default; these helpers replace it
+with live probes from one hub, and build the standard sampler set
+(bus load, per-CPU TPI, miss rate, run-queue depth).  Attachment is
+*post-construction*, so no component constructor grows a telemetry
+parameter and an uninstrumented machine pays only the dead
+``probe.active`` branches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.telemetry.probe import TelemetryHub
+from repro.telemetry.sampler import Sampler, delta_gauge
+
+DEFAULT_SAMPLE_INTERVAL = 2_000
+"""Cycles between time-series samples (200 µs of simulated time)."""
+
+
+def attach_machine(hub: TelemetryHub, machine) -> TelemetryHub:
+    """Wire live probes into a machine's bus, caches, and QBus."""
+    machine.probe = hub.probe("machine")
+    machine.mbus.probe = hub.probe("bus")
+    for cache in machine.caches:
+        cache.probe = hub.probe("cache")
+    if machine.qbus is not None:
+        machine.qbus.probe = hub.probe("dma")
+    return hub
+
+
+def attach_kernel(hub: TelemetryHub, kernel) -> TelemetryHub:
+    """Wire probes into a Topaz kernel and its underlying machine."""
+    attach_machine(hub, kernel.machine)
+    probe = hub.probe("sched")
+    kernel.probe = probe
+    kernel.scheduler.probe = probe
+    return hub
+
+
+def attach_rpc(hub: TelemetryHub, transport) -> TelemetryHub:
+    """Wire a probe into an RPC transport (call + turnaround spans)."""
+    transport.probe = hub.probe("rpc")
+    return hub
+
+
+def machine_sampler(machine, interval: int = DEFAULT_SAMPLE_INTERVAL,
+                    capacity: int = 4096) -> Sampler:
+    """The standard machine trajectory: bus load, TPI, miss rate.
+
+    ``bus.load`` and the per-CPU series are *interval* rates (deltas
+    over the last sample period), so the trajectory shows transients —
+    unlike ``MachineMetrics``, which averages the whole window.
+    """
+    sampler = Sampler(machine.sim, interval, capacity)
+    mbus = machine.mbus
+    sampler.add("bus.load", delta_gauge(
+        lambda: mbus.utilization.busy_total, lambda: machine.sim.now))
+    sampler.add("bus.queue_depth", lambda: mbus.queue_depth)
+    sampler.add("bus.ops", delta_gauge(
+        lambda: mbus.stats["ops"].total, lambda: 1 + sampler.ticks))
+    if machine.qbus is not None:
+        qbus = machine.qbus
+        sampler.add("qbus.load", delta_gauge(
+            lambda: qbus.utilization.busy_total, lambda: machine.sim.now))
+    for cpu, cache in zip(machine.cpus, machine.caches):
+        _add_cpu_series(sampler, machine, cpu, cache)
+    return sampler
+
+
+def _add_cpu_series(sampler: Sampler, machine, cpu, cache) -> None:
+    cpu_id = cpu.cpu_id
+    tick_cycles = cpu.timing.tick_cycles
+    stats = cpu.stats
+
+    def busy_ticks() -> float:
+        return ((machine.sim.now - stats["idle_cycles"].total)
+                / tick_cycles)
+
+    sampler.add(f"cpu{cpu_id}.tpi", delta_gauge(
+        busy_ticks, lambda: stats["instructions"].total))
+
+    cache_stats = cache.stats
+
+    def misses() -> float:
+        return (cache_stats["ifetch.miss"].total
+                + cache_stats["dread.miss"].total
+                + cache_stats["dwrite.miss"].total)
+
+    def references() -> float:
+        return misses() + (cache_stats["ifetch.hit"].total
+                           + cache_stats["dread.hit"].total
+                           + cache_stats["dwrite.hit"].total)
+
+    sampler.add(f"cpu{cpu_id}.miss_rate", delta_gauge(misses, references))
+
+
+def kernel_sampler(kernel, interval: int = DEFAULT_SAMPLE_INTERVAL,
+                   capacity: int = 4096) -> Sampler:
+    """Machine sampler plus the scheduler's run-queue depth."""
+    sampler = machine_sampler(kernel.machine, interval, capacity)
+    sampler.add("sched.ready", lambda: kernel.scheduler.ready_count)
+    return sampler
+
+
+def telemetry_for_machine(machine,
+                          interval: int = DEFAULT_SAMPLE_INTERVAL,
+                          max_events: int = 500_000
+                          ) -> Tuple[TelemetryHub, Sampler]:
+    """One-call setup: hub attached + standard sampler (not started)."""
+    hub = TelemetryHub(machine.sim, max_events=max_events)
+    attach_machine(hub, machine)
+    return hub, machine_sampler(machine, interval)
+
+
+def telemetry_for_kernel(kernel,
+                         interval: int = DEFAULT_SAMPLE_INTERVAL,
+                         max_events: int = 500_000
+                         ) -> Tuple[TelemetryHub, Sampler]:
+    """One-call setup for a Topaz kernel (scheduler events included)."""
+    hub = TelemetryHub(kernel.sim, max_events=max_events)
+    attach_kernel(hub, kernel)
+    return hub, kernel_sampler(kernel, interval)

@@ -1,0 +1,215 @@
+"""Structured event telemetry: probes, the hub, and subscribers.
+
+The paper's evaluation was read off hardware event counters and a
+logic analyser; the simulator equivalent is a telemetry bus.  Model
+components own a :class:`Probe` (by default the inert
+:data:`NULL_PROBE`) and emit typed, timestamped events through it —
+``bus.op``, ``cache.transition``, ``sched.migrate``, ``dma.burst``,
+``rpc.turnaround`` — which a :class:`TelemetryHub` collects and fans
+out to subscribers.
+
+The design constraint is the *disabled* path: instrumentation sits on
+hot simulator paths (every bus transaction, every cache miss), so when
+nothing is listening an emit site must cost one attribute load and one
+branch::
+
+    if self.probe.active:
+        self.probe.complete("bus.op", "bus", start, cycles, op=op.value)
+
+``NULL_PROBE.active`` is permanently ``False`` and a hub's probes go
+inactive when the hub is disabled, so no event object is ever
+allocated unless someone asked for telemetry.
+
+Event taxonomy and exporters are documented in ``docs/TELEMETRY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+INSTANT = "i"
+"""A point event (Chrome trace phase ``i``)."""
+
+COMPLETE = "X"
+"""A duration event with an explicit start and length (phase ``X``)."""
+
+
+class TelemetryEvent:
+    """One emitted event: a name, a timestamp, a track, and arguments.
+
+    ``track`` names the timeline row the event belongs to (``bus``,
+    ``cpu3``, ``cache0``, ``qbus``, ``rpc`` …); exporters map tracks to
+    Chrome-trace threads.  ``duration`` is zero for instants.
+    """
+
+    __slots__ = ("name", "time", "track", "phase", "duration", "args")
+
+    def __init__(self, name: str, time: int, track: str,
+                 phase: str = INSTANT, duration: int = 0,
+                 args: Tuple[Tuple[str, Any], ...] = ()) -> None:
+        self.name = name
+        self.time = time
+        self.track = track
+        self.phase = phase
+        self.duration = duration
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict view (the JSONL exporter's record body)."""
+        return {"name": self.name, "time": self.time, "track": self.track,
+                "phase": self.phase, "duration": self.duration,
+                "args": dict(self.args)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " ".join(f"{k}={v}" for k, v in self.args)
+        return (f"<{self.name}@{self.time} {self.track} "
+                f"{self.phase} {inner}>".replace(" >", ">"))
+
+
+class _NullProbe:
+    """The probe every component starts with: inert, allocation-free."""
+
+    __slots__ = ()
+    active = False
+
+    def instant(self, name: str, track: str, **args) -> None:
+        """Discard (the guarding ``if probe.active`` makes this dead)."""
+
+    def instant_at(self, name: str, track: str, time: int, **args) -> None:
+        """Discard."""
+
+    def complete(self, name: str, track: str, start: int, duration: int,
+                 **args) -> None:
+        """Discard."""
+
+
+NULL_PROBE = _NullProbe()
+"""Module-level inert probe; components default their ``probe`` to it."""
+
+
+class Probe:
+    """A component's handle for emitting events into a hub.
+
+    ``active`` mirrors the hub's enabled flag; emit sites must guard on
+    it so the disabled path allocates nothing.
+    """
+
+    __slots__ = ("category", "hub", "active")
+
+    def __init__(self, category: str, hub: "TelemetryHub") -> None:
+        self.category = category
+        self.hub = hub
+        self.active = hub.enabled
+
+    def instant(self, name: str, track: str, **args) -> None:
+        """Emit a point event stamped at the hub's current time."""
+        hub = self.hub
+        hub.record(TelemetryEvent(name, hub.now(), track, INSTANT, 0,
+                                  tuple(args.items())))
+
+    def instant_at(self, name: str, track: str, time: int, **args) -> None:
+        """Emit a point event at an explicit (earlier) timestamp."""
+        self.hub.record(TelemetryEvent(name, time, track, INSTANT, 0,
+                                       tuple(args.items())))
+
+    def complete(self, name: str, track: str, start: int, duration: int,
+                 **args) -> None:
+        """Emit a duration event covering ``[start, start+duration)``."""
+        self.hub.record(TelemetryEvent(name, start, track, COMPLETE,
+                                       duration, tuple(args.items())))
+
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryHub:
+    """The central registry: hands out probes, buffers and fans out events.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel whose clock stamps events (anything with a
+        ``now`` attribute works).
+    max_events:
+        Buffer bound; events beyond it are counted in ``dropped``
+        rather than stored, so a runaway run cannot exhaust memory.
+    """
+
+    def __init__(self, sim, max_events: int = 500_000) -> None:
+        self.sim = sim
+        self.max_events = max_events
+        self.events: List[TelemetryEvent] = []
+        self.emitted = 0
+        self.dropped = 0
+        self._enabled = True
+        self._probes: Dict[str, Probe] = {}
+        self._subscribers: List[Tuple[str, Subscriber]] = []
+
+    # -- registry ------------------------------------------------------
+
+    def probe(self, category: str) -> Probe:
+        """Return (creating if needed) the probe for ``category``."""
+        probe = self._probes.get(category)
+        if probe is None:
+            probe = Probe(category, self)
+            self._probes[category] = probe
+        return probe
+
+    @property
+    def enabled(self) -> bool:
+        """Whether probes handed out by this hub are live."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        for probe in self._probes.values():
+            probe.active = self._enabled
+
+    # -- event flow ----------------------------------------------------
+
+    def now(self) -> int:
+        """The current simulation time."""
+        return self.sim.now
+
+    def record(self, event: TelemetryEvent) -> None:
+        """Buffer one event and deliver it to matching subscribers."""
+        self.emitted += 1
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+        for prefix, fn in self._subscribers:
+            if event.name.startswith(prefix):
+                fn(event)
+
+    def subscribe(self, fn: Subscriber, prefix: str = "") -> Subscriber:
+        """Call ``fn(event)`` for every event whose name has ``prefix``."""
+        self._subscribers.append((prefix, fn))
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove every subscription of ``fn`` (no-op if absent)."""
+        self._subscribers = [(p, f) for p, f in self._subscribers
+                             if f is not fn]
+
+    # -- queries -------------------------------------------------------
+
+    def events_named(self, prefix: str) -> List[TelemetryEvent]:
+        """All buffered events whose name starts with ``prefix``."""
+        return [e for e in self.events if e.name.startswith(prefix)]
+
+    def tracks(self) -> List[str]:
+        """Track names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self._enabled else "disabled"
+        return (f"<TelemetryHub {state} events={len(self.events)} "
+                f"dropped={self.dropped}>")

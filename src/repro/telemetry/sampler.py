@@ -1,0 +1,209 @@
+"""Periodic time-series probes: ring buffers fed by the event kernel.
+
+Where :mod:`repro.telemetry.probe` captures *events* (something
+happened at time t), this module captures *trajectories*: every N
+cycles a :class:`Sampler` callback snapshots a set of scalar gauges —
+bus load, per-CPU TPI, miss rate, run-queue depth — into bounded ring
+buffers.  That turns the one-shot windowed ``MachineMetrics`` numbers
+into curves: a cold cache after a context switch shows up as a miss-
+rate spike, a DMA burst as a bus-load step, exactly the transients the
+paper's logic analyser saw between Table 2's endpoints.
+
+Gauges are plain callables evaluated at sample time.  For rates over
+the *last interval* (rather than since a mark), wrap cumulative
+counters with :func:`delta_gauge`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class RingBuffer:
+    """A bounded append-only buffer that drops its oldest entries."""
+
+    __slots__ = ("capacity", "_items", "_start", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: List = []
+        self._start = 0
+        self.dropped = 0
+
+    def append(self, item) -> None:
+        """Add one item, evicting the oldest when full."""
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        self._items[self._start] = item
+        self._start = (self._start + 1) % self.capacity
+        self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        n = len(self._items)
+        for i in range(n):
+            yield self._items[(self._start + i) % n]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RingBuffer {len(self)}/{self.capacity}>"
+
+
+class Series:
+    """One named time series: (time, value) pairs in a ring buffer."""
+
+    __slots__ = ("name", "_ring")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self._ring = RingBuffer(capacity)
+
+    def record(self, time: int, value: float) -> None:
+        """Append one sample."""
+        self._ring.append((time, value))
+
+    def samples(self) -> List[Tuple[int, float]]:
+        """All retained (time, value) samples, oldest first."""
+        return list(self._ring)
+
+    def values(self) -> List[float]:
+        """Just the values, oldest first."""
+        return [v for _, v in self._ring]
+
+    def times(self) -> List[int]:
+        """Just the timestamps, oldest first."""
+        return [t for t, _ in self._ring]
+
+    @property
+    def last(self) -> Optional[Tuple[int, float]]:
+        """The most recent sample, or None."""
+        items = self.samples()
+        return items[-1] if items else None
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted by the ring bound."""
+        return self._ring.dropped
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+Gauge = Callable[[], float]
+
+
+class Sampler:
+    """Snapshots registered gauges every ``interval`` kernel cycles.
+
+    The sampler drives itself with ``sim.call_at`` callbacks; it only
+    reschedules while running, so a stopped sampler leaves the event
+    heap drainable (``sim.run()`` still terminates).
+    """
+
+    def __init__(self, sim, interval: int, capacity: int = 4096) -> None:
+        if interval < 1:
+            raise ConfigurationError(
+                f"sample interval must be >= 1 cycle, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.capacity = capacity
+        self._gauges: Dict[str, Gauge] = {}
+        self._series: Dict[str, Series] = {}
+        self._running = False
+        self.ticks = 0
+
+    # -- registration --------------------------------------------------
+
+    def add(self, name: str, gauge: Gauge) -> Series:
+        """Register a gauge; returns its (initially empty) series."""
+        if name in self._gauges:
+            raise ConfigurationError(f"duplicate sampler series {name!r}")
+        self._gauges[name] = gauge
+        series = Series(name, self.capacity)
+        self._series[name] = series
+        return series
+
+    def series(self, name: str) -> Series:
+        """The series recorded for ``name``."""
+        return self._series[name]
+
+    def all_series(self) -> List[Series]:
+        """Every registered series, in registration order."""
+        return list(self._series.values())
+
+    # -- sampling ------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic sampling (idempotent).
+
+        Every gauge is evaluated (and discarded) once at start time, so
+        a :func:`delta_gauge` is primed *now* rather than at the first
+        tick — its first recorded sample then covers exactly
+        ``[start, start+interval)`` instead of reading a spurious 0.0.
+        """
+        if self._running:
+            return
+        self._running = True
+        for gauge in self._gauges.values():
+            gauge()
+        self.sim.call_at(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling; pending callbacks become no-ops."""
+        self._running = False
+
+    def sample_now(self) -> None:
+        """Record one sample of every gauge at the current time."""
+        now = self.sim.now
+        for name, gauge in self._gauges.items():
+            self._series[name].record(now, float(gauge()))
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self.sample_now()
+        self.sim.call_at(self.interval, self._tick)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self._running else "stopped"
+        return (f"<Sampler {state} every {self.interval} cycles, "
+                f"{len(self._series)} series>")
+
+
+def delta_gauge(numerator: Callable[[], float],
+                denominator: Callable[[], float]) -> Gauge:
+    """A gauge computing Δnumerator/Δdenominator since its last reading.
+
+    Both callables must return cumulative totals.  The first reading
+    primes the state and reports 0.0; a zero denominator delta (no
+    elapsed quantity) also reports 0.0.
+
+    >>> busy = [0]
+    >>> clock = [0]
+    >>> g = delta_gauge(lambda: busy[0], lambda: clock[0])
+    >>> g()
+    0.0
+    >>> busy[0], clock[0] = 40, 100
+    >>> g()
+    0.4
+    """
+    state: List[Optional[Tuple[float, float]]] = [None]
+
+    def gauge() -> float:
+        num, den = numerator(), denominator()
+        previous, state[0] = state[0], (num, den)
+        if previous is None:
+            return 0.0
+        dden = den - previous[1]
+        if dden <= 0:
+            return 0.0
+        return (num - previous[0]) / dden
+
+    return gauge

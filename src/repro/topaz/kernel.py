@@ -33,6 +33,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.events import Event
 from repro.common.stats import StatSet
 from repro.common.types import AccessKind, MemRef
+from repro.telemetry.probe import NULL_PROBE
 from repro.processor.cpu import InstructionBundle, Processor
 from repro.processor.mix import VAX_MIX, ReferenceMix
 from repro.system.config import FireflyConfig
@@ -114,6 +115,11 @@ class TopazKernel:
             deque() for _ in range(n)]
         self._idle_events: List[Optional[Event]] = [None] * n
         self._slice_left: List[int] = [0] * n
+
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
+        self._cpu_tracks = [f"cpu{i}" for i in range(n)]
+        self._run_since: List[Optional[int]] = [None] * n
 
         self.threads: List[TopazThread] = []
         self._next_tid = 0
@@ -297,6 +303,7 @@ class TopazKernel:
                     and self.scheduler.ready_count > 0):
                 # Preemption: the quantum expired with other work ready.
                 self.stats.incr("preemptions")
+                self._note_offcpu(cpu_id, thread, "preempt")
                 self._current[cpu_id] = None
                 self.scheduler.enqueue(thread)
                 return self._next_instruction(cpu_id)
@@ -312,18 +319,37 @@ class TopazKernel:
                 return self._next_instruction(cpu_id)
 
     def _dispatch(self, cpu_id: int, thread: TopazThread) -> None:
-        was_elsewhere = (thread.last_cpu is not None
-                         and thread.last_cpu != cpu_id)
+        previous_cpu = thread.last_cpu
+        was_elsewhere = (previous_cpu is not None
+                         and previous_cpu != cpu_id)
         thread.note_dispatch(cpu_id)
         self._current[cpu_id] = thread
+        self._run_since[cpu_id] = self.sim.now
         if self.params.time_slice_instructions is not None:
             self._slice_left[cpu_id] = self.params.time_slice_instructions
         self.stats.incr("dispatches")
         self.stats.incr("context_switches")
         if was_elsewhere:
             self.stats.incr("migrations")
+            if self.probe.active:
+                # The paper's costly case: the thread's working set is
+                # still in the old CPU's cache, so every write to it
+                # writes through until those copies age out.
+                self.probe.instant("sched.migrate", self._cpu_tracks[cpu_id],
+                                   thread=thread.name,
+                                   from_cpu=previous_cpu, to_cpu=cpu_id)
         self._switch_queue[cpu_id].extend(
             self._context_switch_bundles(cpu_id, thread))
+
+    def _note_offcpu(self, cpu_id: int, thread: TopazThread,
+                     reason: str) -> None:
+        """Emit the dispatch-to-descheduling run slice for a CPU track."""
+        start = self._run_since[cpu_id]
+        self._run_since[cpu_id] = None
+        if self.probe.active and start is not None:
+            self.probe.complete("sched.run", self._cpu_tracks[cpu_id],
+                                start, self.sim.now - start,
+                                thread=thread.name, reason=reason)
 
     def _context_switch_bundles(self, cpu_id: int,
                                 incoming: TopazThread) -> List[InstructionBundle]:
@@ -429,6 +455,7 @@ class TopazKernel:
             return False
         if isinstance(op, ops.YieldCpu):
             self.stats.incr("yields")
+            self._note_offcpu(cpu_id, thread, "yield")
             self._current[cpu_id] = None
             self.scheduler.enqueue(thread)
             return False
@@ -555,12 +582,14 @@ class TopazKernel:
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = why
         self.stats.incr("blocks")
+        self._note_offcpu(cpu_id, thread, why)
         self._current[cpu_id] = None
 
     def _finish(self, cpu_id: int, thread: TopazThread, result: Any) -> None:
         thread.state = ThreadState.DONE
         thread.result = result
         self.stats.incr("thread_exits")
+        self._note_offcpu(cpu_id, thread, "exit")
         self._current[cpu_id] = None
         while thread.joiners:
             joiner = thread.joiners.popleft()

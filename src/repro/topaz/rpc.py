@@ -33,6 +33,7 @@ from typing import Optional
 from repro.common.errors import ConfigurationError
 from repro.common.stats import StatSet
 from repro.io.ethernet import EthernetController, RemoteEndpoint
+from repro.telemetry.probe import NULL_PROBE
 from repro.topaz import ops
 from repro.topaz.kernel import TopazKernel
 
@@ -79,12 +80,15 @@ class RpcTransport:
         self.remote = remote or RemoteEndpoint(
             self.params.server_turnaround_cycles)
         self.stats = StatSet("rpc")
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
 
     # -- inter-machine calls ----------------------------------------------
 
     def call(self):
         """Topaz program fragment: one bulk-data call (use ``yield from``)."""
         p = self.params
+        call_start = self.kernel.sim.now
         yield ops.Compute(p.marshal_instructions)
         for packet in range(p.packets_per_call):
             yield ops.DeviceCall(
@@ -95,14 +99,23 @@ class RpcTransport:
             # wire-side measurement, and avoiding call-granularity
             # quantisation in short windows).
             self.stats.incr("data_bits", p.payload_bytes * 8)
+        turnaround_start = self.kernel.sim.now
         yield ops.DeviceCall(self.remote.service(self.kernel.sim),
                              label="rpc-server")
+        if self.probe.active:
+            self.probe.complete("rpc.turnaround", "rpc", turnaround_start,
+                                self.kernel.sim.now - turnaround_start)
         yield ops.DeviceCall(
             self.ethernet.receive_into(self.buffer_qbus_address,
                                        p.reply_bytes),
             label="rpc-rx")
         yield ops.Compute(p.unmarshal_instructions)
         self.stats.incr("calls")
+        if self.probe.active:
+            self.probe.complete("rpc.call", "rpc", call_start,
+                                self.kernel.sim.now - call_start,
+                                bits=p.data_bits_per_call,
+                                packets=p.packets_per_call)
 
     def client_program(self, calls: int):
         """A thread body performing ``calls`` back-to-back calls."""

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.telemetry.probe import NULL_PROBE
 from repro.topaz.thread import ThreadState, TopazThread
 
 
@@ -37,6 +38,8 @@ class Scheduler:
         self.enqueues = 0
         self.picks = 0
         self.affinity_hits = 0
+        #: Telemetry probe; inert unless a TelemetryHub is attached.
+        self.probe = NULL_PROBE
 
     def enqueue(self, thread: TopazThread) -> None:
         """Make a thread runnable (at the tail)."""
@@ -44,6 +47,9 @@ class Scheduler:
         thread.blocked_on = None
         self._ready.append(thread)
         self.enqueues += 1
+        if self.probe.active:
+            self.probe.instant("sched.ready", "sched", thread=thread.name,
+                               depth=len(self._ready))
 
     def pick(self, cpu_id: int) -> Optional[TopazThread]:
         """Choose the next thread for ``cpu_id``; None if queue empty."""
