@@ -2,7 +2,7 @@
 """Coherence-protocol shoot-out on identical reference streams.
 
 Runs the same calibrated four-processor workload (same seed, so the
-CPUs issue the same references) under all six implemented protocols at
+CPUs issue the same references) under all seven implemented protocols at
 three sharing intensities, and prints what the paper's §5.1 argues in
 prose: write-through-invalidate saturates the bus; ownership protocols
 pay reload misses under true sharing; the Firefly (and the similar

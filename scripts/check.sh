@@ -1,5 +1,7 @@
 #!/bin/sh
-# Tier-1 check: the full test suite plus a bytecode compile sweep.
+# Tier-1 check: compile sweep, tracked-bytecode guard, full test suite,
+# then the static verification gate (protocol model checker + structural
+# checks + simulation-safety linter; see docs/VERIFY.md).
 #
 # Usage: scripts/check.sh [extra pytest args]
 # e.g.:  scripts/check.sh -m telemetry
@@ -11,5 +13,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== compileall =="
 python -m compileall -q src examples benchmarks
 
+echo "== no tracked bytecode =="
+if git ls-files | grep -E '(__pycache__|\.py[co]$)' >/dev/null 2>&1; then
+    echo "error: compiled bytecode is tracked by git:" >&2
+    git ls-files | grep -E '(__pycache__|\.py[co]$)' >&2
+    echo "run: git rm -r --cached <paths> (see .gitignore)" >&2
+    exit 1
+fi
+
 echo "== pytest =="
 python -m pytest -x -q "$@"
+
+echo "== static verification (firefly-sim verify) =="
+python -m repro.cli verify --all-protocols

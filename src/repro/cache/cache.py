@@ -271,11 +271,12 @@ class SnoopyCache:
 
         txn = yield from self.bus_op(BusOp.MWRITE, line_addr, data=payload)
         # If the line is (still, or newly) resident, it now matches
-        # memory exactly: mark it clean with Shared from the response.
+        # memory exactly: mark it clean, letting the protocol choose
+        # the state (not every vocabulary has a shared-clean state).
         resident, _, tag_now, _ = self.lookup(word_address)
         if resident.valid and resident.tag == tag_now:
-            resident.state = (LineState.SHARED if txn.shared_response
-                              else LineState.VALID)
+            resident.state = self.protocol.resident_after_dma_write(
+                txn.shared_response)
 
     # -- bus helpers ---------------------------------------------------------
 

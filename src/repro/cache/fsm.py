@@ -38,6 +38,7 @@ PROTOCOL_STATES: Dict[str, Tuple[LineState, ...]] = {
                LineState.SHARED_DIRTY),
     "mesi": (LineState.VALID, LineState.DIRTY, LineState.SHARED),
     "berkeley": (LineState.VALID, LineState.OWNED, LineState.OWNED_SHARED),
+    "synapse": (LineState.VALID, LineState.DIRTY),
     "write-once": (LineState.VALID, LineState.RESERVED, LineState.DIRTY),
     "write-through": (LineState.VALID,),
 }
@@ -47,6 +48,7 @@ PEER_COSTATE: Dict[str, LineState] = {
     "dragon": LineState.SHARED,
     "mesi": LineState.SHARED,
     "berkeley": LineState.VALID,
+    "synapse": LineState.VALID,
     "write-once": LineState.VALID,
     "write-through": LineState.VALID,
 }
@@ -54,13 +56,21 @@ PEER_COSTATE: Dict[str, LineState] = {
 
 @dataclass(frozen=True)
 class Transition:
-    """One observed arc of the protocol FSM."""
+    """One observed arc of the protocol FSM.
+
+    ``peer_end`` records where the stimulus left the *peer* cache's
+    line, when a peer was present (None otherwise) — the static
+    verifier's structural pass uses it to prove that no arc parks the
+    focal cache in a silent-write state while the peer still holds a
+    copy.
+    """
 
     start: LineState
     stimulus: str
     peer_holds: bool
     end: LineState
     bus_ops: Tuple[str, ...]
+    peer_end: Optional[LineState] = None
 
     def label(self) -> str:
         """Compact rendering, e.g. ``S --P-write (MShared)--> S [MWrite]``.
@@ -82,12 +92,13 @@ class _Rig:
 
     ADDRESS = 64  # arbitrary line-aligned word
 
-    def __init__(self, protocol_name: str) -> None:
+    def __init__(self, protocol_name: str, protocol=None) -> None:
         self.sim = Simulator()
         memory = MainMemory([MemoryModule(0, 1 << 20, is_master=True)])
         self.memory = memory
         self.mbus = MBus(self.sim, memory)
-        self.protocol = protocol_by_name(protocol_name)
+        self.protocol = (protocol if protocol is not None
+                         else protocol_by_name(protocol_name))
         geometry = CacheGeometry(64, 1)
         self.focal = SnoopyCache(self.mbus, self.protocol, 0, geometry)
         self.peer = SnoopyCache(self.mbus, self.protocol, 1, geometry)
@@ -130,9 +141,9 @@ class _Rig:
 
 
 def _probe(protocol_name: str, start: LineState, stimulus: str,
-           peer_holds: bool) -> Optional[Transition]:
+           peer_holds: bool, protocol=None) -> Optional[Transition]:
     """Apply one stimulus in a fresh rig; None if it does not apply."""
-    rig = _Rig(protocol_name)
+    rig = _Rig(protocol_name, protocol=protocol)
     address = rig.ADDRESS
     clean_value = 111
     rig.memory.poke(address, clean_value)
@@ -191,15 +202,19 @@ def _probe(protocol_name: str, start: LineState, stimulus: str,
         peer_holds=peer_holds,
         end=rig.focal.state_of(address),
         bus_ops=rig.ops_delta(before),
+        peer_end=rig.peer.state_of(address) if peer_holds else None,
     )
 
 
-def enumerate_transitions(protocol_name: str) -> List[Transition]:
+def enumerate_transitions(protocol_name: str,
+                          protocol=None) -> List[Transition]:
     """Every (state, stimulus, peer-presence) arc of a protocol's FSM.
 
     Redundant arcs — where the peer's presence cannot matter because no
     bus operation occurs — are collapsed to the ``peer_holds=False``
-    variant.
+    variant.  ``protocol`` optionally overrides the instance probed
+    (the static verifier passes deliberately mutated protocols through
+    here); the name still selects the state vocabulary.
     """
     if protocol_name not in PROTOCOL_STATES:
         raise ConfigurationError(f"unknown protocol {protocol_name!r}")
@@ -211,7 +226,8 @@ def enumerate_transitions(protocol_name: str) -> List[Transition]:
             for peer_holds in (False, True):
                 if stimulus.startswith("M-") and peer_holds:
                     continue  # the peer IS the M-side initiator
-                result = _probe(protocol_name, start, stimulus, peer_holds)
+                result = _probe(protocol_name, start, stimulus, peer_holds,
+                                protocol=protocol)
                 if result is None:
                     continue
                 if not result.bus_ops and peer_holds:
@@ -223,6 +239,37 @@ def enumerate_transitions(protocol_name: str) -> List[Transition]:
                 seen.add(key)
                 transitions.append(result)
     return transitions
+
+
+def full_transition_table(
+        protocol_name: str, protocol=None,
+) -> Dict[Tuple[LineState, str, bool], Transition]:
+    """The complete, un-collapsed transition function over its domain.
+
+    Unlike :func:`enumerate_transitions` (which drops arcs that a
+    figure would not draw), every applicable (state, stimulus,
+    peer-presence) combination is probed and kept: the static
+    verifier's totality and determinism checks need the whole domain.
+    M-side stimuli only apply to resident lines, and always with the
+    peer as initiator, so their domain is (valid state, stimulus,
+    False).
+    """
+    if protocol_name not in PROTOCOL_STATES:
+        raise ConfigurationError(f"unknown protocol {protocol_name!r}")
+    states = (LineState.INVALID,) + PROTOCOL_STATES[protocol_name]
+    table: Dict[Tuple[LineState, str, bool], Transition] = {}
+    for start in states:
+        for stimulus in ("P-read", "P-write", "M-read", "M-write"):
+            for peer_holds in (False, True):
+                if stimulus.startswith("M-") and peer_holds:
+                    continue
+                if stimulus.startswith("M-") and start is LineState.INVALID:
+                    continue
+                result = _probe(protocol_name, start, stimulus, peer_holds,
+                                protocol=protocol)
+                if result is not None:
+                    table[(start, stimulus, peer_holds)] = result
+    return table
 
 
 def transition_map(protocol_name: str) -> Dict[Tuple[str, str, bool], str]:

@@ -16,6 +16,7 @@ from repro.cache.protocols.berkeley import BerkeleyProtocol
 from repro.cache.protocols.dragon import DragonProtocol
 from repro.cache.protocols.firefly import FireflyProtocol
 from repro.cache.protocols.mesi import MesiProtocol
+from repro.cache.protocols.synapse import SynapseProtocol
 from repro.cache.protocols.write_once import WriteOnceProtocol
 from repro.cache.protocols.write_through import WriteThroughInvalidateProtocol
 
@@ -27,6 +28,7 @@ _REGISTRY = {
         BerkeleyProtocol,
         DragonProtocol,
         MesiProtocol,
+        SynapseProtocol,
         WriteOnceProtocol,
     )
 }
@@ -56,6 +58,7 @@ __all__ = [
     "DragonProtocol",
     "FireflyProtocol",
     "MesiProtocol",
+    "SynapseProtocol",
     "WriteOnceProtocol",
     "WriteThroughInvalidateProtocol",
     "available_protocols",

@@ -69,6 +69,20 @@ class CoherenceProtocol(abc.ABC):
         (the cache filters misses).
         """
 
+    # -- DMA side ---------------------------------------------------------
+
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        """State of a clean resident copy after a DMA write through us.
+
+        Main memory was updated by the same transaction, so the copy is
+        clean; the default keeps the MShared response in the tag.
+        Protocols without a shared-clean state override this — leaking
+        ``SHARED`` into a protocol whose write policy does not know the
+        state can silently disable its write announcement (the static
+        verifier's write-once DMA counterexample).
+        """
+        return LineState.SHARED if shared_response else LineState.VALID
+
     # -- shared helpers ---------------------------------------------------------
 
     def victimize(self, cache, line: CacheLine, index: int):

@@ -72,6 +72,10 @@ class BerkeleyProtocol(CoherenceProtocol):
         data[offset] = value
         line.fill(tag, tuple(data), LineState.OWNED)
 
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        # Berkeley's unowned clean state is VALID regardless of sharers.
+        return LineState.VALID
+
     def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
               data: Optional[Tuple[int, ...]]) -> SnoopResult:
         owned = line.state in (LineState.OWNED, LineState.OWNED_SHARED)

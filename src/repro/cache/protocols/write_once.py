@@ -67,6 +67,12 @@ class WriteOnceProtocol(CoherenceProtocol):
         data[offset] = value
         line.fill(tag, tuple(data), LineState.DIRTY)
 
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        # Write-once has no shared-clean state: every non-VALID state
+        # writes silently, so a leaked SHARED tag would suppress the
+        # announcing write-through and strand other copies stale.
+        return LineState.VALID
+
     def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
               data: Optional[Tuple[int, ...]]) -> SnoopResult:
         if op is BusOp.MREAD:

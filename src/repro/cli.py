@@ -16,6 +16,12 @@ Subcommands:
 ``trace``
     Run a workload with full telemetry, write a Chrome-trace/JSONL
     file, and print the per-phase ASCII timeline.
+``verify``
+    Static analysis: exhaustively model-check a protocol's (or every
+    protocol's) reachable N-cache global state space against the I1–I4
+    coherence invariants plus transition-table structural properties,
+    and run the simulation-safety linter over the sources.  Exits
+    non-zero on any violation; see docs/VERIFY.md.
 
 ``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
 capture a trace of an ordinary run.
@@ -29,6 +35,8 @@ Examples::
     firefly-sim exerciser --processors 5 --telemetry-out run.trace.json
     firefly-sim trace --workload exerciser --out trace.json
     firefly-sim fsm --protocol dragon
+    firefly-sim verify --protocol firefly
+    firefly-sim verify --all-protocols --dma
 """
 
 from __future__ import annotations
@@ -99,6 +107,26 @@ def _build_parser() -> argparse.ArgumentParser:
     fsm = sub.add_parser("fsm", help="print a protocol's measured FSM")
     fsm.add_argument("--protocol", choices=sorted(available_protocols()),
                      default="firefly")
+
+    verify = sub.add_parser(
+        "verify", help="statically verify protocols and lint the sources")
+    verify.add_argument("--protocol", choices=sorted(available_protocols()),
+                        default=None,
+                        help="verify one protocol (default: all)")
+    verify.add_argument("--all-protocols", action="store_true",
+                        help="verify every registered protocol")
+    verify.add_argument("--caches", type=int, default=3,
+                        help="caches in the modelled system (default 3)")
+    verify.add_argument("--dma", action="store_true",
+                        help="also model DMA stimuli through the I/O cache")
+    verify.add_argument("--no-lint", action="store_true",
+                        help="skip the simulation-safety linter")
+    verify.add_argument("--lint-only", action="store_true",
+                        help="run only the linter, no model checking")
+    verify.add_argument("--lint-path", action="append", default=None,
+                        metavar="PATH",
+                        help="lint these files/dirs (default: the "
+                             "installed repro package sources)")
 
     trace = sub.add_parser(
         "trace", help="run a workload under full telemetry")
@@ -220,6 +248,42 @@ def _cmd_fsm(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import lint_paths, verify_protocol
+
+    failures = 0
+
+    if not args.lint_only:
+        if args.protocol and not args.all_protocols:
+            names = [args.protocol]
+        else:
+            names = sorted(available_protocols())
+        for name in names:
+            report = verify_protocol(name, caches=args.caches,
+                                     include_dma=args.dma)
+            print(report.render())
+            if not report.ok:
+                failures += 1
+
+    if not args.no_lint:
+        package_root = Path(__file__).resolve().parent
+        targets = args.lint_path or [package_root]
+        findings = lint_paths(targets)
+        for finding in findings:
+            print(finding)
+        print(f"lint: {len(findings)} finding(s) over "
+              f"{', '.join(str(t) for t in targets)}")
+        failures += len(findings)
+
+    if failures:
+        print(f"verify: FAILED ({failures} problem(s))", file=sys.stderr)
+        return 1
+    print("verify: all checks passed")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.reporting import render_phase_timeline
     if args.workload == "exerciser":
@@ -258,6 +322,7 @@ _COMMANDS = {
     "exerciser": _cmd_exerciser,
     "fsm": _cmd_fsm,
     "trace": _cmd_trace,
+    "verify": _cmd_verify,
 }
 
 

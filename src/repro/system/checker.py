@@ -1,23 +1,19 @@
-"""The coherence invariant checker.
+"""The runtime coherence invariant checker.
 
 "The most important feature of the Firefly caches is that they provide
 a global shared memory in which data written by one processor is
 immediately available to other processors."  The checker verifies the
 invariants that statement implies, at any quiescent instant (between
-bus transactions — which, in this model, is any time the caller runs):
+bus transactions — which, in this model, is any time the caller runs).
 
-I1. **Single writer** — at most one cache holds a given word dirty.
-I2. **Copy agreement** — every valid cached copy of a word holds the
-    same value (true for update protocols by construction; for
-    invalidate protocols because sharers are clean copies of memory).
-I3. **Memory currency** — if *no* cached copy of a word is dirty, every
-    cached copy equals main memory.
-I4. **No silent-write state while shared** — if two or more caches hold
-    a word, none of them may be in a state whose write hits skip the
-    bus (the protocol's ``silent_write_states``): a local write there
-    would leave the other copies stale.  The converse need not hold: a
-    Shared tag may be stale-true ("some other cache *may* also contain
-    the line"), costing at most one redundant write-through.
+The invariant *definitions* (I1 single writer, I2 copy agreement, I3
+memory currency, I4 no silent-write state while shared, including the
+stale-Shared allowance) live in :mod:`repro.verify.invariants`; this
+class merely gathers the live machine's cached copies and applies the
+shared predicates.  The static model checker
+(:mod:`repro.verify.model`) applies the *same* predicates to every
+reachable global state, so a property it certifies is exactly the
+property audited at run time.
 """
 
 from __future__ import annotations
@@ -26,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from repro.cache.line import LineState
 from repro.common.errors import CoherenceViolation
+from repro.verify.invariants import check_word
 
 
 class CoherenceChecker:
@@ -60,34 +57,10 @@ class CoherenceChecker:
     def _check_word(self, address: int,
                     copies: List[Tuple[int, LineState, int]],
                     silent_states: frozenset) -> None:
-        dirty = [(cid, state) for cid, state, _ in copies if state.is_dirty]
-        if len(dirty) > 1:
-            raise CoherenceViolation(
-                address, f"multiple dirty holders: {dirty}")
-
-        values = {value for _, _, value in copies}
-        if len(values) > 1:
-            detail = ", ".join(f"cache{cid}[{state.value}]={value}"
-                               for cid, state, value in copies)
-            raise CoherenceViolation(address, f"copies disagree: {detail}")
-
-        if not dirty:
-            memory_value = self.machine.memory.peek(address)
-            cached_value = copies[0][2]
-            if cached_value != memory_value:
-                raise CoherenceViolation(
-                    address,
-                    f"all copies clean ({cached_value}) but memory holds "
-                    f"{memory_value}")
-
-        if len(copies) > 1:
-            for cid, state, _ in copies:
-                if state in silent_states:
-                    raise CoherenceViolation(
-                        address,
-                        f"cache{cid} holds {state.value} (silent-write "
-                        f"state) while {len(copies) - 1} other holder(s) "
-                        f"exist")
+        memory_value = self.machine.memory.peek(address)
+        violation = check_word(address, copies, memory_value, silent_states)
+        if violation is not None:
+            raise CoherenceViolation(address, violation.detail)
 
     def audit_word(self, address: int) -> List[Tuple[int, str, int]]:
         """All cached copies of one word, for debugging."""

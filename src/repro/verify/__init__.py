@@ -1,0 +1,56 @@
+"""Static protocol verification and simulation-safety linting.
+
+Two engines, both usable as a library and via ``firefly-sim verify``:
+
+- :mod:`repro.verify.model` — an exhaustive model checker for the
+  reachable global state space of an N-cache system under any
+  implemented coherence protocol, checking the I1–I4 invariants (the
+  same predicates the runtime :class:`~repro.system.checker.
+  CoherenceChecker` applies, factored into
+  :mod:`repro.verify.invariants`) on every reachable state and
+  producing a minimal counterexample stimulus trace on violation.
+- :mod:`repro.verify.structural` — structural checks over a protocol's
+  measured transition table (:func:`repro.cache.fsm.
+  full_transition_table`): totality, determinism, reachability, no
+  dead-end states, and no arc that parks a cache in a silent-write
+  state while a peer still holds the line.
+- :mod:`repro.verify.lint` — an AST lint pass over simulator sources
+  that flags determinism hazards (unseeded ``random``, wall-clock
+  reads inside simulated time, iteration over unordered sets, direct
+  ``line.state`` mutation outside the protocol layer).
+
+See ``docs/VERIFY.md`` for the full treatment.
+"""
+
+from repro.verify.invariants import (
+    INVARIANTS,
+    Copy,
+    Violation,
+    check_word,
+)
+from repro.verify.lint import LintFinding, lint_paths, lint_source
+from repro.verify.model import (
+    Counterexample,
+    ModelChecker,
+    VerificationReport,
+    abstract_state_of,
+    verify_protocol,
+)
+from repro.verify.structural import StructuralFinding, check_structure
+
+__all__ = [
+    "Copy",
+    "Counterexample",
+    "INVARIANTS",
+    "LintFinding",
+    "ModelChecker",
+    "StructuralFinding",
+    "VerificationReport",
+    "Violation",
+    "abstract_state_of",
+    "check_structure",
+    "check_word",
+    "lint_paths",
+    "lint_source",
+    "verify_protocol",
+]

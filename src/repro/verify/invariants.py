@@ -1,0 +1,127 @@
+"""The I1–I4 coherence invariants, as pure predicates.
+
+One definition shared by both checkers: the runtime
+:class:`~repro.system.checker.CoherenceChecker` audits the live caches
+of a particular simulation run, and the static
+:class:`~repro.verify.model.ModelChecker` audits every *reachable*
+global state of an N-cache system.  A divergence between what the two
+enforce would make "verified" meaningless, so both call
+:func:`check_word`.
+
+The invariants formalise the paper's coherence claim ("data written by
+one processor is immediately available to other processors"):
+
+I1. **Single writer** — at most one cache holds a given word dirty.
+I2. **Copy agreement** — every valid cached copy of a word holds the
+    same value.
+I3. **Memory currency** — if no cached copy of a word is dirty, every
+    cached copy equals main memory.
+I4. **No silent-write state while shared** — if two or more caches
+    hold a word, none of them may be in a state whose write hits skip
+    the bus (the protocol's ``silent_write_states``).  The converse
+    need not hold: a Shared tag may be stale-true ("some other cache
+    *may* also contain the line"), costing at most one redundant
+    write-through — the stale-Shared allowance.
+
+Values are compared only for equality, so the predicates work equally
+over concrete simulated words and over the model checker's symbolic
+version numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.cache.line import LineState
+
+#: One cached copy of a word: (holder id, line state, value).
+Copy = Tuple[int, LineState, object]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure at one word address."""
+
+    invariant: str  # "I1" .. "I4"
+    address: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant} violated at {self.address:#x}: {self.detail}"
+
+
+def i1_single_writer(copies: Sequence[Copy]) -> Optional[str]:
+    """I1: at most one dirty holder per word."""
+    dirty = [(cid, state.value) for cid, state, _ in copies if state.is_dirty]
+    if len(dirty) > 1:
+        return f"multiple dirty holders: {dirty}"
+    return None
+
+
+def i2_copy_agreement(copies: Sequence[Copy]) -> Optional[str]:
+    """I2: all valid cached copies hold the same value."""
+    values = {value for _, _, value in copies}
+    if len(values) > 1:
+        detail = ", ".join(f"cache{cid}[{state.value}]={value}"
+                           for cid, state, value in copies)
+        return f"copies disagree: {detail}"
+    return None
+
+
+def i3_memory_currency(copies: Sequence[Copy],
+                       memory_value) -> Optional[str]:
+    """I3: with no dirty holder, cached copies equal main memory."""
+    if not copies or any(state.is_dirty for _, state, _ in copies):
+        return None
+    cached_value = copies[0][2]
+    if cached_value != memory_value:
+        return (f"all copies clean ({cached_value}) but memory holds "
+                f"{memory_value}")
+    return None
+
+
+def i4_no_silent_sharing(copies: Sequence[Copy],
+                         silent_states: FrozenSet[LineState]) -> Optional[str]:
+    """I4: no silent-write state may coexist with other holders."""
+    if len(copies) <= 1:
+        return None
+    for cid, state, _ in copies:
+        if state in silent_states:
+            return (f"cache{cid} holds {state.value} (silent-write state) "
+                    f"while {len(copies) - 1} other holder(s) exist")
+    return None
+
+
+def check_word(address: int, copies: Sequence[Copy], memory_value,
+               silent_states: FrozenSet[LineState]) -> Optional[Violation]:
+    """Apply I1–I4 to one word; the first failing invariant wins.
+
+    ``copies`` lists every valid cached copy; invalid lines must not be
+    included.  The I1→I4 order matches the runtime checker's historical
+    reporting order, so both checkers describe a multiply-broken state
+    the same way.
+    """
+    for invariant, detail in iter_violations(copies, memory_value,
+                                             silent_states):
+        return Violation(invariant, address, detail)
+    return None
+
+
+def iter_violations(copies: Sequence[Copy], memory_value,
+                    silent_states: FrozenSet[LineState],
+                    ) -> Iterable[Tuple[str, str]]:
+    """Yield ("I<n>", detail) for every invariant the word breaks."""
+    checks = (
+        ("I1", i1_single_writer(copies)),
+        ("I2", i2_copy_agreement(copies)),
+        ("I3", i3_memory_currency(copies, memory_value)),
+        ("I4", i4_no_silent_sharing(copies, silent_states)),
+    )
+    for invariant, detail in checks:
+        if detail is not None:
+            yield invariant, detail
+
+
+INVARIANTS = ("I1", "I2", "I3", "I4")
+"""The invariant identifiers, in checking order."""

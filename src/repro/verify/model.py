@@ -1,0 +1,353 @@
+"""Exhaustive model checking of the global N-cache state space.
+
+The runtime checker only audits states a particular run happens to
+reach; races that simulation never exercises stay unexamined.  This
+module closes that gap by *enumerating* the reachable global states of
+an N-cache system (default N=3) under every interleaving of processor
+stimuli, checking the shared I1–I4 invariants
+(:mod:`repro.verify.invariants`) on each one, and reporting a
+shortest-possible counterexample stimulus trace on violation.
+
+Abstraction
+-----------
+Coherence is a per-line property, and between bus transactions the
+machine is quiescent, so the global state of one line is fully
+described by::
+
+    (per-cache (LineState, value), main-memory value)
+
+Concrete values only matter up to equality, so they are abstracted to
+*version numbers*: every processor write mints a fresh version, and
+states are canonicalised by renaming versions in first-appearance
+order (memory first, then cache 0..N-1).  With N caches at most N+1
+distinct versions can be observed at once, so the abstract space is
+finite and small — a few hundred states for three caches.
+
+Soundness comes from using the real simulator as the transition
+function: each exploration step materialises the abstract state into a
+fresh single-line rig (the same injection technique
+:mod:`repro.cache.fsm` uses to measure Figure 3), applies one stimulus
+through the actual cache/bus/protocol code, and reads the successor
+state back.  Nothing about the protocols is re-modelled, so the
+checker verifies the *implementation*, not a transcription of it.
+
+Breadth-first exploration makes the first trace that reaches a
+violating state a minimal one (fewest stimuli).
+
+Stimuli are ``P-read``/``P-write`` per cache, plus optional DMA
+read/write through cache 0 (the I/O processor's cache) when
+``include_dma=True``.  Conflict evictions are out of scope: the model
+tracks one line, which is exactly the granularity at which the
+invariants are stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.mbus import MBus
+from repro.cache.cache import CacheGeometry, SnoopyCache
+from repro.cache.fsm import PROTOCOL_STATES
+from repro.cache.line import LineState
+from repro.cache.protocols import protocol_by_name
+from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator
+from repro.common.types import AccessKind, MemRef
+from repro.memory.main_memory import MainMemory, MemoryModule
+from repro.verify.invariants import Violation, check_word
+from repro.verify.structural import StructuralFinding, check_structure
+
+#: (state value, version) per cache — version None when INVALID — plus
+#: the memory version, e.g. ((("D", 1), ("I", None)), 0).
+GlobalState = Tuple[Tuple[Tuple[str, Optional[int]], ...], int]
+
+#: One stimulus: ("P-read" | "P-write" | "DMA-read" | "DMA-write", cache).
+Stimulus = Tuple[str, int]
+
+_VALUE_BASE = 1000  # version v is materialised as the word 1000 + v
+_ADDRESS = 0        # the single line the model tracks
+_DMA_INITIATOR_OFFSET = 100  # DMA port ids sit above any cache id
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal stimulus trace from reset to a violating state.
+
+    ``trace`` lists (stimulus, resulting global state) pairs; applying
+    the stimuli in order from the all-invalid reset state reproduces
+    the violation in a live rig.
+    """
+
+    protocol: str
+    violation: Violation
+    trace: Tuple[Tuple[Stimulus, GlobalState], ...]
+
+    def render(self) -> str:
+        lines = [f"counterexample for protocol {self.protocol!r} "
+                 f"({len(self.trace)} stimuli):"]
+        for step, (stimulus, state) in enumerate(self.trace, start=1):
+            kind, cache = stimulus
+            lines.append(f"  {step}. {kind} @cache{cache}  ->  "
+                         f"{format_state(state)}")
+        lines.append(f"  violated: {self.violation}")
+        return "\n".join(lines)
+
+
+@dataclass
+class VerificationReport:
+    """Everything one protocol's verification run established."""
+
+    protocol: str
+    caches: int
+    states_explored: int = 0
+    transitions_taken: int = 0
+    structural_findings: List[StructuralFinding] = field(default_factory=list)
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None and not self.structural_findings
+
+    def render(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        lines = [f"[{verdict}] {self.protocol}: {self.states_explored} "
+                 f"reachable global states, {self.transitions_taken} "
+                 f"transitions ({self.caches} caches)"]
+        for finding in self.structural_findings:
+            lines.append(f"  structural: {finding}")
+        if self.counterexample is not None:
+            lines.append("  " + self.counterexample.render()
+                         .replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def format_state(state: GlobalState) -> str:
+    """Compact rendering, e.g. ``caches[D:v1, I, S:v0] mem=v0``."""
+    caches, memory = state
+    cells = []
+    for value, version in caches:
+        cells.append(value if version is None else f"{value}:v{version}")
+    return f"caches[{', '.join(cells)}] mem=v{memory}"
+
+
+class _ModelRig:
+    """A fresh N-cache single-line rig for one transition step."""
+
+    def __init__(self, protocol, n_caches: int) -> None:
+        self.sim = Simulator()
+        self.memory = MainMemory([MemoryModule(0, 1 << 10, is_master=True)])
+        self.mbus = MBus(self.sim, self.memory)
+        geometry = CacheGeometry(1, 1)
+        self.caches = [SnoopyCache(self.mbus, protocol, i, geometry)
+                       for i in range(n_caches)]
+
+    def materialise(self, state: GlobalState) -> None:
+        caches, memory_version = state
+        self.memory.poke(_ADDRESS, _VALUE_BASE + memory_version)
+        for cache, (value, version) in zip(self.caches, caches):
+            if version is None:
+                continue
+            line, _, tag, _ = cache.lookup(_ADDRESS)
+            line.fill(tag, (_VALUE_BASE + version,), LineState(value))
+
+    def run(self, gen) -> None:
+        self.sim.process(gen, "stimulus")
+        self.sim.run()
+
+    def observe(self) -> Tuple[Tuple[Tuple[str, Optional[int]], ...], int]:
+        """Read back the (un-canonicalised) global state as raw values."""
+        views = []
+        for cache in self.caches:
+            state = cache.state_of(_ADDRESS)
+            if state is LineState.INVALID:
+                views.append((LineState.INVALID.value, None))
+            else:
+                views.append((state.value, cache.peek(_ADDRESS)))
+        return tuple(views), self.memory.peek(_ADDRESS)
+
+
+class ModelChecker:
+    """Breadth-first exploration of one protocol's global state space.
+
+    ``protocol`` may override the instance being driven (protocols are
+    stateless singletons, so one instance serves every rig) — the
+    mutation tests pass deliberately broken subclasses through this
+    hook while keeping the registry untouched.
+    """
+
+    def __init__(self, protocol_name: str, caches: int = 3,
+                 protocol=None, include_dma: bool = False) -> None:
+        if protocol_name not in PROTOCOL_STATES:
+            raise ConfigurationError(f"unknown protocol {protocol_name!r}")
+        if caches < 2:
+            raise ConfigurationError(
+                f"model checking needs >= 2 caches, got {caches}")
+        self.protocol_name = protocol_name
+        self.protocol = (protocol if protocol is not None
+                         else protocol_by_name(protocol_name))
+        self.caches = caches
+        self.include_dma = include_dma
+
+    # -- stimuli ---------------------------------------------------------
+
+    def stimuli(self) -> List[Stimulus]:
+        kinds = [("P-read", i) for i in range(self.caches)]
+        kinds += [("P-write", i) for i in range(self.caches)]
+        if self.include_dma:
+            # All DMA flows through the I/O processor's cache (cache 0).
+            kinds += [("DMA-read", 0), ("DMA-write", 0)]
+        return kinds
+
+    def _apply(self, state: GlobalState,
+               stimulus: Stimulus) -> GlobalState:
+        """Run one stimulus against a materialised rig; canonical result."""
+        rig = _ModelRig(self.protocol, self.caches)
+        rig.materialise(state)
+        kind, cache_index = stimulus
+        cache = rig.caches[cache_index]
+        fresh = _VALUE_BASE + self._fresh_version(state)
+        if kind == "P-read":
+            def gen():
+                yield from cache.cpu_read(
+                    MemRef(_ADDRESS, AccessKind.DATA_READ))
+        elif kind == "P-write":
+            def gen():
+                yield from cache.cpu_write(
+                    MemRef(_ADDRESS, AccessKind.DATA_WRITE), fresh)
+        elif kind == "DMA-read":
+            def gen():
+                yield from cache.dma_read(_ADDRESS)
+        elif kind == "DMA-write":
+            def gen():
+                yield from cache.dma_write(_ADDRESS, fresh)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown stimulus kind {kind!r}")
+        rig.run(gen())
+        return _canonicalise(rig.observe())
+
+    @staticmethod
+    def _fresh_version(state: GlobalState) -> int:
+        caches, memory = state
+        used = {memory} | {v for _, v in caches if v is not None}
+        return max(used) + 1
+
+    # -- exploration ------------------------------------------------------
+
+    def explore(self, max_states: int = 100_000) -> VerificationReport:
+        """BFS the reachable space; stop at the first violation.
+
+        The structural pass over the measured transition table runs
+        first — a non-total or non-deterministic table would make the
+        exploration itself untrustworthy.
+        """
+        report = VerificationReport(self.protocol_name, self.caches)
+        self.reachable: frozenset = frozenset()
+        report.structural_findings = check_structure(
+            self.protocol_name, protocol=self.protocol)
+
+        initial: GlobalState = (
+            tuple((LineState.INVALID.value, None)
+                  for _ in range(self.caches)), 0)
+        parent: Dict[GlobalState, Optional[Tuple[GlobalState, Stimulus]]] = {
+            initial: None}
+        frontier: List[GlobalState] = [initial]
+        stimuli = self.stimuli()
+        silent_states = self.protocol.silent_write_states
+
+        while frontier:
+            next_frontier: List[GlobalState] = []
+            for state in frontier:
+                for stimulus in stimuli:
+                    successor = self._apply(state, stimulus)
+                    report.transitions_taken += 1
+                    if successor not in parent:
+                        parent[successor] = (state, stimulus)
+                        violation = self._check(successor, silent_states)
+                        if violation is not None:
+                            report.states_explored = len(parent)
+                            self.reachable = frozenset(parent)
+                            report.counterexample = self._trace(
+                                parent, successor, violation)
+                            return report
+                        if len(parent) > max_states:
+                            raise ConfigurationError(
+                                f"state space exceeded {max_states} states; "
+                                f"raise max_states or reduce caches")
+                        next_frontier.append(successor)
+            frontier = next_frontier
+        report.states_explored = len(parent)
+        #: The reachable set survives on the checker for cross-
+        #: validation against dynamic runs (the fuzz tests assert that
+        #: every abstract state a simulation visits was explored here).
+        self.reachable = frozenset(parent)
+        return report
+
+    def _check(self, state: GlobalState,
+               silent_states) -> Optional[Violation]:
+        caches, memory_version = state
+        copies = [(cid, LineState(value), version)
+                  for cid, (value, version) in enumerate(caches)
+                  if version is not None]
+        return check_word(_ADDRESS, copies, memory_version, silent_states)
+
+    def _trace(self, parent, state: GlobalState,
+               violation: Violation) -> Counterexample:
+        steps: List[Tuple[Stimulus, GlobalState]] = []
+        cursor: Optional[GlobalState] = state
+        while parent[cursor] is not None:
+            predecessor, stimulus = parent[cursor]
+            steps.append((stimulus, cursor))
+            cursor = predecessor
+        steps.reverse()
+        return Counterexample(protocol=self.protocol_name,
+                              violation=violation, trace=tuple(steps))
+
+
+def _canonicalise(raw) -> GlobalState:
+    """Rename concrete values to versions in first-appearance order.
+
+    Memory is scanned first, then cache 0..N-1, so two configurations
+    that differ only in which concrete words happen to be involved
+    collapse to the same abstract state.
+    """
+    views, memory_value = raw
+    rename: Dict[int, int] = {memory_value: 0}
+    for _, value in views:
+        if value is not None and value not in rename:
+            rename[value] = len(rename)
+    caches = tuple(
+        (state, None if value is None else rename[value])
+        for state, value in views)
+    return caches, rename[memory_value]
+
+
+def abstract_state_of(caches, memory, address: int) -> GlobalState:
+    """The canonical abstract state of one word in a live machine.
+
+    ``caches`` is any sequence of :class:`~repro.cache.cache.
+    SnoopyCache`; the result is comparable against a
+    :class:`ModelChecker`'s ``reachable`` set, which is how the fuzz
+    tests cross-validate the dynamic and static checkers.
+    """
+    views = []
+    for cache in caches:
+        state = cache.state_of(address)
+        if state is LineState.INVALID:
+            views.append((LineState.INVALID.value, None))
+        else:
+            views.append((state.value, cache.peek(address)))
+    return _canonicalise((tuple(views), memory.peek(address)))
+
+
+def verify_protocol(protocol_name: str, caches: int = 3,
+                    protocol=None, include_dma: bool = False,
+                    max_states: int = 100_000) -> VerificationReport:
+    """Run the full static verification for one protocol.
+
+    >>> verify_protocol("write-through", caches=2).ok
+    True
+    """
+    checker = ModelChecker(protocol_name, caches=caches, protocol=protocol,
+                           include_dma=include_dma)
+    return checker.explore(max_states=max_states)

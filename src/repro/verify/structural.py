@@ -1,0 +1,165 @@
+"""Structural checks over a protocol's measured transition table.
+
+Where the model checker (:mod:`repro.verify.model`) asks "does any
+reachable global state break an invariant?", this pass asks whether
+the per-line FSM itself is well-formed, using the complete table
+:func:`repro.cache.fsm.full_transition_table` measures from the live
+implementation:
+
+- **Totality** — every applicable (state, stimulus, peer-presence)
+  combination has an arc.  A processor must be able to read and write
+  from every state; a resident line must tolerate every foreign bus
+  operation the protocol can emit.
+- **Determinism** — re-probing the whole domain yields the identical
+  table.  The rigs are seeded and single-threaded, so any divergence
+  means hidden mutable state inside a protocol (they are required to
+  be stateless singletons).
+- **Reachability** — every state the protocol declares
+  (:data:`repro.cache.fsm.PROTOCOL_STATES`) is reachable from INVALID
+  along measured arcs; an unreachable state is dead code in the
+  protocol or a stale declaration.
+- **No dead-end states** — from every state some stimulus leads to a
+  *different* state; a state no stimulus can leave would pin a line's
+  behaviour forever (evictions aside).
+- **No silent-write capture** — no arc may end with the focal cache in
+  a silent-write state (write hits skip the bus) while the peer still
+  holds a valid copy: the next local write would leave the peer stale
+  without any bus transaction to catch it.  This is the transition-
+  table shadow of invariant I4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.fsm import PROTOCOL_STATES, full_transition_table
+from repro.cache.line import LineState
+from repro.cache.protocols import protocol_by_name
+
+
+@dataclass(frozen=True)
+class StructuralFinding:
+    """One structural defect in a protocol's transition table."""
+
+    check: str      # "totality" | "determinism" | "reachability" | ...
+    protocol: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.protocol}: {self.detail}"
+
+
+def check_structure(protocol_name: str,
+                    protocol=None) -> List[StructuralFinding]:
+    """Run every structural check; empty list means the table is sound."""
+    if protocol is None:
+        protocol = protocol_by_name(protocol_name)
+    table = full_transition_table(protocol_name, protocol=protocol)
+    findings: List[StructuralFinding] = []
+    findings += _check_totality(protocol_name, table)
+    findings += _check_determinism(protocol_name, table, protocol)
+    findings += _check_reachability(protocol_name, table)
+    findings += _check_dead_ends(protocol_name, table)
+    findings += _check_silent_capture(protocol_name, table, protocol)
+    return findings
+
+
+def _domain(protocol_name: str):
+    """Every (state, stimulus, peer_holds) the table must cover."""
+    states = (LineState.INVALID,) + PROTOCOL_STATES[protocol_name]
+    for state in states:
+        for stimulus in ("P-read", "P-write"):
+            for peer_holds in (False, True):
+                yield state, stimulus, peer_holds
+        if state is not LineState.INVALID:
+            for stimulus in ("M-read", "M-write"):
+                yield state, stimulus, False
+
+
+def _check_totality(protocol_name, table) -> List[StructuralFinding]:
+    findings = []
+    for key in _domain(protocol_name):
+        if key not in table:
+            state, stimulus, peer_holds = key
+            findings.append(StructuralFinding(
+                "totality", protocol_name,
+                f"no transition for state {state.value} under {stimulus} "
+                f"(peer_holds={peer_holds})"))
+    return findings
+
+
+def _check_determinism(protocol_name, table,
+                       protocol) -> List[StructuralFinding]:
+    replay = full_transition_table(protocol_name, protocol=protocol)
+    findings = []
+    for key, first in sorted(table.items(),
+                             key=lambda item: str(item[0])):
+        second = replay.get(key)
+        if second != first:
+            state, stimulus, peer_holds = key
+            findings.append(StructuralFinding(
+                "determinism", protocol_name,
+                f"state {state.value} under {stimulus} "
+                f"(peer_holds={peer_holds}) produced {first.end.value} then "
+                f"{second.end.value if second else '<missing>'} — protocol "
+                f"holds hidden mutable state"))
+    return findings
+
+
+def _check_reachability(protocol_name, table) -> List[StructuralFinding]:
+    reached = {LineState.INVALID}
+    frontier = [LineState.INVALID]
+    while frontier:
+        state = frontier.pop()
+        for (start, _, _), transition in table.items():
+            if start is not state:
+                continue
+            for successor in (transition.end, transition.peer_end):
+                if successor is not None and successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+    findings = []
+    for state in PROTOCOL_STATES[protocol_name]:
+        if state not in reached:
+            findings.append(StructuralFinding(
+                "reachability", protocol_name,
+                f"declared state {state.value} is unreachable from INVALID"))
+    return findings
+
+
+def _check_dead_ends(protocol_name, table) -> List[StructuralFinding]:
+    findings = []
+    for state in PROTOCOL_STATES[protocol_name]:
+        exits = {t.end for (start, _, _), t in table.items()
+                 if start is state} - {state}
+        if not exits:
+            findings.append(StructuralFinding(
+                "dead-end", protocol_name,
+                f"state {state.value} has no arc to any other state"))
+    return findings
+
+
+def _check_silent_capture(protocol_name, table,
+                          protocol) -> List[StructuralFinding]:
+    silent = protocol.silent_write_states
+    findings = []
+    for (start, stimulus, peer_holds), t in sorted(
+            table.items(), key=lambda item: str(item[0])):
+        if not peer_holds:
+            continue
+        if start in silent:
+            # The probe enumerates the whole domain, including joint
+            # configurations (focal silent-write + peer holding) that
+            # already violate I4 and are unreachable in a correct
+            # protocol; arcs out of them are vacuous.  The model
+            # checker proves the unreachability separately.
+            continue
+        if t.end in silent and t.peer_end is not None \
+                and t.peer_end.is_valid:
+            findings.append(StructuralFinding(
+                "silent-capture", protocol_name,
+                f"{start.value} --{stimulus}--> {t.end.value} leaves the "
+                f"focal cache in silent-write state {t.end.value} while the "
+                f"peer still holds {t.peer_end.value}"))
+    return findings

@@ -1,4 +1,4 @@
-"""The five baseline protocols: state machines and traffic character."""
+"""The baseline protocols: state machines and traffic character."""
 
 import pytest
 
@@ -8,7 +8,7 @@ from repro.cache.protocols import available_protocols, protocol_by_name
 from tests.conftest import MiniRig, make_rig
 
 ALL_PROTOCOLS = ("firefly", "write-through", "berkeley", "dragon",
-                 "mesi", "write-once")
+                 "mesi", "synapse", "write-once")
 
 
 class TestRegistry:
@@ -161,6 +161,47 @@ class TestBerkeley:
         assert fsm[("O", "M-read", False)] == "OS"
         assert fsm[("OS", "P-write", False)] == "O"
         assert fsm[("O", "P-write", False)] == "O"
+
+
+class TestSynapse:
+    def test_write_acquires_ownership_via_read_exclusive(self):
+        rig = make_rig("synapse")
+        rig.read(0, 50)
+        rig.write(0, 50, 1)   # VALID hit still costs an MReadEx
+        assert rig.mbus.stats["op.MReadEx"].total == 1
+        assert rig.caches[0].state_of(50) is LineState.DIRTY
+        before = rig.mbus.stats["ops"].total
+        rig.write(0, 50, 2)   # DIRTY hit is silent
+        assert rig.mbus.stats["ops"].total == before
+
+    def test_dirty_holder_surrenders_on_bus_read(self):
+        """The survey's Synapse signature: no shared-dirty demotion."""
+        rig = make_rig("synapse")
+        rig.write(0, 50, 9)
+        assert rig.read(1, 50) == 9
+        # The previous owner invalidated entirely (not demoted), and
+        # the data was snarfed into memory by the same transaction.
+        assert rig.caches[0].state_of(50) is LineState.INVALID
+        assert rig.memory.peek(50) == 9
+        rig.check_coherence()
+
+    def test_reload_penalty_after_surrender(self):
+        """'Behaves like Berkeley with extra misses.'"""
+        rig = make_rig("synapse")
+        rig.write(0, 50, 9)
+        rig.read(1, 50)       # forces cache 0's surrender
+        misses_before = rig.caches[0].stats["dread.miss"].total
+        assert rig.read(0, 50) == 9
+        assert rig.caches[0].stats["dread.miss"].total == misses_before + 1
+
+    def test_fsm(self):
+        fsm = transition_map("synapse")
+        assert fsm[("I", "P-read-miss", False)] == "V"
+        assert fsm[("I", "P-write-miss", False)] == "D"
+        assert fsm[("V", "P-write", False)] == "D"
+        assert fsm[("D", "M-read", False)] == "I"   # total surrender
+        assert fsm[("V", "M-write", False)] == "I"
+        assert fsm[("D", "P-write", False)] == "D"
 
 
 class TestDragon:

@@ -1,0 +1,208 @@
+"""The shared I1–I4 invariant predicates, across all seven protocols.
+
+These predicates are the single definition both checkers consume
+(runtime ``CoherenceChecker`` and static ``ModelChecker``), so they are
+tested directly: for every protocol's own state vocabulary, each
+invariant must accept the legal configurations and reject the planted
+violation — including the stale-Shared allowance in I4 and a
+deliberately broken protocol fixture.
+"""
+
+import pytest
+
+from repro.cache.fsm import PROTOCOL_STATES
+from repro.cache.line import LineState
+from repro.cache.protocols import available_protocols, protocol_by_name
+from repro.common.errors import CoherenceViolation
+from repro.verify.invariants import (
+    INVARIANTS,
+    check_word,
+    i1_single_writer,
+    i2_copy_agreement,
+    i3_memory_currency,
+    i4_no_silent_sharing,
+    iter_violations,
+)
+from tests.conftest import MiniRig
+
+ALL = sorted(available_protocols())
+
+
+def states_of(protocol):
+    return PROTOCOL_STATES[protocol]
+
+
+def dirty_states_of(protocol):
+    return [s for s in states_of(protocol) if s.is_dirty]
+
+
+def clean_states_of(protocol):
+    return [s for s in states_of(protocol) if not s.is_dirty]
+
+
+class TestI1SingleWriter:
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_one_dirty_holder_is_legal(self, protocol):
+        for dirty in dirty_states_of(protocol):
+            copies = [(0, dirty, 7)]
+            assert i1_single_writer(copies) is None
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_two_dirty_holders_rejected(self, protocol):
+        dirty = dirty_states_of(protocol)
+        if not dirty:
+            pytest.skip(f"{protocol} has no dirty state (write-through)")
+        copies = [(0, dirty[0], 7), (1, dirty[-1], 7)]
+        assert "dirty" in i1_single_writer(copies)
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_clean_sharers_are_legal(self, protocol):
+        clean = clean_states_of(protocol)
+        copies = [(i, clean[0], 7) for i in range(3)]
+        assert i1_single_writer(copies) is None
+
+
+class TestI2CopyAgreement:
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_agreeing_copies_pass(self, protocol):
+        clean = clean_states_of(protocol)[0]
+        copies = [(0, clean, 42), (1, clean, 42)]
+        assert i2_copy_agreement(copies) is None
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_disagreeing_copies_rejected(self, protocol):
+        clean = clean_states_of(protocol)[0]
+        copies = [(0, clean, 42), (1, clean, 43)]
+        assert "disagree" in i2_copy_agreement(copies)
+
+
+class TestI3MemoryCurrency:
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_clean_copy_matching_memory_passes(self, protocol):
+        clean = clean_states_of(protocol)[0]
+        assert i3_memory_currency([(0, clean, 5)], 5) is None
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_clean_copy_diverging_from_memory_rejected(self, protocol):
+        clean = clean_states_of(protocol)[0]
+        assert "memory" in i3_memory_currency([(0, clean, 5)], 6)
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_dirty_copy_may_diverge_from_memory(self, protocol):
+        dirty = dirty_states_of(protocol)
+        if not dirty:
+            pytest.skip(f"{protocol} has no dirty state")
+        assert i3_memory_currency([(0, dirty[0], 5)], 6) is None
+
+    def test_no_copies_is_vacuously_current(self):
+        assert i3_memory_currency([], 6) is None
+
+
+class TestI4SilentSharing:
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_silent_state_alone_is_legal(self, protocol):
+        silent = sorted(protocol_by_name(protocol).silent_write_states,
+                        key=lambda s: s.value)
+        for state in silent:
+            assert i4_no_silent_sharing(
+                [(0, state, 7)],
+                protocol_by_name(protocol).silent_write_states) is None
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_silent_state_with_other_holder_rejected(self, protocol):
+        instance = protocol_by_name(protocol)
+        silent = sorted(instance.silent_write_states,
+                        key=lambda s: s.value)
+        if not silent:
+            pytest.skip(f"{protocol} has no silent-write state")
+        other = clean_states_of(protocol)[0]
+        detail = i4_no_silent_sharing(
+            [(0, silent[0], 7), (1, other, 7)], instance.silent_write_states)
+        assert "silent-write" in detail
+
+    def test_stale_shared_allowance(self):
+        """A lone SHARED tag may be stale-true — I4's explicit carve-out.
+
+        The Firefly pays at most one redundant write-through for it, so
+        a single holder in SHARED (a non-silent state) must pass even
+        though no other cache holds the line.
+        """
+        firefly = protocol_by_name("firefly")
+        copies = [(0, LineState.SHARED, 7)]
+        assert i4_no_silent_sharing(copies,
+                                    firefly.silent_write_states) is None
+        assert check_word(0, copies, 7, firefly.silent_write_states) is None
+
+
+class TestCheckWord:
+    def test_reports_first_invariant_in_order(self):
+        firefly = protocol_by_name("firefly")
+        # Breaks I1 (two dirty), I2 (disagree) and I4 (silent sharing)
+        # simultaneously; I1 must win, matching the runtime checker's
+        # historical reporting order.
+        copies = [(0, LineState.DIRTY, 1), (1, LineState.DIRTY, 2)]
+        violation = check_word(0x40, copies, 0, firefly.silent_write_states)
+        assert violation.invariant == "I1"
+        assert violation.address == 0x40
+        assert "0x40" in str(violation)
+
+    def test_iter_violations_lists_every_breakage(self):
+        firefly = protocol_by_name("firefly")
+        copies = [(0, LineState.DIRTY, 1), (1, LineState.DIRTY, 2)]
+        broken = [inv for inv, _ in iter_violations(
+            copies, 0, firefly.silent_write_states)]
+        assert broken == ["I1", "I2", "I4"]
+
+    def test_invariant_registry(self):
+        assert INVARIANTS == ("I1", "I2", "I3", "I4")
+
+
+class _CorruptingFirefly:
+    """Deliberately broken fixture: plants one violation per invariant.
+
+    Each method drives a healthy rig into a state breaking exactly the
+    named invariant, behind the protocol's back — the runtime checker
+    (which consumes the shared predicates) must reject all four.
+    """
+
+    @staticmethod
+    def break_i1(rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        for i in (0, 1):
+            line, _, _, _ = rig.caches[i].lookup(10)
+            line.state = LineState.DIRTY  # lint: allow(V104)
+
+    @staticmethod
+    def break_i2(rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        line, _, _, offset = rig.caches[1].lookup(10)
+        line.data[offset] = 999
+
+    @staticmethod
+    def break_i3(rig):
+        rig.read(0, 10)
+        rig.memory.poke(10, 777)
+
+    @staticmethod
+    def break_i4(rig):
+        rig.read(0, 10)
+        rig.read(1, 10)
+        line, _, _, _ = rig.caches[0].lookup(10)
+        line.state = LineState.VALID  # lint: allow(V104)
+
+
+class TestBrokenFixtureRejected:
+    @pytest.mark.parametrize("invariant", ["i1", "i2", "i3", "i4"])
+    def test_each_planted_violation_is_caught(self, invariant):
+        rig = MiniRig()
+        getattr(_CorruptingFirefly, f"break_{invariant}")(rig)
+        with pytest.raises(CoherenceViolation):
+            rig.check_coherence()
+
+    def test_unbroken_rig_passes(self):
+        rig = MiniRig()
+        rig.write(0, 10, 5)
+        rig.read(1, 10)
+        rig.check_coherence()
