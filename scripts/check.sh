@@ -26,3 +26,12 @@ python -m pytest -x -q "$@"
 
 echo "== static verification (firefly-sim verify) =="
 python -m repro.cli verify --all-protocols
+
+echo "== bench smoke (firefly-sim bench) =="
+# One quick single-trial scenario into a scratch dir: proves the
+# harness runs end-to-end and writes a schema-valid BENCH file
+# without touching any BENCH_*.json at the repo root.
+BENCH_TMP=$(mktemp -d)
+trap 'rm -rf "$BENCH_TMP"' EXIT
+python -m repro.cli bench --quick --trials 1 --scenario table1-sweep \
+    --skip-overhead --out-dir "$BENCH_TMP"

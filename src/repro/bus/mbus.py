@@ -208,9 +208,14 @@ class MBus:
         self._resource.release(holder)
         probe = self.probe
         if probe.active:
+            # `wait` makes the event a self-contained latency span:
+            # request at start-wait, grant at start, release at
+            # start+duration — the decomposition repro.observatory
+            # rebuilds transaction spans from.
             probe.complete("bus.op", "bus", start, MBUS_OP_CYCLES,
                            op=op.value, address=line_address,
-                           initiator=initiator, shared=txn.shared_response,
+                           initiator=initiator, wait=start - requested,
+                           shared=txn.shared_response,
                            cache_supplied=txn.supplied_by_cache,
                            victim=is_victim)
             if start > requested:

@@ -22,9 +22,16 @@ Subcommands:
     coherence invariants plus transition-table structural properties,
     and run the simulation-safety linter over the sources.  Exits
     non-zero on any violation; see docs/VERIFY.md.
+``bench``
+    Run the pinned benchmark suite, write ``BENCH_<n>.json``, and
+    optionally compare against the previous BENCH file with the
+    noise-aware regression detector.  See docs/OBSERVATORY.md.
 
 ``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
-capture a trace of an ordinary run.
+capture a trace of an ordinary run (refusing to overwrite an existing
+file unless ``--force`` is passed), ``--spans`` for transaction span
+percentiles, and ``--divergence`` for the live analytic-model
+residual report.
 
 Examples::
 
@@ -33,10 +40,13 @@ Examples::
     firefly-sim table1 --miss-rate 0.1
     firefly-sim exerciser --processors 5 --threads 16
     firefly-sim exerciser --processors 5 --telemetry-out run.trace.json
+    firefly-sim exerciser --processors 5 --spans --divergence
     firefly-sim trace --workload exerciser --out trace.json
     firefly-sim fsm --protocol dragon
     firefly-sim verify --protocol firefly
     firefly-sim verify --all-protocols --dma
+    firefly-sim bench --quick
+    firefly-sim bench --compare --threshold 0.2
 """
 
 from __future__ import annotations
@@ -146,6 +156,27 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample-interval", type=int,
                        default=DEFAULT_SAMPLE_INTERVAL)
 
+    bench = sub.add_parser(
+        "bench", help="run the pinned benchmark suite (BENCH_<n>.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="short horizons and fewer trials (CI mode)")
+    bench.add_argument("--trials", type=int, default=None,
+                       help="seeded trials per scenario "
+                            "(default: 3 full, 2 quick)")
+    bench.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<n>.json (default: .)")
+    bench.add_argument("--compare", action="store_true",
+                       help="compare against the previous BENCH file; "
+                            "exit nonzero on a regression")
+    bench.add_argument("--threshold", type=float, default=0.2,
+                       help="regression threshold as a fraction "
+                            "(default 0.2; widened by trial noise)")
+    bench.add_argument("--skip-overhead", action="store_true",
+                       help="skip the disabled-tracing overhead guard")
+
     return parser
 
 
@@ -155,19 +186,71 @@ def _add_telemetry_args(sub_parser) -> None:
         help="capture telemetry and write a Chrome-trace JSON "
              "(or JSONL if PATH ends in .jsonl)")
     sub_parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --telemetry-out file")
+    sub_parser.add_argument(
         "--sample-interval", type=int, default=DEFAULT_SAMPLE_INTERVAL,
         help="cycles between time-series samples "
              f"(default {DEFAULT_SAMPLE_INTERVAL})")
+    sub_parser.add_argument(
+        "--spans", action="store_true",
+        help="trace MBus/miss spans; print percentile and "
+             "critical-path tables")
+    sub_parser.add_argument(
+        "--divergence", action="store_true",
+        help="continuously compare the analytic model against "
+             "measured rates; print the residual report")
 
 
 def _begin_telemetry(args, subject, for_kernel: bool):
     """(hub, sampler) when ``--telemetry-out`` was given, else (None, None)."""
     if getattr(args, "telemetry_out", None) is None:
         return None, None
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    if Path(args.telemetry_out).exists() and not args.force:
+        # Checked before the simulation runs, so a long measurement is
+        # never wasted on an export that will not be written.
+        raise ConfigurationError(
+            f"{args.telemetry_out} already exists; pass --force to "
+            f"overwrite it")
     setup = telemetry_for_kernel if for_kernel else telemetry_for_machine
     hub, sampler = setup(subject, interval=args.sample_interval)
     sampler.start()
     return hub, sampler
+
+
+def _begin_observatory(args, subject, hub):
+    """(tracer, monitor) for ``--spans`` / ``--divergence``, else Nones.
+
+    When a telemetry hub is already attached (``--telemetry-out``) the
+    span tracer subscribes to it; otherwise it brings up its own
+    non-buffering hub via :func:`repro.observatory.trace_spans`.
+    """
+    tracer = monitor = None
+    if getattr(args, "spans", False):
+        from repro.observatory import SpanTracer, trace_spans
+        if hub is not None:
+            tracer = SpanTracer(hub)
+        else:
+            _, tracer = trace_spans(subject)
+    if getattr(args, "divergence", False):
+        from repro.observatory import DivergenceMonitor
+        monitor = DivergenceMonitor(subject)
+        monitor.start()
+    return tracer, monitor
+
+
+def _finish_observatory(tracer, monitor) -> None:
+    if tracer is not None:
+        tracer.close()
+        print()
+        print(tracer.render())
+    if monitor is not None:
+        monitor.stop()
+        print()
+        print(monitor.report().render())
 
 
 def _finish_telemetry(args, hub, sampler) -> None:
@@ -197,12 +280,14 @@ def _cmd_simulate(args) -> int:
         print(render_system_diagram(machine))
         print()
     hub, sampler = _begin_telemetry(args, machine, for_kernel=False)
+    tracer, monitor = _begin_observatory(args, machine, hub)
     metrics = machine.run(warmup_cycles=args.warmup_cycles,
                           measure_cycles=args.measure_cycles)
     print(metrics.summary())
     if not args.skip_check:
         audited = CoherenceChecker(machine).check()
         print(f"coherence OK ({audited} cached words audited)")
+    _finish_observatory(tracer, monitor)
     _finish_telemetry(args, hub, sampler)
     return 0
 
@@ -230,6 +315,7 @@ def _cmd_exerciser(args) -> int:
                              ExerciserParams(threads=args.threads),
                              seed=args.seed)
     hub, sampler = _begin_telemetry(args, kernel, for_kernel=True)
+    tracer, monitor = _begin_observatory(args, kernel, hub)
     metrics = kernel.run(warmup_cycles=200_000,
                          measure_cycles=args.measure_cycles)
     expected = exerciser_expectations(args.processors)
@@ -239,6 +325,7 @@ def _cmd_exerciser(args) -> int:
     print(metrics.summary())
     print(f"migrations: {kernel.total_migrations}   context switches: "
           f"{kernel.stats['context_switches'].total}")
+    _finish_observatory(tracer, monitor)
     _finish_telemetry(args, hub, sampler)
     return 0
 
@@ -316,6 +403,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    from repro.observatory import (bench_files, compare_bench, load_bench,
+                                   run_suite, write_bench)
+
+    out_dir = Path(args.out_dir)
+    if not out_dir.is_dir():
+        raise ConfigurationError(f"--out-dir {out_dir} is not a directory")
+    existing = bench_files(out_dir)
+    previous = existing[-1] if existing else None
+
+    document = run_suite(quick=args.quick, trials=args.trials,
+                         scenarios=args.scenario,
+                         skip_overhead=args.skip_overhead,
+                         progress=print)
+    path = write_bench(document, out_dir)
+    print()
+    table = TextTable([Column("scenario", align_left=True),
+                       Column("ticks/s", ",.0f"), Column("noise", ".1%")])
+    for name, entry in sorted(document["scenarios"].items()):
+        table.add_row(name, entry["median_ticks_per_second"],
+                      entry["noise"])
+    print(table.render())
+    overhead = document["overhead"]
+    if overhead is not None:
+        print(f"disabled-tracing overhead: "
+              f"{(overhead['disabled_ratio'] - 1.0) * 100:+.1f}% "
+              f"(budget {overhead['budget']:.0%})")
+        if not overhead["ok"]:
+            print("warning: disabled span tracing exceeds its wall-clock "
+                  "budget", file=sys.stderr)
+    print(f"bench: wrote {path}")
+
+    if args.compare:
+        if previous is None:
+            print("bench: no previous BENCH file to compare against")
+            return 0
+        report = compare_bench(load_bench(previous), document,
+                               threshold=args.threshold)
+        print()
+        print(f"comparing against {previous.name}:")
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
@@ -323,6 +458,7 @@ _COMMANDS = {
     "fsm": _cmd_fsm,
     "trace": _cmd_trace,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
 }
 
 

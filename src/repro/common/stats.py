@@ -219,10 +219,14 @@ class Histogram:
     def p95(self) -> int:
         return self.percentile(95)
 
+    @property
+    def p99(self) -> int:
+        return self.percentile(99)
+
     def to_dict(self) -> Dict[str, float]:
         """Summary snapshot (for JSON export and reports)."""
         return {"count": self._count, "mean": self.mean, "p50": self.p50,
-                "p95": self.p95, "max": self._max}
+                "p95": self.p95, "p99": self.p99, "max": self._max}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Histogram({self.name}: n={self._count} p50={self.p50} "

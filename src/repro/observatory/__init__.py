@@ -1,0 +1,74 @@
+"""The performance observatory: spans, model divergence, benchmarks.
+
+Three instruments over one simulated machine:
+
+- :mod:`repro.observatory.spans` — every MBus transaction and cache
+  miss as a latency span with causal decomposition and streaming
+  p50/p95/p99 percentiles;
+- :mod:`repro.observatory.divergence` — the §5.2 queueing model
+  evaluated continuously at measured rates, with residual bands
+  (the live Table 1 vs Table 2 gap);
+- :mod:`repro.observatory.bench` — the pinned ``firefly-sim bench``
+  suite, BENCH_<n>.json files, and the noise-aware regression
+  detector.
+
+See docs/OBSERVATORY.md.
+"""
+
+from repro.observatory.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    SCENARIOS,
+    CompareReport,
+    ScenarioDelta,
+    bench_files,
+    compare_bench,
+    load_bench,
+    measure_overhead,
+    next_bench_path,
+    run_scenario,
+    run_suite,
+    scenario_names,
+    validate_bench,
+    write_bench,
+)
+from repro.observatory.divergence import (
+    DivergenceBands,
+    DivergenceMonitor,
+    DivergenceReport,
+    DivergenceSample,
+    MetricVerdict,
+)
+from repro.observatory.spans import (
+    BusSpan,
+    CacheSpan,
+    SpanTracer,
+    trace_spans,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "SCENARIOS",
+    "BusSpan",
+    "CacheSpan",
+    "CompareReport",
+    "DivergenceBands",
+    "DivergenceMonitor",
+    "DivergenceReport",
+    "DivergenceSample",
+    "MetricVerdict",
+    "ScenarioDelta",
+    "SpanTracer",
+    "bench_files",
+    "compare_bench",
+    "load_bench",
+    "measure_overhead",
+    "next_bench_path",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "trace_spans",
+    "validate_bench",
+    "write_bench",
+]

@@ -1,0 +1,368 @@
+"""The analytic-model divergence monitor: Table 1 vs Table 2, live.
+
+The paper's §5.2 model predicted Table 1; the hardware measured
+Table 2; and the authors spend §5.3 explaining the gap — prefetching,
+heavy sharing, and instruction mixes the "slide-rule" model doesn't
+see.  This module quantifies exactly that gap *during* a simulation:
+
+every ``interval`` cycles the monitor reduces the last window to the
+model's inputs (miss rate M, dirty fraction D, shared-write fraction
+S, all *measured*), evaluates the open queueing model of
+:mod:`repro.analytic.queueing` at those inputs, and records residuals
+
+- **bus utilization** — measured L minus the load the model predicts
+  for this processor count (absolute band; positive = the model
+  *underpredicts*, the paper's heavy-sharing signature);
+- **TPI** — measured ticks-per-instruction vs the model's TPI at the
+  *measured* load (relative band; the exerciser's light instruction
+  mix and prefetching make the model *overpredict* here, the paper's
+  "Actual exceeds Expected" observation);
+- **relative performance** — RP = base_tpi / TPI, measured vs
+  predicted (relative band).
+
+Windows in which a CPU retires zero references (or zero instructions)
+produce ``None`` measurements and are skipped, never a crash or a
+silent 0.0.  Residuals outside the configured
+:class:`DivergenceBands` raise a counter, emit a ``model.divergence``
+telemetry event when a probe is live, and flip the metric's verdict in
+the final :class:`DivergenceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
+from repro.common.errors import ConfigurationError
+
+#: Residual metric names, in report order.
+METRICS = ("bus_load", "tpi", "relative_performance")
+
+
+@dataclass(frozen=True)
+class DivergenceBands:
+    """Residual tolerances; outside them a window is out-of-band.
+
+    ``bus_load_abs`` is absolute (load is already a fraction); the
+    other two are relative to the predicted value.  The defaults are
+    loose enough that the paper's 1-CPU agreement stays in-band while
+    the 5-CPU heavy-sharing gap is flagged.
+    """
+
+    bus_load_abs: float = 0.15
+    tpi_rel: float = 0.30
+    relative_performance_rel: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in ("bus_load_abs", "tpi_rel", "relative_performance_rel"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def limit(self, metric: str) -> float:
+        return {"bus_load": self.bus_load_abs, "tpi": self.tpi_rel,
+                "relative_performance": self.relative_performance_rel}[metric]
+
+
+@dataclass(frozen=True)
+class DivergenceSample:
+    """One window's measurements, predictions and residuals."""
+
+    time: int
+    measured_miss_rate: float
+    measured_dirty_fraction: float
+    measured_shared_write_fraction: Optional[float]
+    measured: Dict[str, float]
+    predicted: Dict[str, float]
+    residuals: Dict[str, float]
+    out_of_band: Dict[str, bool]
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """Aggregated residual behaviour for one metric."""
+
+    metric: str
+    samples: int
+    mean_measured: float
+    mean_predicted: float
+    mean_residual: float
+    max_abs_residual: float
+    out_of_band_fraction: float
+    band: float
+    verdict: str  # "in-band" | "underpredicts" | "overpredicts"
+
+    def to_dict(self) -> Dict:
+        return {
+            "metric": self.metric, "samples": self.samples,
+            "mean_measured": self.mean_measured,
+            "mean_predicted": self.mean_predicted,
+            "mean_residual": self.mean_residual,
+            "max_abs_residual": self.max_abs_residual,
+            "out_of_band_fraction": self.out_of_band_fraction,
+            "band": self.band, "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """The structured divergence report for one run."""
+
+    processors: int
+    windows: int
+    skipped_windows: int
+    verdicts: Dict[str, MetricVerdict]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every metric stayed in-band."""
+        return all(v.verdict == "in-band" for v in self.verdicts.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "processors": self.processors, "windows": self.windows,
+            "skipped_windows": self.skipped_windows,
+            "ok": self.ok,
+            "metrics": {m: v.to_dict() for m, v in self.verdicts.items()},
+        }
+
+    def render(self) -> str:
+        from repro.reporting import Column, TextTable
+
+        header = (f"analytic-model divergence: {self.processors} CPUs, "
+                  f"{self.windows} windows"
+                  + (f" ({self.skipped_windows} skipped)"
+                     if self.skipped_windows else ""))
+        table = TextTable([
+            Column("metric", align_left=True), Column("measured", ".3f"),
+            Column("predicted", ".3f"), Column("residual", "+.3f"),
+            Column("band", ".2f"), Column("out-of-band", ".0%"),
+            Column("verdict", align_left=True)])
+        for metric in METRICS:
+            verdict = self.verdicts.get(metric)
+            if verdict is None:
+                continue
+            table.add_row(metric, verdict.mean_measured,
+                          verdict.mean_predicted, verdict.mean_residual,
+                          verdict.band, verdict.out_of_band_fraction,
+                          verdict.verdict)
+        return header + "\n" + table.render()
+
+
+class _Snapshot:
+    """Cumulative counter values at one instant (window arithmetic)."""
+
+    __slots__ = ("now", "bus_busy", "hits", "misses", "instructions",
+                 "idle", "data_writes", "write_through_ops")
+
+    def __init__(self, machine) -> None:
+        self.now = machine.sim.now
+        self.bus_busy = machine.mbus.utilization.busy_total
+        hits = misses = 0
+        for cache in machine.caches:
+            stats = cache.stats
+            for key in ("ifetch.hit", "dread.hit", "dwrite.hit"):
+                hits += stats[key].total
+            for key in ("ifetch.miss", "dread.miss", "dwrite.miss"):
+                misses += stats[key].total
+        self.hits = hits
+        self.misses = misses
+        self.instructions = sum(cpu.stats["instructions"].total
+                                for cpu in machine.cpus)
+        self.idle = sum(cpu.stats["idle_cycles"].total
+                        for cpu in machine.cpus)
+        self.data_writes = sum(cpu.stats["refs.dwrite"].total
+                               for cpu in machine.cpus)
+        bus = machine.mbus.stats
+        self.write_through_ops = (bus["write.mshared"].total
+                                  + bus["write.not_mshared"].total)
+
+
+class DivergenceMonitor:
+    """Continuously compares the queueing model against a running machine.
+
+    Drives itself with ``sim.call_at`` callbacks, like a telemetry
+    sampler; :meth:`start` before running, :meth:`report` after.  Works
+    on a bare :class:`~repro.system.machine.FireflyMachine` or anything
+    exposing ``.machine`` (a Topaz kernel).
+
+    Parameters
+    ----------
+    subject:
+        The machine or kernel under measurement.
+    bands:
+        Residual tolerances (default :class:`DivergenceBands`).
+    interval:
+        Cycles per evaluation window.
+    base_params:
+        The model's non-measured inputs (mix, base TPI, bus ticks);
+        measured M/D/S are substituted each window.
+    """
+
+    def __init__(self, subject, bands: Optional[DivergenceBands] = None,
+                 interval: int = 10_000,
+                 base_params: Optional[AnalyticParameters] = None) -> None:
+        if interval < 1:
+            raise ConfigurationError(
+                f"divergence interval must be >= 1 cycle, got {interval}")
+        self.machine = getattr(subject, "machine", subject)
+        self.bands = bands or DivergenceBands()
+        self.interval = interval
+        self.base_params = base_params or AnalyticParameters()
+        self.samples: List[DivergenceSample] = []
+        self.skipped_windows = 0
+        self.out_of_band_counts = {metric: 0 for metric in METRICS}
+        self._running = False
+        self._last: Optional[_Snapshot] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Prime the first window and begin periodic evaluation."""
+        if self._running:
+            return
+        self._running = True
+        self._last = _Snapshot(self.machine)
+        self.machine.sim.call_at(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop evaluating; pending callbacks become no-ops."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.evaluate_window()
+        self.machine.sim.call_at(self.interval, self._tick)
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate_window(self) -> Optional[DivergenceSample]:
+        """Close the current window, evaluate the model, open the next."""
+        current = _Snapshot(self.machine)
+        previous, self._last = self._last, current
+        if previous is None:
+            return None
+        sample = self._compare(previous, current)
+        if sample is None:
+            self.skipped_windows += 1
+            return None
+        self.samples.append(sample)
+        for metric, outside in sample.out_of_band.items():
+            if outside:
+                self.out_of_band_counts[metric] += 1
+        probe = self.machine.probe
+        if probe.active and any(sample.out_of_band.values()):
+            flagged = sorted(m for m, out in sample.out_of_band.items()
+                             if out)
+            probe.instant("model.divergence", "machine",
+                          metrics=",".join(flagged),
+                          **{f"residual.{m}": round(sample.residuals[m], 4)
+                             for m in flagged})
+        return sample
+
+    def _compare(self, previous: _Snapshot,
+                 current: _Snapshot) -> Optional[DivergenceSample]:
+        elapsed = current.now - previous.now
+        if elapsed <= 0:
+            return None
+        references = ((current.hits - previous.hits)
+                      + (current.misses - previous.misses))
+        instructions = current.instructions - previous.instructions
+        if references == 0 or instructions == 0:
+            # A window in which no CPU retired anything has no defined
+            # miss rate or TPI; skip it rather than divide by zero.
+            return None
+
+        miss_rate = (current.misses - previous.misses) / references
+        load = (current.bus_busy - previous.bus_busy) / elapsed
+        processors = len(self.machine.cpus)
+        tick_cycles = self.machine.cpus[0].timing.tick_cycles
+        busy_cycles = processors * elapsed - (current.idle - previous.idle)
+        tpi = busy_cycles / tick_cycles / instructions
+        if tpi <= 0:
+            return None
+        data_writes = current.data_writes - previous.data_writes
+        shared_writes: Optional[float] = None
+        if data_writes > 0:
+            shared_writes = ((current.write_through_ops
+                              - previous.write_through_ops) / data_writes)
+        dirty = [cache.dirty_fraction() for cache in self.machine.caches]
+        dirty_fraction = sum(dirty) / len(dirty) if dirty else 0.0
+
+        params = replace(
+            self.base_params,
+            miss_rate=min(max(miss_rate, 1e-6), 1.0 - 1e-6),
+            dirty_fraction=min(max(dirty_fraction, 0.0), 1.0),
+            shared_write_fraction=min(max(
+                shared_writes
+                if shared_writes is not None
+                else self.base_params.shared_write_fraction, 0.0), 1.0))
+        model = FireflyAnalyticModel(params)
+        try:
+            predicted_load = model.load_for_processors(processors)
+        except ConfigurationError:
+            return None
+        bounded_load = min(load, 1.0 - 1e-9)
+        predicted_tpi = model.tpi(bounded_load)
+        measured = {
+            "bus_load": load,
+            "tpi": tpi,
+            "relative_performance": params.base_tpi / tpi,
+        }
+        predicted = {
+            "bus_load": predicted_load,
+            "tpi": predicted_tpi,
+            "relative_performance": params.base_tpi / predicted_tpi,
+        }
+        residuals = {
+            "bus_load": load - predicted_load,
+            "tpi": (tpi - predicted_tpi) / predicted_tpi,
+            "relative_performance":
+                (measured["relative_performance"]
+                 - predicted["relative_performance"])
+                / predicted["relative_performance"],
+        }
+        out_of_band = {metric: abs(residuals[metric]) > self.bands.limit(metric)
+                       for metric in METRICS}
+        return DivergenceSample(
+            time=current.now, measured_miss_rate=miss_rate,
+            measured_dirty_fraction=dirty_fraction,
+            measured_shared_write_fraction=shared_writes,
+            measured=measured, predicted=predicted, residuals=residuals,
+            out_of_band=out_of_band)
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self) -> DivergenceReport:
+        """Aggregate all windows into the structured divergence report."""
+        verdicts: Dict[str, MetricVerdict] = {}
+        n = len(self.samples)
+        for metric in METRICS:
+            if n == 0:
+                verdicts[metric] = MetricVerdict(
+                    metric, 0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                    self.bands.limit(metric), "in-band")
+                continue
+            residuals = [s.residuals[metric] for s in self.samples]
+            mean_residual = sum(residuals) / n
+            band = self.bands.limit(metric)
+            if abs(mean_residual) <= band:
+                verdict = "in-band"
+            elif mean_residual > 0:
+                verdict = "underpredicts"
+            else:
+                verdict = "overpredicts"
+            verdicts[metric] = MetricVerdict(
+                metric=metric, samples=n,
+                mean_measured=sum(s.measured[metric]
+                                  for s in self.samples) / n,
+                mean_predicted=sum(s.predicted[metric]
+                                   for s in self.samples) / n,
+                mean_residual=mean_residual,
+                max_abs_residual=max(abs(r) for r in residuals),
+                out_of_band_fraction=self.out_of_band_counts[metric] / n,
+                band=band, verdict=verdict)
+        return DivergenceReport(
+            processors=len(self.machine.cpus), windows=n,
+            skipped_windows=self.skipped_windows, verdicts=verdicts)

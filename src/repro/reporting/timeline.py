@@ -13,6 +13,7 @@ Rendering is pure string construction over
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.probe import TelemetryHub
@@ -20,6 +21,9 @@ from repro.telemetry.sampler import Sampler, Series
 
 BLOCKS = "▁▂▃▄▅▆▇█"
 """Eighth-block ramp used for sparklines."""
+
+GAP = "·"
+"""Placeholder glyph for points with no defined value (NaN/inf)."""
 
 
 def sparkline(values: Sequence[float], width: int = 60,
@@ -31,30 +35,46 @@ def sparkline(values: Sequence[float], width: int = 60,
     ones render one glyph per value.  ``lo``/``hi`` pin the scale
     (e.g. 0..1 for a load fraction); by default the data's own range is
     used, and a flat series renders as a run of the lowest block.
+    Degenerate inputs render placeholders rather than raising: an empty
+    series gives "", and non-finite points (a NaN-safe miss rate over
+    an idle window) render as :data:`GAP` dots.
 
     >>> sparkline([0, 1, 2, 3], width=4, lo=0, hi=3)
     '▁▃▆█'
+    >>> sparkline([0.0, float("nan"), 1.0], width=4)
+    '▁·█'
     """
     if width < 1:
         raise ValueError(f"width must be >= 1, got {width}")
     if not values:
         return ""
     values = _bucket(list(values), width)
-    floor = min(values) if lo is None else lo
-    ceil = max(values) if hi is None else hi
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return GAP * len(values)
+    floor = min(finite) if lo is None else lo
+    ceil = max(finite) if hi is None else hi
     span = ceil - floor
-    if span <= 0:
-        return BLOCKS[0] * len(values)
     top = len(BLOCKS) - 1
     out = []
     for v in values:
-        scaled = (min(max(v, floor), ceil) - floor) / span
-        out.append(BLOCKS[round(scaled * top)])
+        if not math.isfinite(v):
+            out.append(GAP)
+        elif span <= 0:
+            out.append(BLOCKS[0])
+        else:
+            scaled = (min(max(v, floor), ceil) - floor) / span
+            out.append(BLOCKS[round(scaled * top)])
     return "".join(out)
 
 
 def _bucket(values: List[float], width: int) -> List[float]:
-    """Downsample to at most ``width`` points by bucket means."""
+    """Downsample to at most ``width`` points by bucket means.
+
+    Bucket means skip non-finite members; a bucket with no finite
+    member stays NaN (one :data:`GAP` glyph) instead of poisoning the
+    mean.
+    """
     n = len(values)
     if n <= width:
         return values
@@ -62,8 +82,8 @@ def _bucket(values: List[float], width: int) -> List[float]:
     for i in range(width):
         start = i * n // width
         end = max(start + 1, (i + 1) * n // width)
-        chunk = values[start:end]
-        out.append(sum(chunk) / len(chunk))
+        finite = [v for v in values[start:end] if math.isfinite(v)]
+        out.append(sum(finite) / len(finite) if finite else float("nan"))
     return out
 
 
@@ -79,10 +99,15 @@ def render_series_table(sampler: Sampler, width: int = 48,
         if not values:
             lines.append(f"{s.name:<{label_width}}  (no samples)")
             continue
+        finite = [v for v in values if math.isfinite(v)]
+        if not finite:
+            lines.append(f"{s.name:<{label_width}}  "
+                         f"{sparkline(values, width)}  (no finite samples)")
+            continue
         lines.append(
             f"{s.name:<{label_width}}  {sparkline(values, width)}  "
-            f"min={min(values):.3g} mean={sum(values) / len(values):.3g} "
-            f"max={max(values):.3g}")
+            f"min={min(finite):.3g} mean={sum(finite) / len(finite):.3g} "
+            f"max={max(finite):.3g}")
     return "\n".join(lines)
 
 
@@ -144,11 +169,13 @@ def render_phase_timeline(hub: TelemetryHub, sampler: Optional[Sampler] = None,
                 values = [v for t, v in s.samples() if start <= t < end]
                 if not values:
                     continue
+                finite = [v for v in values if math.isfinite(v)]
+                stats = (f"mean={sum(finite) / len(finite):.3g} "
+                         f"max={max(finite):.3g}" if finite
+                         else "(no finite samples)")
                 lines.append(
                     f"  {s.name:<{label_width}}  "
-                    f"{sparkline(values, width)}  "
-                    f"mean={sum(values) / len(values):.3g} "
-                    f"max={max(values):.3g}")
+                    f"{sparkline(values, width)}  {stats}")
         sections.append("\n".join(lines))
     sections.append("event mix\n---------\n" + render_event_summary(hub))
     return "\n\n".join(sections)

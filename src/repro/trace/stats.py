@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence
 
 from repro.cache.cache import CacheGeometry
 from repro.common.errors import ConfigurationError
+from repro.common.stats import ratio
 from repro.common.types import AccessKind
 from repro.trace.format import TraceRecord
 
@@ -88,7 +89,11 @@ def reduce_trace(records: Sequence[TraceRecord],
         instruction_reads=counts[AccessKind.INSTRUCTION_READ],
         data_reads=counts[AccessKind.DATA_READ],
         data_writes=counts[AccessKind.DATA_WRITE],
-        miss_rate=misses / (hits + misses),
+        # A trace of pure no-reference records has no defined miss rate;
+        # NaN keeps the reduction usable (mix, counts) while any attempt
+        # to feed it to AnalyticParameters fails its (0,1) validation
+        # instead of crashing here with ZeroDivisionError.
+        miss_rate=ratio(misses, hits + misses, default=float("nan")),
         dirty_fraction=dirty_lines / valid if valid else 0.0)
 
 

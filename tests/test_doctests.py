@@ -9,7 +9,9 @@ import repro.cache.protocols
 import repro.common.events
 import repro.common.rng
 import repro.common.stats
+import repro.observatory.spans
 import repro.reporting.tables
+import repro.reporting.timeline
 import repro.system.config
 
 MODULES = [
@@ -17,7 +19,9 @@ MODULES = [
     repro.common.rng,
     repro.common.stats,
     repro.cache.protocols,
+    repro.observatory.spans,
     repro.reporting.tables,
+    repro.reporting.timeline,
     repro.system.config,
 ]
 
