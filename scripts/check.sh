@@ -35,3 +35,9 @@ BENCH_TMP=$(mktemp -d)
 trap 'rm -rf "$BENCH_TMP"' EXIT
 python -m repro.cli bench --quick --trials 1 --scenario table1-sweep \
     --skip-overhead --out-dir "$BENCH_TMP"
+
+echo "== chaos smoke (firefly-sim chaos) =="
+# One quick seeded fault campaign: proves every recovery path end to
+# end (see docs/FAULTS.md); exits nonzero if any scenario fails.
+python -m repro.cli chaos --quick --scenario bus-parity \
+    --scenario cpu-offline

@@ -26,7 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.errors import (
+    BusTransferError,
+    ConfigurationError,
+    SimulationError,
+)
 from repro.common.events import Simulator
 from repro.common.stats import Histogram, StatSet, Utilization
 from repro.common.types import MBUS_OP_CYCLES, BusOp, BusTransaction
@@ -120,6 +124,11 @@ class MBus:
         self._resource = sim.resource("MBus")
         self._snoopers: List[Snooper] = []
         self._interrupt_handlers: Dict[int, List[Callable[[int], None]]] = {}
+        #: Optional fault model (see :mod:`repro.faults.models`).  When
+        #: None — the default — every fault branch below is a single
+        #: attribute test, so the happy path is cycle-identical to a
+        #: build without the fault subsystem.
+        self.faults = None
         self.stats = StatSet("mbus")
         self.utilization = Utilization("mbus")
         #: Bus-grant wait distribution (arbitration queueing latency).
@@ -142,11 +151,37 @@ class MBus:
         self.memory = memory
 
     def attach_snooper(self, snooper: Snooper) -> None:
-        """Attach a cache's snoop port; order is irrelevant to results."""
+        """Attach a cache's snoop port; order is irrelevant to results.
+
+        Arbitration priorities are validated here, eagerly: the fixed
+        priority chain of the real arbiter cannot hold a negative slot,
+        and two clients on the same level would tie every arbitration
+        — a miswired machine, not a runnable one.
+        """
         if any(s.snooper_id == snooper.snooper_id for s in self._snoopers):
             raise ConfigurationError(
                 f"duplicate snooper id {snooper.snooper_id}")
+        priority = getattr(snooper, "priority", None)
+        if priority is not None:
+            if priority < 0:
+                raise ConfigurationError(
+                    f"snooper {snooper.snooper_id} has negative arbitration "
+                    f"priority {priority}")
+            for other in self._snoopers:
+                if getattr(other, "priority", None) == priority:
+                    raise ConfigurationError(
+                        f"snoopers {other.snooper_id} and "
+                        f"{snooper.snooper_id} share fixed arbitration "
+                        f"priority {priority}")
         self._snoopers.append(snooper)
+
+    def detach_snooper(self, snooper_id: int) -> None:
+        """Remove a cache from the snoop fan-out (CPU-board offlining)."""
+        for i, snooper in enumerate(self._snoopers):
+            if snooper.snooper_id == snooper_id:
+                del self._snoopers[i]
+                return
+        raise ConfigurationError(f"no snooper {snooper_id} attached")
 
     @property
     def snoopers(self) -> Tuple[Snooper, ...]:
@@ -195,17 +230,44 @@ class MBus:
             raise SimulationError(
                 f"unaligned line address {line_address:#x} "
                 f"(words_per_line={self.words_per_line})")
-        requested = self.sim.now
-        yield self._resource.acquire(priority=priority)
-        start = self.sim.now
-        self.grant_wait.record(start - requested)
-        txn = self._execute(op, line_address, initiator, data, is_victim,
-                            start, update_memory)
-        yield self.sim.timeout(MBUS_OP_CYCLES)
-        holder = self._resource.holder
-        if holder is None:  # pragma: no cover - defensive
-            raise SimulationError("bus released mid-transaction")
-        self._resource.release(holder)
+        attempts = 0
+        while True:
+            requested = self.sim.now
+            yield self._resource.acquire(priority=priority)
+            start = self.sim.now
+            self.grant_wait.record(start - requested)
+            faults = self.faults
+            corrupted = (faults is not None
+                         and faults.corrupts(op, line_address, initiator))
+            if not corrupted:
+                txn = self._execute(op, line_address, initiator, data,
+                                    is_victim, start, update_memory)
+            yield self.sim.timeout(MBUS_OP_CYCLES)
+            holder = self._resource.holder
+            if holder is None:  # pragma: no cover - defensive
+                raise SimulationError("bus released mid-transaction")
+            self._resource.release(holder)
+            if not corrupted:
+                break
+            # Parity failed during the data cycles: the tenure occupied
+            # the bus but applied no state.  Back off, then re-arbitrate.
+            attempts += 1
+            self.utilization.add_busy(MBUS_OP_CYCLES)
+            self.stats.incr("parity.errors")
+            if self.probe.active:
+                self.probe.instant("fault.bus_parity", "bus", op=op.value,
+                                   address=line_address, initiator=initiator,
+                                   attempt=attempts)
+            if attempts > faults.max_retries:
+                faults.notify_exhausted(op, line_address, initiator,
+                                        attempts)
+                raise BusTransferError(op, line_address, initiator, attempts)
+            yield self.sim.timeout(faults.backoff_cycles(attempts))
+        if attempts:
+            self.stats.incr("parity.recovered")
+            if faults is not None:
+                faults.notify_recovered(op, line_address, initiator,
+                                        attempts)
         probe = self.probe
         if probe.active:
             # `wait` makes the event a self-contained latency span:
@@ -232,8 +294,20 @@ class MBus:
         shared = False
         snarf = False
         cache_data: Optional[LineData] = None
+        faults = self.faults
         for snooper in self._snoopers:
             if snooper.snooper_id == initiator:
+                continue
+            if (faults is not None
+                    and faults.drops_snoop(snooper, op, line_address)):
+                # The snoop probe never reached this cache: it neither
+                # updates its copy nor asserts MShared.  Whatever state
+                # damage follows is the invariant checkers' to find.
+                self.stats.incr("snoop.dropped")
+                if self.probe.active:
+                    self.probe.instant("fault.snoop_drop", "bus",
+                                       op=op.value, address=line_address,
+                                       victim=snooper.snooper_id)
                 continue
             result = snooper.snoop(op, line_address, data)
             if result.shared:
@@ -341,9 +415,16 @@ class MBus:
 
         IPIs use dedicated MBus wires, so they consume no data cycles;
         delivery is immediate (handlers run at the current time).
+        Sending to a target with no registered handler is a wiring
+        error: the interrupt would assert a line nothing listens to.
         """
+        handlers = self._interrupt_handlers.get(target)
+        if not handlers:
+            raise ConfigurationError(
+                f"IPI to target {target} with no registered interrupt "
+                f"handler")
         self.stats.incr("ipi")
         if self.probe.active:
             self.probe.instant("bus.ipi", "bus", target=target, sender=sender)
-        for handler in self._interrupt_handlers.get(target, []):
+        for handler in handlers:
             handler(sender)

@@ -141,6 +141,15 @@ class QBus:
         self.utilization = Utilization("qbus")
         #: Telemetry probe; inert unless a TelemetryHub is attached.
         self.probe = NULL_PROBE
+        #: Optional fault model (see :mod:`repro.faults.models`); None
+        #: in fault-free runs, where the DMA word loop is unchanged.
+        self.faults = None
+        #: A device that exhausted its DMA retry budget drops to the
+        #: degraded state: every later word tenure pays a penalty
+        #: (conservative device-side recovery cycles) but data still
+        #: moves.  The driver would log and schedule replacement.
+        self.degraded = False
+        self.degraded_penalty_cycles = 0
 
     def dma_write_block(self, qbus_word_address: int,
                         values: Sequence[int]):
@@ -148,10 +157,7 @@ class QBus:
         start = self.sim.now
         for i, value in enumerate(values):
             target = self.map.translate(qbus_word_address + i)
-            yield self._resource.acquire()
-            yield self.sim.timeout(self.cycles_per_word)
-            self.utilization.add_busy(self.cycles_per_word)
-            self._release()
+            yield from self._word_tenure()
             yield from self.io_cache.dma_write(target, value)
             self.stats.incr("dma_words_in")
         if self.probe.active:
@@ -166,10 +172,7 @@ class QBus:
         values = []
         for i in range(nwords):
             target = self.map.translate(qbus_word_address + i)
-            yield self._resource.acquire()
-            yield self.sim.timeout(self.cycles_per_word)
-            self.utilization.add_busy(self.cycles_per_word)
-            self._release()
+            yield from self._word_tenure()
             value = yield from self.io_cache.dma_read(target)
             values.append(value)
             self.stats.incr("dma_words_out")
@@ -190,6 +193,48 @@ class QBus:
         self.utilization.add_busy(register_cycles)
         self._release()
         self.stats.incr("pio")
+
+    def _word_tenure(self):
+        """Generator: one longword's QBus occupancy, with fault handling.
+
+        A device timeout stalls the transfer for ``timeout_cycles``
+        before the retry; when the retry budget runs out the device is
+        marked degraded and the word proceeds anyway at the degraded
+        per-word cost (the controller falls back to its slow path).
+        """
+        faults = self.faults
+        if faults is not None:
+            attempts = 0
+            while faults.times_out():
+                attempts += 1
+                self.stats.incr("dma.timeouts")
+                if self.probe.active:
+                    self.probe.instant("fault.qbus_timeout", "qbus",
+                                       attempt=attempts)
+                yield self.sim.timeout(faults.timeout_cycles)
+                if attempts >= faults.max_retries:
+                    self._mark_degraded(faults)
+                    break
+            if attempts:
+                faults.notify_timeouts(attempts, self.degraded)
+        cycles = self.cycles_per_word + (self.degraded_penalty_cycles
+                                         if self.degraded else 0)
+        yield self._resource.acquire()
+        yield self.sim.timeout(cycles)
+        self.utilization.add_busy(cycles)
+        self._release()
+        if self.degraded:
+            self.stats.incr("dma.degraded_words")
+
+    def _mark_degraded(self, faults) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_penalty_cycles = faults.degraded_penalty_cycles
+        self.stats.incr("dma.degraded")
+        if self.probe.active:
+            self.probe.instant("fault.device_degraded", "qbus",
+                               penalty=self.degraded_penalty_cycles)
 
     def _release(self) -> None:
         holder = self._resource.holder

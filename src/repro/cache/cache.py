@@ -337,6 +337,31 @@ class SnoopyCache:
         for line in self.lines:
             line.invalidate()
 
+    def flush_lines(self):
+        """Generator: write back every dirty line, then invalidate all.
+
+        This is the graceful-offlining sweep a failing CPU board runs
+        before detaching from the bus: dirty lines go to memory as
+        victim writes (snooped by the survivors like any other
+        write-back), clean lines are simply dropped.  Returns the
+        number of write-backs performed.
+        """
+        written = 0
+        for index, line in enumerate(self.lines):
+            if not line.valid:
+                continue
+            if line.state.is_dirty:
+                address = self.geometry.rebuild_address(index, line.tag)
+                # Snapshot at the grant instant: a snooped update that
+                # lands while this write-back waits for the bus must be
+                # included, exactly as in dma_write.
+                yield from self.bus_op(BusOp.MWRITE, address,
+                                       data=line.snapshot, is_victim=True)
+                written += 1
+            line.invalidate()
+        self.stats.incr("flush.writebacks", written)
+        return written
+
     def valid_lines(self):
         """Yield (index, line) for every valid line (checker use)."""
         for index, line in enumerate(self.lines):

@@ -26,6 +26,13 @@ Subcommands:
     Run the pinned benchmark suite, write ``BENCH_<n>.json``, and
     optionally compare against the previous BENCH file with the
     noise-aware regression detector.  See docs/OBSERVATORY.md.
+``chaos``
+    Run the seeded fault-injection campaigns: pinned scenarios covering
+    bus parity corruption, SECDED memory flips, dropped snoops, CPU
+    board failure and QBus device timeouts, each reporting detection
+    latency, recovery time and degradation vs a fault-free twin.
+    Identical seeds produce byte-identical reports; exits non-zero if
+    any scenario's recovery story fails.  See docs/FAULTS.md.
 
 ``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
 capture a trace of an ordinary run (refusing to overwrite an existing
@@ -47,6 +54,8 @@ Examples::
     firefly-sim verify --all-protocols --dma
     firefly-sim bench --quick
     firefly-sim bench --compare --threshold 0.2
+    firefly-sim chaos --quick
+    firefly-sim chaos --seed 2024 --scenario snoop-storm --json report.json
 """
 
 from __future__ import annotations
@@ -176,6 +185,21 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 0.2; widened by trial noise)")
     bench.add_argument("--skip-overhead", action="store_true",
                        help="skip the disabled-tracing overhead guard")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the seeded fault-injection campaigns")
+    chaos.add_argument("--seed", type=int, default=1987,
+                       help="fault-schedule seed (default 1987); the "
+                            "same seed reproduces the same timeline")
+    chaos.add_argument("--quick", action="store_true",
+                       help="short horizons (CI smoke mode)")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the pinned scenarios and exit")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the campaign report as JSON")
 
     return parser
 
@@ -451,6 +475,25 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import CHAOS_SCENARIOS, run_campaign
+
+    if args.list:
+        for scenario in CHAOS_SCENARIOS:
+            print(f"{scenario.name:<16} {scenario.description}")
+        return 0
+    report = run_campaign(seed=args.seed, quick=args.quick,
+                          scenarios=args.scenario)
+    print(report.render())
+    if args.json is not None:
+        import json
+        from pathlib import Path
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"chaos: wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
@@ -459,6 +502,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
 }
 
 

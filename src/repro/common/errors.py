@@ -51,10 +51,77 @@ class ProtocolError(SimulationError):
     """
 
 
-class DeadlockError(SimulationError):
-    """The event queue drained while processes were still blocked."""
+class UncorrectableMemoryError(SimulationError):
+    """A memory read hit a multi-bit error beyond SECDED's reach.
 
-    def __init__(self, blocked):
-        names = ", ".join(sorted(blocked)) or "<unknown>"
-        super().__init__(f"simulation deadlock; blocked processes: {names}")
-        self.blocked = tuple(blocked)
+    Single-bit flips are corrected (and counted) transparently by the
+    ECC model in :class:`repro.memory.main_memory.MainMemory`; a
+    double-bit flip is *detected* but not correctable, so the read
+    must fail loudly rather than return silently wrong data.
+
+    Attributes
+    ----------
+    word_address:
+        The word whose stored value is unrecoverable.
+    bits:
+        How many bits were flipped.
+    """
+
+    def __init__(self, word_address, bits):
+        super().__init__(
+            f"uncorrectable {bits}-bit memory error at word "
+            f"{word_address:#x} (SECDED corrects only single-bit flips)")
+        self.word_address = word_address
+        self.bits = bits
+
+
+class BusTransferError(SimulationError):
+    """An MBus transfer kept failing parity past the retry budget.
+
+    The bus model retries a corrupted transfer with backoff; when every
+    attempt fails the initiator cannot make progress and the error
+    surfaces here rather than as silently dropped state.
+
+    Attributes
+    ----------
+    op / address / initiator:
+        The failing transaction.
+    attempts:
+        Total attempts made (initial try plus retries).
+    """
+
+    def __init__(self, op, address, initiator, attempts):
+        super().__init__(
+            f"bus transfer {op.value} at {address:#x} by initiator "
+            f"{initiator} failed parity on all {attempts} attempts")
+        self.op = op
+        self.address = address
+        self.initiator = initiator
+        self.attempts = attempts
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    ``blocked`` holds ``(name, waitable_kind)`` pairs — the kind is the
+    kernel's ``_blocked_on`` tag (``timeout``, ``event:<name>``,
+    ``join:<name>``, ``resource:<name>``) so the message says not just
+    *who* is stuck but *what kind of thing* each victim waits on, plus
+    the simulation time at which the heap drained.
+    """
+
+    def __init__(self, blocked, now=None):
+        pairs = []
+        for item in blocked:
+            if isinstance(item, tuple):
+                pairs.append((str(item[0]), str(item[1])))
+            else:  # legacy callers pass pre-formatted strings
+                pairs.append((str(item), "?"))
+        pairs.sort()
+        detail = ", ".join(f"{name} waiting on {kind}"
+                           for name, kind in pairs) or "<unknown>"
+        at = f" at t={now}" if now is not None else ""
+        super().__init__(
+            f"simulation deadlock{at}; stuck processes: {detail}")
+        self.blocked = tuple(pairs)
+        self.now = now

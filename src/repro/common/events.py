@@ -318,11 +318,12 @@ class Simulator:
         while self._heap:
             self._pop_and_run()
         if check_deadlock and self._live:
-            blocked = {
-                f"{p.name}({p._blocked_on})" for p in self._live if not p.done
-            }
+            blocked = sorted(
+                (p.name, p._blocked_on or "?")
+                for p in self._live if not p.done
+            )
             if blocked:
-                raise DeadlockError(blocked)
+                raise DeadlockError(blocked, now=self.now)
 
     def run_until(self, end_time: int) -> None:
         """Run events with timestamps ``<= end_time``, then set ``now`` there.

@@ -1,0 +1,421 @@
+"""The fault injector: arms fault models and keeps the fault ledger.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a live machine: it resolves the plan into a timeline, schedules an
+activation callback per fault, and wires the per-layer models'
+notification hooks back into per-fault :class:`FaultRecord` entries —
+when each fault was injected, when the hardware *detected* it, when it
+*recovered*, and how it ended.
+
+Detection semantics per kind:
+
+- ``bus-corrupt`` — detected by the parity checker in the corrupted
+  tenure itself; recovered when a retry succeeds (outcome ``retried``)
+  or the budget runs out (``retry-exhausted``,
+  :class:`~repro.common.errors.BusTransferError`).
+- ``memory-flip`` — latent until *some* read touches the word: the
+  demand-fetch path or the background scrubber.  Single-bit flips end
+  ``corrected``; multi-bit flips end ``uncorrectable``.
+- ``snoop-drop`` — the hardware cannot see this one; detection is the
+  I1-I4 audit's job (:meth:`note_violations`), outcome
+  ``coherence-flagged``.
+- ``cpu-fail`` — fail-stop, detected at once; recovered when the
+  graceful-offline sweep (flush + detach) completes (``offlined``).
+- ``qbus-timeout`` — detected at the missed DMA slot; ends ``retried``
+  or ``degraded``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomStream
+from repro.faults.models import BusFaultModel, QBusFaultModel
+from repro.faults.plan import FaultKind, FaultPlan, ScheduledFault
+from repro.telemetry.probe import NULL_PROBE
+
+
+@dataclass
+class FaultRecord:
+    """The ledger entry for one scheduled fault."""
+
+    fault_id: str
+    kind: FaultKind
+    scheduled_at: int
+    injected_at: Optional[int] = None
+    detected_at: Optional[int] = None
+    recovered_at: Optional[int] = None
+    outcome: str = "pending"
+    target: str = ""
+    detail: str = ""
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        if self.injected_at is None or self.detected_at is None:
+            return None
+        return self.detected_at - self.injected_at
+
+    @property
+    def recovery_time(self) -> Optional[int]:
+        if self.injected_at is None or self.recovered_at is None:
+            return None
+        return self.recovered_at - self.injected_at
+
+    def to_dict(self) -> Dict:
+        return {
+            "fault_id": self.fault_id,
+            "kind": self.kind.value,
+            "scheduled_at": self.scheduled_at,
+            "injected_at": self.injected_at,
+            "detected_at": self.detected_at,
+            "recovered_at": self.recovered_at,
+            "outcome": self.outcome,
+            "target": self.target,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        def at(value: Optional[int]) -> str:
+            return "-" if value is None else str(value)
+
+        latency = self.detection_latency
+        recovery = self.recovery_time
+        parts = [
+            f"{self.fault_id} {self.kind.value:<12}",
+            f"inject t={at(self.injected_at)}",
+            f"detect t={at(self.detected_at)}"
+            + (f" (+{latency})" if latency is not None else ""),
+            f"recover t={at(self.recovered_at)}"
+            + (f" (+{recovery})" if recovery is not None else ""),
+            f"outcome={self.outcome}",
+        ]
+        if self.target:
+            parts.append(f"target={self.target}")
+        return "  ".join(parts)
+
+
+class FaultInjector:
+    """Schedules a plan's faults against one machine and records them."""
+
+    def __init__(self, machine, plan: FaultPlan,
+                 rng: Optional[RandomStream] = None,
+                 kernel=None,
+                 bus_model: Optional[BusFaultModel] = None,
+                 qbus_model: Optional[QBusFaultModel] = None) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.kernel = kernel
+        self.rng = (rng if rng is not None
+                    else machine.streams.stream("faults"))
+        self.bus_model = bus_model or BusFaultModel()
+        self.bus_model.on_event = self._on_layer_event
+        self.qbus_model = qbus_model or QBusFaultModel()
+        self.qbus_model.on_event = self._on_layer_event
+        self.records: List[FaultRecord] = []
+        self.schedule: Tuple[ScheduledFault, ...] = ()
+        self._outstanding: Dict[FaultKind, Deque[FaultRecord]] = {
+            kind: deque() for kind in FaultKind}
+        self._by_word: Dict[int, FaultRecord] = {}
+        # Per-record snoop-drop quotas: [record, victim cache, remaining]
+        # so consumed drops attribute to the right fault even when
+        # several are outstanding against the same cache.
+        self._drop_slots: List[List] = []
+        #: Telemetry probe; inert unless the chaos engine attaches one.
+        self.probe = NULL_PROBE
+        self._armed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def arm(self, horizon: int, start: Optional[int] = None
+            ) -> Tuple[ScheduledFault, ...]:
+        """Resolve the plan and schedule every activation.
+
+        Layer hooks are installed here — a machine whose injector is
+        never armed keeps ``faults is None`` everywhere, so building an
+        injector does not perturb a fault-free run.
+        """
+        if self._armed:
+            raise ConfigurationError("injector is already armed")
+        self._armed = True
+        sim = self.machine.sim
+        base = sim.now if start is None else start
+        if base < sim.now:
+            raise ConfigurationError(
+                f"cannot arm in the past (start={base}, now={sim.now})")
+        self.schedule = self.plan.schedule(self.rng, base, horizon)
+        self.machine.mbus.faults = self.bus_model
+        self.machine.memory.on_ecc = self._on_ecc
+        if self.machine.qbus is not None:
+            self.machine.qbus.faults = self.qbus_model
+        for fault in self.schedule:
+            record = FaultRecord(fault.fault_id, fault.kind, fault.time)
+            self.records.append(record)
+            sim.call_at(fault.time - sim.now,
+                        lambda f=fault, r=record: self._activate(f, r))
+        return self.schedule
+
+    def disarm(self) -> None:
+        """Detach every layer hook (pending activations become no-ops)."""
+        self._armed = False
+        self.machine.mbus.faults = None
+        self.machine.memory.on_ecc = None
+        if self.machine.qbus is not None:
+            self.machine.qbus.faults = None
+
+    # -- activation ----------------------------------------------------
+
+    def _activate(self, fault: ScheduledFault, record: FaultRecord) -> None:
+        if not self._armed:
+            record.outcome = "disarmed"
+            return
+        now = self.machine.sim.now
+        record.injected_at = now
+        handler = {
+            FaultKind.BUS_CORRUPT: self._inject_bus_corrupt,
+            FaultKind.MEMORY_FLIP: self._inject_memory_flip,
+            FaultKind.SNOOP_DROP: self._inject_snoop_drop,
+            FaultKind.CPU_FAIL: self._inject_cpu_fail,
+            FaultKind.QBUS_TIMEOUT: self._inject_qbus_timeout,
+        }[fault.kind]
+        handler(fault, record)
+        if self.probe.active and record.outcome != "skipped":
+            self.probe.instant("fault.inject", "faults",
+                               id=record.fault_id, kind=fault.kind.value,
+                               target=record.target)
+
+    def _inject_bus_corrupt(self, fault: ScheduledFault,
+                            record: FaultRecord) -> None:
+        burst = fault.spec.param("burst", 1)
+        record.target = f"burst={burst}"
+        record.outcome = "injected"
+        self._outstanding[FaultKind.BUS_CORRUPT].append(record)
+        self.bus_model.arm_corruption(burst)
+
+    def _inject_memory_flip(self, fault: ScheduledFault,
+                            record: FaultRecord) -> None:
+        bits = fault.spec.param("bits", 1)
+        shared = self.machine.shared_region
+        offset = self.rng.randint(0, shared.words - 1)
+        address = shared.base_word + offset
+        record.target = f"word {address:#x} ({bits} bit)"
+        record.outcome = "latent"
+        self._by_word[address] = record
+        self._outstanding[FaultKind.MEMORY_FLIP].append(record)
+        self.machine.memory.inject_bit_flips(address, bits)
+
+    def _inject_snoop_drop(self, fault: ScheduledFault,
+                           record: FaultRecord) -> None:
+        drops = fault.spec.param("drops", 1)
+        victims = [cache.snooper_id for cache in self.machine.caches
+                   if not self.machine.cpus[cache.snooper_id].failed]
+        if not victims:
+            record.outcome = "skipped"
+            record.detail = "no attached cache to victimise"
+            return
+        victim = self.rng.choice(victims)
+        record.target = f"cache{victim} x{drops}"
+        record.outcome = "injected"
+        self._outstanding[FaultKind.SNOOP_DROP].append(record)
+        self._drop_slots.append([record, victim, drops])
+        self.bus_model.arm_snoop_drops(victim, drops)
+
+    def _inject_cpu_fail(self, fault: ScheduledFault,
+                         record: FaultRecord) -> None:
+        wanted = fault.spec.param("cpu", -1)
+        eligible = [cpu.cpu_id for cpu in self.machine.cpus
+                    if cpu.cpu_id != 0 and not cpu.failed]
+        if wanted >= 0:
+            eligible = [cpu_id for cpu_id in eligible if cpu_id == wanted]
+        if not eligible:
+            record.outcome = "skipped"
+            record.detail = "no eligible CPU board to fail"
+            return
+        cpu_id = self.rng.choice(eligible)
+        record.target = f"cpu{cpu_id}"
+        record.detected_at = self.machine.sim.now  # fail-stop
+        record.outcome = "offlining"
+        offliner = self.kernel if self.kernel is not None else self.machine
+        proc = offliner.offline_cpu(cpu_id)
+        self.machine.sim.process(self._watch_offline(record, proc),
+                                 name=f"watch-{record.fault_id}")
+
+    def _watch_offline(self, record: FaultRecord, proc):
+        written = yield proc
+        record.recovered_at = self.machine.sim.now
+        record.outcome = "offlined"
+        record.detail = f"{written} dirty line(s) written back"
+        if self.probe.active:
+            self.probe.instant("fault.recover", "faults",
+                               id=record.fault_id, outcome=record.outcome)
+
+    def _inject_qbus_timeout(self, fault: ScheduledFault,
+                             record: FaultRecord) -> None:
+        if self.machine.qbus is None:
+            record.outcome = "skipped"
+            record.detail = "machine has no QBus"
+            return
+        timeouts = fault.spec.param("timeouts", 1)
+        record.target = f"x{timeouts}"
+        record.outcome = "injected"
+        self._outstanding[FaultKind.QBUS_TIMEOUT].append(record)
+        self.qbus_model.arm_timeouts(timeouts)
+
+    # -- layer notifications -------------------------------------------
+
+    def _oldest(self, kind: FaultKind) -> Optional[FaultRecord]:
+        queue = self._outstanding[kind]
+        return queue[0] if queue else None
+
+    def _on_layer_event(self, event: str, **info) -> None:
+        now = self.machine.sim.now
+        if event == "bus_corrupted":
+            record = self._oldest(FaultKind.BUS_CORRUPT)
+            if record is not None and record.detected_at is None:
+                record.detected_at = now
+                self._emit_detect(record)
+        elif event in ("bus_recovered", "bus_exhausted"):
+            queue = self._outstanding[FaultKind.BUS_CORRUPT]
+            if queue:
+                record = queue.popleft()
+                record.recovered_at = now
+                record.outcome = ("retried" if event == "bus_recovered"
+                                  else "retry-exhausted")
+                record.detail = (f"{info.get('attempts')} attempt(s) on "
+                                 f"{info.get('op')} at "
+                                 f"{info.get('address'):#x}")
+                self._emit_recover(record)
+        elif event == "snoop_dropped":
+            for slot in self._drop_slots:
+                record, victim, remaining = slot
+                if victim != info.get("snooper_id") or remaining <= 0:
+                    continue
+                slot[2] = remaining - 1
+                if not record.detail:
+                    record.detail = (f"dropped {info.get('op')} probe at "
+                                     f"{info.get('address'):#x}")
+                break
+        elif event == "qbus_timeouts":
+            queue = self._outstanding[FaultKind.QBUS_TIMEOUT]
+            if queue:
+                record = queue.popleft()
+                record.detected_at = now
+                record.recovered_at = now
+                record.outcome = ("degraded" if info.get("degraded")
+                                  else "retried")
+                record.detail = f"{info.get('attempts')} missed slot(s)"
+                self._emit_detect(record)
+                self._emit_recover(record)
+
+    def _on_ecc(self, address: int, bits: int, outcome: str) -> None:
+        now = self.machine.sim.now
+        record = self._by_word.get(address)
+        if record is None:
+            return
+        record.detected_at = now
+        record.outcome = outcome
+        if outcome == "corrected":
+            record.recovered_at = now
+            self._emit_recover(record)
+        else:
+            # Recovery software retires the frame: rewrite it with
+            # fresh data (clearing the poison) so one uncorrectable
+            # word cannot wedge the whole campaign.  The initiating
+            # read still sees UncorrectableMemoryError — the data it
+            # wanted is gone — but later accesses find a clean frame.
+            memory = self.machine.memory
+            memory.poke(address, memory.peek(address))
+            record.recovered_at = now
+            record.detail = f"{bits} bits; frame retired and rewritten"
+        self._emit_detect(record)
+        queue = self._outstanding[FaultKind.MEMORY_FLIP]
+        if record in queue:
+            queue.remove(record)
+        del self._by_word[address]
+
+    # -- audit integration (chaos engine) ------------------------------
+
+    def note_violations(self, violations) -> List[FaultRecord]:
+        """Attribute I1-I4 audit findings to outstanding snoop drops.
+
+        Returns the records newly marked detected.  Attribution is
+        FIFO: coherence damage surfaces in injection order because the
+        audit sweeps all words every pass.
+        """
+        if not violations:
+            return []
+        now = self.machine.sim.now
+        flagged: List[FaultRecord] = []
+        queue = self._outstanding[FaultKind.SNOOP_DROP]
+        summary = "; ".join(str(v) for v in violations[:3])
+        while queue:
+            record = queue.popleft()
+            record.detected_at = now
+            record.recovered_at = now  # repair follows in the same audit
+            record.outcome = "coherence-flagged"
+            suffix = f" [{record.detail}]" if record.detail else ""
+            record.detail = summary + suffix
+            flagged.append(record)
+            self._emit_detect(record)
+            self._emit_recover(record)
+        return flagged
+
+    def repair_coherence(self, violations) -> int:
+        """Repair audited damage so the campaign can continue.
+
+        For each violated word: elect the coherent value (a dirty
+        holder's copy if one exists, else memory), write it to memory,
+        and invalidate every cached copy — the software equivalent of
+        an OS-level refetch after a flagged line.  Returns the number
+        of words repaired.
+        """
+        repaired = set()
+        machine = self.machine
+        for violation in violations:
+            address = violation.address
+            if address in repaired:
+                continue
+            value = None
+            for cache in machine.caches:
+                line, _, tag, offset = cache.lookup(address)
+                if line.valid and line.tag == tag and line.state.is_dirty:
+                    value = line.data[offset]
+                    break
+            if value is None:
+                value = machine.memory.peek(address)
+            machine.memory.poke(address, value)
+            for cache in machine.caches:
+                line, _, tag, _ = cache.lookup(address)
+                if line.valid and line.tag == tag:
+                    line.invalidate()
+            repaired.add(address)
+        return len(repaired)
+
+    # -- reporting ------------------------------------------------------
+
+    def _emit_detect(self, record: FaultRecord) -> None:
+        if self.probe.active:
+            self.probe.instant("fault.detect", "faults",
+                               id=record.fault_id, kind=record.kind.value,
+                               outcome=record.outcome)
+
+    def _emit_recover(self, record: FaultRecord) -> None:
+        if self.probe.active:
+            self.probe.instant("fault.recover", "faults",
+                               id=record.fault_id, outcome=record.outcome)
+
+    def outcomes(self) -> Dict[str, int]:
+        """Outcome -> count over the ledger (deterministic order)."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record.outcome] = totals.get(record.outcome, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def pending(self) -> List[FaultRecord]:
+        """Records with no terminal outcome yet."""
+        terminal = ("retried", "retry-exhausted", "corrected",
+                    "uncorrectable", "coherence-flagged", "offlined",
+                    "degraded", "skipped", "disarmed")
+        return [r for r in self.records if r.outcome not in terminal]

@@ -1,0 +1,162 @@
+"""Per-layer fault models, armed by the injector, consumed by hardware.
+
+Each model is a small stateful object a hardware layer polls on its
+hot path (``mbus.faults``, ``qbus.faults``).  The polling contract
+keeps the happy path untouched: a layer with ``faults is None`` takes
+no draw, no branch, no extra cycle; a layer with a model attached but
+nothing armed pays one integer test per opportunity.
+
+Models never draw randomness themselves — the *schedule* decides when
+to arm them, so all nondeterminism stays in
+:meth:`repro.faults.plan.FaultPlan.schedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+
+EventHook = Optional[Callable[..., None]]
+
+
+class BusFaultModel:
+    """MBus parity corruption and snoop-drop faults.
+
+    ``corrupts`` is polled once per bus tenure at the grant instant; a
+    positive answer voids the tenure (parity fails during the data
+    cycles) and sends the initiator through retry-with-backoff.
+    ``drops_snoop`` is polled once per (snooper, transaction) during
+    the fan-out; a positive answer silently skips that cache's probe.
+    """
+
+    def __init__(self, max_retries: int = 4, base_backoff_cycles: int = 8,
+                 on_event: EventHook = None) -> None:
+        if max_retries < 0 or base_backoff_cycles < 1:
+            raise ConfigurationError(
+                f"invalid bus fault parameters (max_retries={max_retries}, "
+                f"base_backoff_cycles={base_backoff_cycles})")
+        self.max_retries = max_retries
+        self.base_backoff_cycles = base_backoff_cycles
+        self.on_event = on_event
+        self._corrupt_remaining = 0
+        self._drops: Dict[int, int] = {}
+
+    # -- arming (injector side) ----------------------------------------
+
+    def arm_corruption(self, burst: int = 1) -> None:
+        """The next ``burst`` bus tenures fail parity."""
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self._corrupt_remaining += burst
+
+    def arm_snoop_drops(self, snooper_id: int, drops: int = 1) -> None:
+        """The next ``drops`` probes of ``snooper_id`` are swallowed."""
+        if drops < 1:
+            raise ConfigurationError(f"drops must be >= 1, got {drops}")
+        self._drops[snooper_id] = self._drops.get(snooper_id, 0) + drops
+
+    @property
+    def idle(self) -> bool:
+        """Whether nothing is currently armed."""
+        return self._corrupt_remaining == 0 and not any(
+            self._drops.get(key) for key in sorted(self._drops))
+
+    # -- polling (bus side) --------------------------------------------
+
+    def corrupts(self, op, line_address: int, initiator: int) -> bool:
+        if self._corrupt_remaining <= 0:
+            return False
+        self._corrupt_remaining -= 1
+        if self.on_event is not None:
+            # The parity checker fires during this tenure's data
+            # cycles: detection is immediate and local.
+            self.on_event("bus_corrupted", op=op.value,
+                          address=line_address, initiator=initiator)
+        return True
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Exponential backoff before re-arbitrating after attempt N."""
+        return self.base_backoff_cycles << (attempt - 1)
+
+    def drops_snoop(self, snooper, op, line_address: int) -> bool:
+        snooper_id = getattr(snooper, "snooper_id", snooper)
+        remaining = self._drops.get(snooper_id, 0)
+        if remaining <= 0:
+            return False
+        peek = getattr(snooper, "peek", None)
+        if peek is not None and peek(line_address) is None:
+            # This cache holds nothing at the probed line; dropping the
+            # probe would change nothing.  Hold the armed fault until a
+            # probe arrives that the cache would actually act on.
+            return False
+        self._drops[snooper_id] = remaining - 1
+        if self.on_event is not None:
+            self.on_event("snoop_dropped", snooper_id=snooper_id,
+                          op=op.value, address=line_address)
+        return True
+
+    # -- notifications (bus side) --------------------------------------
+
+    def notify_recovered(self, op, line_address: int, initiator: int,
+                         attempts: int) -> None:
+        if self.on_event is not None:
+            self.on_event("bus_recovered", op=op.value,
+                          address=line_address, initiator=initiator,
+                          attempts=attempts)
+
+    def notify_exhausted(self, op, line_address: int, initiator: int,
+                         attempts: int) -> None:
+        if self.on_event is not None:
+            self.on_event("bus_exhausted", op=op.value,
+                          address=line_address, initiator=initiator,
+                          attempts=attempts)
+
+
+class QBusFaultModel:
+    """QBus device timeouts with retry, then a degraded-device state.
+
+    ``times_out`` is polled at the head of each word tenure; each
+    positive answer costs the device ``timeout_cycles`` of silence
+    before the retry.  After ``max_retries`` misses in one word the
+    QBus marks itself degraded (see :meth:`QBus._mark_degraded`): the
+    transfer completes, but every word from then on pays
+    ``degraded_penalty_cycles`` extra — data intact, bandwidth lost.
+    """
+
+    def __init__(self, timeout_cycles: int = 64, max_retries: int = 3,
+                 degraded_penalty_cycles: int = 9,
+                 on_event: EventHook = None) -> None:
+        if timeout_cycles < 1 or max_retries < 1:
+            raise ConfigurationError(
+                f"invalid qbus fault parameters (timeout_cycles="
+                f"{timeout_cycles}, max_retries={max_retries})")
+        if degraded_penalty_cycles < 0:
+            raise ConfigurationError("degraded penalty must be >= 0")
+        self.timeout_cycles = timeout_cycles
+        self.max_retries = max_retries
+        self.degraded_penalty_cycles = degraded_penalty_cycles
+        self.on_event = on_event
+        self._timeouts_remaining = 0
+
+    def arm_timeouts(self, timeouts: int = 1) -> None:
+        """The next ``timeouts`` DMA slots are missed by the device."""
+        if timeouts < 1:
+            raise ConfigurationError(
+                f"timeouts must be >= 1, got {timeouts}")
+        self._timeouts_remaining += timeouts
+
+    @property
+    def idle(self) -> bool:
+        return self._timeouts_remaining == 0
+
+    def times_out(self) -> bool:
+        if self._timeouts_remaining <= 0:
+            return False
+        self._timeouts_remaining -= 1
+        return True
+
+    def notify_timeouts(self, attempts: int, degraded: bool) -> None:
+        if self.on_event is not None:
+            self.on_event("qbus_timeouts", attempts=attempts,
+                          degraded=degraded)

@@ -1,0 +1,129 @@
+"""Fault plans: seeded, deterministic schedules of what breaks when.
+
+A :class:`FaultPlan` is declarative — a list of :class:`FaultSpec`
+entries saying "inject N faults of this kind inside this window, with
+these parameters".  :meth:`FaultPlan.schedule` resolves it against a
+horizon using a named :class:`~repro.common.rng.RandomStream`, yielding
+an ordered tuple of :class:`ScheduledFault` — the *timeline*.  The
+draw order is fixed (spec order, then count order), so one seed always
+produces one timeline, and adding a new spec never perturbs the draws
+of the specs before it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomStream
+
+
+class FaultKind(enum.Enum):
+    """The five modelled hardware failure modes."""
+
+    BUS_CORRUPT = "bus-corrupt"      #: MBus transfer fails parity
+    MEMORY_FLIP = "memory-flip"      #: DRAM bit flip(s) under SECDED
+    SNOOP_DROP = "snoop-drop"        #: a cache misses one snoop probe
+    CPU_FAIL = "cpu-fail"            #: a CPU board dies
+    QBUS_TIMEOUT = "qbus-timeout"    #: a device misses its DMA slot
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative entry of a fault plan.
+
+    ``window`` is a fraction pair of the campaign horizon — (0.2, 0.8)
+    means "somewhere in the middle 60%".  ``params`` tunes the kind:
+
+    - BUS_CORRUPT: ``burst`` — consecutive corrupted bus tenures.
+    - MEMORY_FLIP: ``bits`` — flipped bits (1 correctable, 2+ not).
+    - SNOOP_DROP: ``drops`` — consecutive snoop probes swallowed.
+    - CPU_FAIL: ``cpu`` — board to kill (-1 = random survivor != 0).
+    - QBUS_TIMEOUT: ``timeouts`` — consecutive missed DMA slots.
+    """
+
+    kind: FaultKind
+    count: int = 1
+    window: Tuple[float, float] = (0.1, 0.9)
+    params: Tuple[Tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"fault count must be >= 1, got {self.count}")
+        lo, hi = self.window
+        if not (0.0 <= lo <= hi <= 1.0):
+            raise ConfigurationError(
+                f"fault window must satisfy 0 <= lo <= hi <= 1, "
+                f"got ({lo}, {hi})")
+
+    def param(self, key: str, default: int) -> int:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+def spec(kind: FaultKind, count: int = 1,
+         window: Tuple[float, float] = (0.1, 0.9),
+         **params: int) -> FaultSpec:
+    """Convenience constructor: ``spec(FaultKind.MEMORY_FLIP, bits=2)``."""
+    return FaultSpec(kind, count, window,
+                     tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One concrete fault on the resolved timeline."""
+
+    fault_id: str           #: "F1", "F2", ... in firing order
+    kind: FaultKind
+    time: int               #: absolute simulation cycle
+    spec: FaultSpec = field(compare=False)
+
+    def describe(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.spec.params)
+        tail = f"  {extras}" if extras else ""
+        return f"{self.fault_id} {self.kind.value:<12} t={self.time}{tail}"
+
+
+class FaultPlan:
+    """An ordered set of fault specs, resolvable against a horizon."""
+
+    def __init__(self, specs: Iterable[FaultSpec]) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        if not self.specs:
+            raise ConfigurationError("a fault plan needs at least one spec")
+
+    def schedule(self, rng: RandomStream, start: int,
+                 horizon: int) -> Tuple[ScheduledFault, ...]:
+        """Resolve the plan into a concrete timeline.
+
+        Faults land in ``[start + lo*horizon, start + hi*horizon]``.
+        The result is sorted by time (ties broken by draw order) and
+        ids are assigned in firing order, so the timeline reads
+        chronologically and is bit-identical for identical seeds.
+        """
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        drawn = []
+        for order, entry in enumerate(self.specs):
+            lo = start + int(entry.window[0] * horizon)
+            hi = start + int(entry.window[1] * horizon)
+            for _ in range(entry.count):
+                time = rng.randint(lo, max(lo, hi))
+                drawn.append((time, order, entry))
+        drawn.sort(key=lambda item: (item[0], item[1]))
+        return tuple(
+            ScheduledFault(f"F{i + 1}", entry.kind, time, entry)
+            for i, (time, _, entry) in enumerate(drawn))
+
+    def counts(self) -> Dict[str, int]:
+        """Faults per kind (report header)."""
+        totals: Dict[str, int] = {}
+        for entry in self.specs:
+            key = entry.kind.value
+            totals[key] = totals.get(key, 0) + entry.count
+        return totals

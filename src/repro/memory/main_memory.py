@@ -15,9 +15,13 @@ value the coherent history implies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.errors import (
+    ConfigurationError,
+    SimulationError,
+    UncorrectableMemoryError,
+)
 from repro.common.stats import StatSet
 
 LineData = Tuple[int, ...]
@@ -82,6 +86,17 @@ class MainMemory:
         self.words_per_line = words_per_line
         self._store: Dict[int, int] = {}
         self.stats = StatSet("memory")
+        # SECDED ECC model.  ``_flipped`` maps word address -> number of
+        # flipped bits for words whose stored value currently disagrees
+        # with what was written; empty in fault-free runs, so the hot
+        # read/write paths pay one truthiness test and nothing more.
+        self._flipped: Dict[int, int] = {}
+        self._poisoned: set = set()
+        self._poison_bits: Dict[int, int] = {}
+        #: Optional ``f(word_address, bits, outcome)`` called on every
+        #: ECC event; ``outcome`` is "corrected" or "uncorrectable".
+        #: The fault injector hangs detection bookkeeping here.
+        self.on_ecc: Optional[Callable[[int, int, str], None]] = None
 
     @classmethod
     def standard_microvax(cls, megabytes: int = 16,
@@ -120,9 +135,17 @@ class MainMemory:
         return any(m.covers(word_address) for m in self.modules)
 
     def read_line(self, line_address: int) -> LineData:
-        """Supply a line during an MRead's data cycle."""
+        """Supply a line during an MRead's data cycle.
+
+        Every word passes through the SECDED check: a single-bit flip
+        is corrected on the fly (counted, invisible to the initiator);
+        a multi-bit flip raises :class:`UncorrectableMemoryError`.
+        """
         self._check_range(line_address)
         self.stats.incr("reads")
+        if self._flipped or self._poisoned:
+            for i in range(self.words_per_line):
+                self._ecc_check(line_address + i)
         return tuple(self._store.get(line_address + i, 0)
                      for i in range(self.words_per_line))
 
@@ -134,7 +157,87 @@ class MainMemory:
                 f"write of {len(data)} words to {self.words_per_line}-word line")
         self.stats.incr("writes")
         for i, value in enumerate(data):
-            self._store[line_address + i] = value
+            address = line_address + i
+            self._store[address] = value
+            if self._flipped or self._poisoned:
+                # A full-word rewrite stores fresh data + fresh check
+                # bits, clearing any latent error at the cell.
+                self._flipped.pop(address, None)
+                self._poisoned.discard(address)
+
+    # -- SECDED ECC model ---------------------------------------------------
+
+    def inject_bit_flips(self, word_address: int, bits: int) -> None:
+        """Flip ``bits`` stored bits of one word (fault injection).
+
+        The model tracks the flip count rather than a literal bit mask:
+        SECDED behaviour depends only on how many bits differ (1 =
+        correctable, >=2 = detectable but uncorrectable), and keeping
+        the true value in ``_store`` means correction is exact.
+        """
+        if bits < 1:
+            raise ConfigurationError(f"bit flips must be >= 1, got {bits}")
+        if not self.covers(word_address):
+            raise SimulationError(
+                f"cannot flip bits at {word_address:#x}: no module decodes "
+                f"that address")
+        self._flipped[word_address] = self._flipped.get(word_address, 0) + bits
+        self.stats.incr("ecc.injected_flips", bits)
+
+    def _ecc_check(self, address: int) -> None:
+        """Run one word through the SECDED syndrome logic."""
+        if address in self._poisoned:
+            raise UncorrectableMemoryError(address, self._poison_bits[address])
+        bits = self._flipped.get(address)
+        if bits is None:
+            return
+        if bits == 1:
+            del self._flipped[address]
+            self.stats.incr("ecc.corrected")
+            if self.on_ecc is not None:
+                self.on_ecc(address, bits, "corrected")
+            return
+        # Detected-but-uncorrectable: poison the frame so every access
+        # keeps failing until fresh data is written over it.
+        del self._flipped[address]
+        self._poisoned.add(address)
+        self._poison_bits[address] = bits
+        self.stats.incr("ecc.uncorrectable")
+        if self.on_ecc is not None:
+            self.on_ecc(address, bits, "uncorrectable")
+        raise UncorrectableMemoryError(address, bits)
+
+    def scrub(self) -> Tuple[int, int]:
+        """One pass of the background memory scrubber.
+
+        Walks every latent error, correcting single-bit flips and
+        poisoning (without raising) multi-bit ones — the scrubber reads
+        on its own behalf, so nobody consumes the bad data.  Returns
+        ``(corrected, uncorrectable)`` counts for this pass.
+        """
+        corrected = uncorrectable = 0
+        for address in sorted(self._flipped):
+            bits = self._flipped.pop(address)
+            if bits == 1:
+                corrected += 1
+                self.stats.incr("ecc.corrected")
+                if self.on_ecc is not None:
+                    self.on_ecc(address, bits, "corrected")
+            else:
+                uncorrectable += 1
+                self._poisoned.add(address)
+                self._poison_bits[address] = bits
+                self.stats.incr("ecc.uncorrectable")
+                if self.on_ecc is not None:
+                    self.on_ecc(address, bits, "uncorrectable")
+        if corrected or uncorrectable:
+            self.stats.incr("ecc.scrub_passes")
+        return corrected, uncorrectable
+
+    @property
+    def latent_errors(self) -> int:
+        """Words currently holding undetected flips or poisoned frames."""
+        return len(self._flipped) + len(self._poisoned)
 
     # -- direct inspection (checker / tests) -------------------------------
 
@@ -152,6 +255,9 @@ class MainMemory:
                 f"word address {word_address:#x} decodes to no memory "
                 f"module (installed: {self.total_megabytes:.0f} MB)")
         self._store[word_address] = value
+        if self._flipped or self._poisoned:
+            self._flipped.pop(word_address, None)
+            self._poisoned.discard(word_address)
 
     @property
     def total_words(self) -> int:

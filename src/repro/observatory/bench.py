@@ -157,6 +157,39 @@ def _protocol_runner(scenario: Scenario, horizon: Horizon,
     return cycles, metrics
 
 
+def _chaos_smoke_runner(scenario: Scenario, horizon: Horizon,
+                        seed: int) -> Tuple[int, Dict]:
+    """A two-scenario chaos campaign, timed like any other benchmark.
+
+    Keeps fault-injection on the continuous-benchmark radar: a
+    regression in recovery machinery (retry storms, audit cost, offline
+    flush) shows up as a throughput drop here before anyone runs the
+    full ``firefly-sim chaos`` suite.  Horizons are owned by the chaos
+    scenarios themselves; this runner only picks quick vs full.
+
+    Imported lazily: ``repro.faults.chaos`` imports observatory
+    modules, so a module-level import would be circular.
+    """
+    from repro.faults.chaos import run_campaign
+
+    report = run_campaign(seed=seed, quick=horizon is scenario.quick,
+                          scenarios=["bus-parity", "cpu-offline"])
+    counts = report.fault_counts()
+    metrics: Dict = {
+        "scenarios_ok": sum(1 for o in report.outcomes if o.ok),
+        "scenarios_run": len(report.outcomes),
+        "faults_injected": counts["injected"],
+        "faults_detected": counts["detected"],
+        "faults_recovered": counts["recovered"],
+    }
+    for outcome in report.outcomes:
+        prefix = outcome.name.replace("-", "_")
+        for key in ("degradation.tpi_pct", "degradation.bus_load_pct"):
+            if key in outcome.metrics:
+                metrics[f"{prefix}.{key}"] = outcome.metrics[key]
+    return report.total_cycles, metrics
+
+
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("exerciser-1cpu",
              "Threads exerciser, 1 CPU x 8 threads (Table 2 left column)",
@@ -174,6 +207,10 @@ SCENARIOS: Tuple[Scenario, ...] = (
              "firefly vs write-through coherence on 4 CPUs",
              full=Horizon(30_000, 60_000), quick=Horizon(15_000, 30_000),
              runner=_protocol_runner),
+    Scenario("chaos-smoke",
+             "fault-injection campaign: bus parity + CPU offline recovery",
+             full=Horizon(10_000, 90_000), quick=Horizon(5_000, 45_000),
+             runner=_chaos_smoke_runner),
 )
 
 

@@ -104,6 +104,36 @@ class PrefetchConfig:
             raise ConfigurationError("wasted_per_jump must be >= 0")
 
 
+class InterleavedSource:
+    """Round-robin merge of two reference sources (CPU failover).
+
+    Created by :meth:`Processor.absorb_source` when a survivor takes
+    over a failed board's stream.  A constituent source that halts
+    (returns ``None``) drops out; the other keeps the CPU busy.  An
+    idle :class:`Event` from one source is passed through unchanged —
+    the CPU sleeps on it exactly as it would single-sourced.
+    """
+
+    def __init__(self, primary: "ReferenceSource",
+                 orphan: "ReferenceSource") -> None:
+        self._sources = [primary, orphan]
+        self._turn = 0
+
+    def next_instruction(self, cpu: "Processor") -> Union[
+            "InstructionBundle", Event, None]:
+        for _ in range(len(self._sources)):
+            source = self._sources[self._turn % len(self._sources)]
+            self._turn += 1
+            item = source.next_instruction(cpu)
+            if item is None:
+                self._sources.remove(source)
+                if not self._sources:
+                    return None
+                continue
+            return item
+        return None
+
+
 class Processor:
     """One CPU: timing model + cache + reference source, as a process."""
 
@@ -142,6 +172,7 @@ class Processor:
             cache.on_snooped_write = invalidate_onchip
         self._write_token = (cpu_id + 1) << 40
         self._halted = False
+        self.failed = False
         self._window_start = 0
         self.process = None  # set by start()
 
@@ -154,6 +185,27 @@ class Processor:
     def halt(self) -> None:
         """Stop fetching after the current instruction completes."""
         self._halted = True
+
+    def fail(self) -> None:
+        """Mark this CPU board as failed (fault injection).
+
+        The execution loop stops at the next fetch boundary; the board-
+        level recovery (cache flush, bus detach, work re-sourcing) is
+        orchestrated by :meth:`FireflyMachine.offline_cpu`.
+        """
+        self.failed = True
+        self._halted = True
+        self.stats.incr("failed_at", self.sim.now)
+
+    def absorb_source(self, orphan: "ReferenceSource") -> None:
+        """Interleave a failed CPU's reference stream into this one's.
+
+        The survivor alternates between its own work and the orphaned
+        stream — the simplest work-conserving re-sourcing, standing in
+        for the scheduler migrating the dead board's runnable threads.
+        """
+        self.source = InterleavedSource(self.source, orphan)
+        self.stats.incr("absorbed_sources")
 
     def _run(self):
         while not self._halted:

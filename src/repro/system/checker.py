@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 
 from repro.cache.line import LineState
 from repro.common.errors import CoherenceViolation
-from repro.verify.invariants import check_word
+from repro.verify.invariants import Violation, check_word, iter_violations
 
 
 class CoherenceChecker:
@@ -61,6 +61,23 @@ class CoherenceChecker:
         violation = check_word(address, copies, memory_value, silent_states)
         if violation is not None:
             raise CoherenceViolation(address, violation.detail)
+
+    def violations(self) -> List[Violation]:
+        """Audit every cached word, returning *all* invariant failures.
+
+        Unlike :meth:`check` this never raises: the chaos harness polls
+        it to measure *when* injected coherence damage becomes visible,
+        and needs the full damage inventory for fault attribution.
+        """
+        silent_states = self.machine.protocol.silent_write_states
+        holders = self._gather()
+        found: List[Violation] = []
+        for address in sorted(holders):
+            memory_value = self.machine.memory.peek(address)
+            for invariant, detail in iter_violations(
+                    holders[address], memory_value, silent_states):
+                found.append(Violation(invariant, address, detail))
+        return found
 
     def audit_word(self, address: int) -> List[Tuple[int, str, int]]:
         """All cached copies of one word, for debugging."""

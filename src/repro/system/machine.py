@@ -13,7 +13,7 @@ does this to execute real thread programs).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.bus.mbus import MBus
 from repro.bus.qbus import QBus
@@ -96,6 +96,7 @@ class FireflyMachine:
         #: Telemetry probe; inert unless a TelemetryHub is attached.
         self.probe = NULL_PROBE
         self._started = False
+        self._failed_cpus: List[int] = []
 
     # -- construction helpers ------------------------------------------
 
@@ -168,6 +169,72 @@ class FireflyMachine:
         for cpu in self.cpus:
             cpu.start()
         self._started = True
+
+    # -- graceful degradation ------------------------------------------
+
+    @property
+    def failed_cpus(self) -> Tuple[int, ...]:
+        """CPU ids offlined so far, in failure order."""
+        return tuple(self._failed_cpus)
+
+    @property
+    def online_cpus(self) -> List[Processor]:
+        """CPUs still running (construction order)."""
+        return [cpu for cpu in self.cpus if not cpu.failed]
+
+    def offline_cpu(self, cpu_id: int, absorb: bool = True):
+        """Fail one CPU board and recover gracefully; returns a Process.
+
+        The paper's availability story — "a multiprocessor can be
+        structured to continue operation in the face of failures of
+        individual processors" — maps to three steps: stop the board,
+        sweep its cache's dirty lines back to memory (as ordinary
+        victim write-backs the survivors snoop), and detach it from the
+        snoop fan-out.  With ``absorb=True`` the board's reference
+        stream is then interleaved into the least-loaded survivor
+        (synthetic workloads); the Topaz layer passes ``absorb=False``
+        and re-queues the dead board's thread itself.
+
+        Processor 0 cannot be offlined: it is the I/O processor on the
+        primary board, and the QBus (hence all I/O) dies with it.
+        """
+        if not 0 <= cpu_id < len(self.cpus):
+            raise ConfigurationError(f"no CPU {cpu_id} in this machine")
+        if cpu_id == 0:
+            raise ConfigurationError(
+                "cannot offline CPU 0: it is the I/O processor on the "
+                "primary board (the QBus has no other master)")
+        cpu = self.cpus[cpu_id]
+        if cpu.failed:
+            raise ConfigurationError(f"CPU {cpu_id} is already offline")
+        cache = self.caches[cpu_id]
+        cpu.fail()
+        self._failed_cpus.append(cpu_id)
+        if self.probe.active:
+            self.probe.instant("fault.cpu_fail", "machine", cpu=cpu_id)
+
+        def _offline():
+            written = yield from cache.flush_lines()
+            self.mbus.detach_snooper(cache.snooper_id)
+            if absorb:
+                self._absorb_orphan(cpu_id)
+            if self.probe.active:
+                self.probe.instant("fault.cpu_offlined", "machine",
+                                   cpu=cpu_id, writebacks=written)
+            return written
+
+        return self.sim.process(_offline(), name=f"offline{cpu_id}")
+
+    def _absorb_orphan(self, cpu_id: int) -> Processor:
+        """Hand the failed CPU's reference stream to a survivor."""
+        survivors = self.online_cpus
+        if not survivors:  # pragma: no cover - CPU 0 can never fail
+            raise ConfigurationError("no surviving CPU to absorb work")
+        survivor = min(
+            survivors,
+            key=lambda c: (c.stats.counter("instructions").total, c.cpu_id))
+        survivor.absorb_source(self.cpus[cpu_id].source)
+        return survivor
 
     def mark_window(self) -> None:
         """Open a measurement window on every component."""

@@ -142,6 +142,15 @@ class TopazKernel:
         self._kernel_pc = [self._kernel_text] * n
         self._rng = self.machine.streams.stream("topaz.kernel")
 
+        # Every CPU fields scheduler IPIs (kicks from _kick_idle_cpu
+        # and device-completion interrupts aimed at the I/O processor).
+        # The handler only counts: the wake itself travels through the
+        # idle Event, matching the hardware's separation of the
+        # sideband strobe from the software wakeup path.
+        for cpu_id in range(n):
+            self.machine.mbus.register_interrupt_handler(
+                cpu_id, self._ipi_received)
+
         self.address_spaces: List[AddressSpace] = []
         self._default_space = self._create_default_spaces()
 
@@ -600,6 +609,30 @@ class TopazKernel:
         self.scheduler.enqueue(thread)
         self.stats.incr("wakeups")
         self._kick_idle_cpu(preferred=thread.last_cpu)
+
+    def _ipi_received(self, sender: int) -> None:
+        self.stats.incr("ipis_received")
+
+    def offline_cpu(self, cpu_id: int):
+        """Fail a CPU board under Topaz; its thread survives.
+
+        The machine layer halts the board, flushes its cache and
+        detaches it from the bus; this layer re-queues whatever thread
+        was running there so a survivor picks it up — the scheduler-
+        level half of the paper's keeps-running story.  Returns the
+        machine's offline Process (join it to wait for the flush).
+        """
+        proc = self.machine.offline_cpu(cpu_id, absorb=False)
+        self._idle_events[cpu_id] = None  # a dead board never wakes
+        self._switch_queue[cpu_id].clear()
+        thread = self._current[cpu_id]
+        self._current[cpu_id] = None
+        if thread is not None:
+            self._note_offcpu(cpu_id, thread, "cpu-offline")
+            self.stats.incr("offline_requeues")
+            self.scheduler.enqueue(thread)
+            self._kick_idle_cpu(preferred=None)
+        return proc
 
     def _kick_idle_cpu(self, preferred: Optional[int]) -> None:
         order = list(range(len(self._idle_events)))

@@ -1,0 +1,587 @@
+"""Tests of the fault-injection and graceful-degradation subsystem.
+
+Covers the determinism contract (one seed, one fault timeline, one
+report) and every recovery path: bus parity retry and exhaustion,
+SECDED correction / uncorrectable detection / frame retirement, snoop
+drops caught by the I1-I4 audit and repaired, CPU-board offlining via
+both the machine and the Topaz kernel, and QBus device degradation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bus.mbus import MBus
+from repro.common.errors import (
+    BusTransferError,
+    ConfigurationError,
+    DeadlockError,
+    UncorrectableMemoryError,
+)
+from repro.common.events import Simulator
+from repro.common.rng import StreamFactory
+from repro.common.types import MBUS_OP_CYCLES
+from repro.faults import (
+    BusFaultModel,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    QBusFaultModel,
+    run_campaign,
+)
+from repro.faults.plan import spec
+from repro.io.disk import WORDS_PER_BLOCK, DiskController, DiskParams
+from repro.system import FireflyConfig, FireflyMachine
+from repro.system.checker import CoherenceChecker
+from repro.workloads.threads_exerciser import ExerciserParams, build_exerciser
+
+from tests.conftest import MiniRig
+
+pytestmark = pytest.mark.faults
+
+
+def _stream(seed: int = 1):
+    return StreamFactory(seed).stream("faults")
+
+
+def _sample_plan() -> FaultPlan:
+    return FaultPlan([
+        spec(FaultKind.BUS_CORRUPT, count=2, window=(0.1, 0.4), burst=2),
+        spec(FaultKind.MEMORY_FLIP, count=3, window=(0.2, 0.8), bits=1),
+        spec(FaultKind.SNOOP_DROP, window=(0.5, 0.9), drops=2),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# fault plans: seeded schedules
+
+
+class TestFaultPlan:
+    def test_same_seed_same_timeline(self):
+        plan = _sample_plan()
+        first = plan.schedule(_stream(7), 1_000, 50_000)
+        second = plan.schedule(_stream(7), 1_000, 50_000)
+        assert first == second
+        assert [f.fault_id for f in first] == [
+            f"F{i + 1}" for i in range(len(first))]
+
+    def test_timeline_sorted_and_inside_windows(self):
+        plan = _sample_plan()
+        schedule = plan.schedule(_stream(3), 2_000, 40_000)
+        times = [fault.time for fault in schedule]
+        assert times == sorted(times)
+        for fault in schedule:
+            lo, hi = fault.spec.window
+            assert 2_000 + int(lo * 40_000) <= fault.time
+            assert fault.time <= 2_000 + int(hi * 40_000)
+
+    def test_different_seeds_differ(self):
+        plan = _sample_plan()
+        assert (plan.schedule(_stream(1), 0, 100_000)
+                != plan.schedule(_stream(2), 0, 100_000))
+
+    def test_counts_and_describe(self):
+        plan = _sample_plan()
+        assert plan.counts() == {"bus-corrupt": 2, "memory-flip": 3,
+                                 "snoop-drop": 1}
+        fault = plan.schedule(_stream(5), 0, 10_000)[0]
+        assert fault.fault_id in fault.describe()
+        assert f"t={fault.time}" in fault.describe()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan([])
+        with pytest.raises(ConfigurationError):
+            spec(FaultKind.BUS_CORRUPT, count=0)
+        with pytest.raises(ConfigurationError):
+            spec(FaultKind.BUS_CORRUPT, window=(0.8, 0.2))
+        with pytest.raises(ConfigurationError):
+            spec(FaultKind.BUS_CORRUPT, window=(0.0, 1.5))
+        with pytest.raises(ConfigurationError):
+            _sample_plan().schedule(_stream(1), 0, 0)
+
+    def test_param_lookup(self):
+        entry = spec(FaultKind.MEMORY_FLIP, bits=2)
+        assert entry.param("bits", 1) == 2
+        assert entry.param("missing", 9) == 9
+
+
+# ---------------------------------------------------------------------------
+# fault models: arming and validation
+
+
+class TestFaultModels:
+    def test_bus_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            BusFaultModel(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            BusFaultModel(base_backoff_cycles=0)
+        model = BusFaultModel()
+        with pytest.raises(ConfigurationError):
+            model.arm_corruption(0)
+        with pytest.raises(ConfigurationError):
+            model.arm_snoop_drops(0, drops=0)
+
+    def test_bus_model_idle_tracking(self):
+        model = BusFaultModel()
+        assert model.idle
+        model.arm_corruption(1)
+        assert not model.idle
+
+    def test_backoff_is_exponential(self):
+        model = BusFaultModel(base_backoff_cycles=8)
+        assert [model.backoff_cycles(n) for n in (1, 2, 3)] == [8, 16, 32]
+
+    def test_qbus_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            QBusFaultModel(timeout_cycles=0)
+        with pytest.raises(ConfigurationError):
+            QBusFaultModel(max_retries=0)
+        with pytest.raises(ConfigurationError):
+            QBusFaultModel(degraded_penalty_cycles=-1)
+        model = QBusFaultModel()
+        with pytest.raises(ConfigurationError):
+            model.arm_timeouts(0)
+        assert model.idle
+        model.arm_timeouts(2)
+        assert model.times_out() and model.times_out()
+        assert not model.times_out()
+        assert model.idle
+
+
+# ---------------------------------------------------------------------------
+# MBus parity corruption: bounded retry with backoff
+
+
+class TestBusParityRecovery:
+    def test_retry_recovers_and_counts(self, rig):
+        events = []
+        model = BusFaultModel(
+            on_event=lambda name, **info: events.append(name))
+        rig.mbus.faults = model
+        model.arm_corruption(2)
+        start = rig.sim.now
+        rig.write(0, 0x40, 0xC0FFEE)
+        assert rig.read(1, 0x40) == 0xC0FFEE
+        assert rig.mbus.stats["parity.errors"].total == 2
+        assert rig.mbus.stats["parity.recovered"].total >= 1
+        assert events.count("bus_corrupted") == 2
+        assert "bus_recovered" in events
+        # Two voided tenures plus exponential backoff cost real cycles.
+        assert rig.sim.now - start >= 3 * MBUS_OP_CYCLES + 8 + 16
+
+    def test_retry_exhaustion_raises(self, rig):
+        events = []
+        model = BusFaultModel(
+            max_retries=2,
+            on_event=lambda name, **info: events.append(name))
+        rig.mbus.faults = model
+        model.arm_corruption(10)
+        with pytest.raises(BusTransferError) as excinfo:
+            rig.read(0, 0x80)
+        assert excinfo.value.attempts == 3
+        assert rig.mbus.stats["parity.errors"].total == 3
+        assert "bus_exhausted" in events
+
+
+# ---------------------------------------------------------------------------
+# SECDED main memory: correction, detection, scrubbing
+
+
+class TestEccRecovery:
+    def test_single_bit_corrected_on_demand_read(self, rig):
+        ecc_events = []
+        # Stage via poke so no cache holds a copy: the demand read must
+        # come from memory and pass through the SECDED check.
+        rig.memory.poke(0x10, 1234)
+        rig.memory.on_ecc = lambda *args: ecc_events.append(args)
+        rig.memory.inject_bit_flips(0x10, 1)
+        assert rig.memory.latent_errors == 1
+        assert rig.read(1, 0x10) == 1234
+        assert rig.memory.stats["ecc.corrected"].total == 1
+        assert rig.memory.latent_errors == 0
+        assert ecc_events == [(0x10, 1, "corrected")]
+
+    def test_double_bit_poisons_until_rewrite(self, rig):
+        rig.memory.poke(0x20, 77)
+        rig.memory.inject_bit_flips(0x20, 2)
+        with pytest.raises(UncorrectableMemoryError):
+            rig.memory.read_line(0x20)
+        # The frame stays poisoned: reads keep failing...
+        with pytest.raises(UncorrectableMemoryError):
+            rig.memory.read_line(0x20)
+        assert rig.memory.stats["ecc.uncorrectable"].total >= 1
+        # ...until fresh data (with fresh check bits) overwrites it.
+        rig.memory.poke(0x20, 88)
+        assert rig.memory.latent_errors == 0
+        assert rig.read(1, 0x20) == 88
+
+    def test_uncorrectable_error_propagates_to_the_reader(self, rig):
+        rig.memory.poke(0x30, 9)
+        rig.memory.inject_bit_flips(0x30, 2)
+        with pytest.raises(UncorrectableMemoryError) as excinfo:
+            rig.read(0, 0x30)
+        assert excinfo.value.word_address == 0x30
+
+    def test_scrub_pass_corrects_and_poisons(self, rig):
+        rig.memory.inject_bit_flips(0x100, 1)
+        rig.memory.inject_bit_flips(0x104, 1)
+        rig.memory.inject_bit_flips(0x108, 3)
+        assert rig.memory.scrub() == (2, 1)
+        # The multi-bit word is poisoned, not silently dropped.
+        assert rig.memory.latent_errors == 1
+        rig.memory.poke(0x108, 0)
+        assert rig.memory.latent_errors == 0
+
+
+# ---------------------------------------------------------------------------
+# snoop drops: detection by the I1-I4 audit, then repair
+
+
+class _MachineShim:
+    """The checker/injector view of a MiniRig (caches/memory/protocol)."""
+
+    def __init__(self, rig: MiniRig) -> None:
+        self.caches = rig.caches
+        self.memory = rig.memory
+        self.protocol = rig.protocol
+
+
+class TestSnoopDropAudit:
+    def test_irrelevant_probes_do_not_consume_the_fault(self, rig):
+        model = BusFaultModel()
+        rig.mbus.faults = model
+        rig.read(1, 0x40)                  # cache1 now holds 0x40
+        model.arm_snoop_drops(1, drops=1)
+        rig.write(0, 0x80, 5)              # cache1 holds nothing at 0x80
+        assert rig.mbus.stats["snoop.dropped"].total == 0
+        assert not model.idle              # still armed, waiting
+
+    def test_drop_detected_by_audit_and_repaired(self, rig):
+        model = BusFaultModel()
+        rig.mbus.faults = model
+        rig.read(1, 0x40)                  # cache1 caches the line
+        model.arm_snoop_drops(1, drops=1)
+        rig.write(0, 0x40, 0xBEEF)         # cache1's probe is swallowed
+        assert rig.mbus.stats["snoop.dropped"].total == 1
+
+        shim = _MachineShim(rig)
+        violations = CoherenceChecker(shim).violations()
+        assert violations, "dropped snoop left no audit-visible damage"
+        assert any(v.address == 0x40 for v in violations)
+
+        injector = FaultInjector(shim, _sample_plan(), rng=_stream(1))
+        assert injector.repair_coherence(violations) >= 1
+        assert CoherenceChecker(shim).violations() == []
+        assert rig.read(1, 0x40) == 0xBEEF
+
+
+# ---------------------------------------------------------------------------
+# CPU-board failure: graceful offlining
+
+
+class TestCpuOffline:
+    def test_machine_offline_flushes_and_work_continues(self):
+        machine = FireflyMachine(FireflyConfig(processors=3, seed=3))
+        sim = machine.sim
+        machine.start()
+        sim.run_until(4_000)
+        proc = machine.offline_cpu(1)
+        sim.run_until(10_000)
+        assert proc.done
+        assert proc.result >= 0          # dirty lines written back
+        assert machine.failed_cpus == (1,)
+        assert 1 not in [s.snooper_id for s in machine.mbus.snoopers]
+        before = [cpu.stats["instructions"].total
+                  for cpu in machine.online_cpus]
+        sim.run_until(14_000)
+        after = [cpu.stats["instructions"].total
+                 for cpu in machine.online_cpus]
+        assert any(b > a for a, b in zip(before, after))
+        dead = machine.cpus[1].stats["instructions"].total
+        sim.run_until(16_000)
+        assert machine.cpus[1].stats["instructions"].total == dead
+
+    def test_offline_validation(self):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=3))
+        machine.start()
+        machine.sim.run_until(1_000)
+        with pytest.raises(ConfigurationError):
+            machine.offline_cpu(0)       # the boot CPU cannot die
+        with pytest.raises(ConfigurationError):
+            machine.offline_cpu(7)
+        machine.offline_cpu(1)
+        with pytest.raises(ConfigurationError):
+            machine.offline_cpu(1)       # already failed
+
+    def test_kernel_offline_requeues_threads(self):
+        kernel = build_exerciser(2, ExerciserParams(threads=6), seed=11)
+        machine = kernel.machine
+        machine.start()
+        machine.sim.run_until(4_000)
+        proc = kernel.offline_cpu(1)
+        machine.sim.run_until(16_000)
+        assert proc.done
+        assert machine.failed_cpus == (1,)
+        assert kernel.stats["offline_requeues"].total >= 1
+        assert machine.cpus[0].stats["instructions"].total > 0
+
+
+# ---------------------------------------------------------------------------
+# QBus device timeouts: retry, then the degraded slow path
+
+
+def _io_machine(seed: int = 3):
+    machine = FireflyMachine(FireflyConfig(processors=2, io_enabled=True,
+                                           seed=seed))
+    disk = DiskController(
+        machine.sim, machine.qbus,
+        DiskParams(average_seek_cycles=500, max_seek_cycles=1_000,
+                   half_rotation_cycles=250, cycles_per_word=4,
+                   blocks=64, pio_cycles=8))
+    machine.qbus.map.map_region(0, 1 << 19, WORDS_PER_BLOCK)
+    return machine, disk
+
+
+class TestDeviceDegradation:
+    def test_timeouts_retry_then_degrade(self):
+        machine, disk = _io_machine()
+        events = []
+        model = QBusFaultModel(
+            timeout_cycles=16, max_retries=2, degraded_penalty_cycles=5,
+            on_event=lambda name, **info: events.append((name, info)))
+        machine.qbus.faults = model
+
+        def one_write():
+            yield from disk.write_blocks(0, 1, 0)
+
+        model.arm_timeouts(1)
+        proc = machine.sim.process(one_write(), name="io-1")
+        machine.sim.run_until(100_000)
+        assert proc.done
+        assert not machine.qbus.degraded
+        assert machine.qbus.stats["dma.timeouts"].total == 1
+        assert ("qbus_timeouts", {"attempts": 1, "degraded": False}) \
+            in events
+
+        model.arm_timeouts(5)            # exceeds the retry budget
+        proc = machine.sim.process(one_write(), name="io-2")
+        machine.sim.run_until(300_000)
+        assert proc.done
+        assert machine.qbus.degraded
+        assert machine.qbus.stats["dma.timeouts"].total == 6
+        assert machine.qbus.stats["dma.degraded_words"].total > 0
+        assert any(info.get("degraded") for _, info in events)
+
+
+# ---------------------------------------------------------------------------
+# the injector: determinism and the ledger
+
+
+class TestFaultInjector:
+    def _armed_machine(self, seed: int):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=seed))
+        injector = FaultInjector(machine, _sample_plan())
+        machine.start()
+        machine.sim.run_until(2_000)
+        injector.arm(8_000)
+        machine.sim.run_until(machine.sim.now + 8_000)
+        machine.memory.scrub()           # settle latent flips
+        return injector
+
+    def test_identical_seeds_identical_ledgers(self):
+        first = self._armed_machine(5)
+        second = self._armed_machine(5)
+        assert first.schedule == second.schedule
+        assert ([r.to_dict() for r in first.records]
+                == [r.to_dict() for r in second.records])
+
+    def test_arm_twice_or_in_the_past_rejected(self):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=1))
+        machine.sim.run_until(100)
+        injector = FaultInjector(machine, _sample_plan())
+        with pytest.raises(ConfigurationError):
+            injector.arm(1_000, start=50)
+        injector = FaultInjector(
+            machine, _sample_plan(),
+            rng=StreamFactory(1).stream("faults2"))
+        injector.arm(1_000)
+        with pytest.raises(ConfigurationError):
+            injector.arm(1_000)
+
+    def test_single_bit_flip_corrected(self):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=9))
+        plan = FaultPlan([spec(FaultKind.MEMORY_FLIP,
+                               window=(0.0, 0.0), bits=1)])
+        injector = FaultInjector(machine, plan)
+        machine.start()
+        machine.sim.run_until(1_000)
+        injector.arm(500)
+        machine.sim.run_until(1_100)
+        machine.memory.scrub()
+        record = injector.records[0]
+        assert record.outcome == "corrected"
+        assert record.detection_latency is not None
+        assert record.recovery_time is not None
+        assert machine.memory.latent_errors == 0
+
+    def test_uncorrectable_flip_retires_the_frame(self):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=9))
+        plan = FaultPlan([spec(FaultKind.MEMORY_FLIP,
+                               window=(0.0, 0.0), bits=2)])
+        injector = FaultInjector(machine, plan)
+        machine.start()
+        machine.sim.run_until(1_000)
+        injector.arm(500)
+        machine.sim.run_until(1_100)
+        machine.memory.scrub()
+        record = injector.records[0]
+        assert record.outcome == "uncorrectable"
+        assert "retired" in record.detail
+        # Frame retirement cleared the poison: no latent error remains.
+        assert machine.memory.latent_errors == 0
+
+    def test_disarm_detaches_hooks(self):
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=2))
+        injector = FaultInjector(machine, _sample_plan())
+        injector.arm(1_000)
+        assert machine.mbus.faults is injector.bus_model
+        assert machine.memory.on_ecc is not None
+        injector.disarm()
+        assert machine.mbus.faults is None
+        assert machine.memory.on_ecc is None
+        machine.start()
+        machine.sim.run_until(2_000)
+        assert all(r.outcome == "disarmed" for r in injector.records)
+
+    def test_outcomes_rollup(self):
+        injector = self._armed_machine(5)
+        totals = injector.outcomes()
+        assert sum(totals.values()) == len(injector.records)
+        assert list(totals) == sorted(totals)
+
+
+# ---------------------------------------------------------------------------
+# zero perturbation: a fault-free run is untouched by the subsystem
+
+
+class TestZeroPerturbation:
+    def test_unarmed_injector_changes_nothing(self):
+        def build():
+            return FireflyMachine(FireflyConfig(processors=2, seed=42))
+
+        plain = build()
+        shadowed = build()
+        FaultInjector(shadowed, _sample_plan())   # built, never armed
+        a = plain.run(warmup_cycles=2_000, measure_cycles=6_000)
+        b = shadowed.run(warmup_cycles=2_000, measure_cycles=6_000)
+        assert a.bus_load == b.bus_load
+        assert a.mean_tpi == b.mean_tpi
+        assert a.mean_miss_rate == b.mean_miss_rate
+        assert (plain.mbus.stats["ops"].total
+                == shadowed.mbus.stats["ops"].total)
+
+
+# ---------------------------------------------------------------------------
+# satellite behaviours: deadlock reporting, arbitration validation, IPIs
+
+
+class _PrioritySnooper:
+    def __init__(self, snooper_id: int, priority: int) -> None:
+        self.snooper_id = snooper_id
+        self.priority = priority
+
+    def snoop(self, op, line_address, data):  # pragma: no cover
+        raise AssertionError("never probed in these tests")
+
+
+class TestSatellites:
+    def test_deadlock_error_reports_time_and_kinds(self):
+        sim = Simulator()
+
+        def waiter():
+            yield sim.event("doom")
+
+        sim.process(waiter(), name="stuck-proc")
+        sim.run_until(25)
+        sim.process(waiter(), name="later-proc")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(check_deadlock=True)
+        message = str(excinfo.value)
+        assert "t=25" in message
+        assert "stuck-proc waiting on event:doom" in message
+        assert excinfo.value.now == 25
+        assert len(excinfo.value.blocked) == 2
+
+    def test_negative_priority_rejected_at_attach(self, sim):
+        mbus = MBus(sim)
+        with pytest.raises(ConfigurationError):
+            mbus.attach_snooper(_PrioritySnooper(0, priority=-1))
+
+    def test_duplicate_priority_rejected_at_attach(self, sim):
+        mbus = MBus(sim)
+        mbus.attach_snooper(_PrioritySnooper(0, priority=2))
+        with pytest.raises(ConfigurationError):
+            mbus.attach_snooper(_PrioritySnooper(1, priority=2))
+        mbus.attach_snooper(_PrioritySnooper(1, priority=3))
+        with pytest.raises(ConfigurationError):
+            mbus.attach_snooper(_PrioritySnooper(1, priority=4))
+
+    def test_detach_snooper(self, sim):
+        mbus = MBus(sim)
+        mbus.attach_snooper(_PrioritySnooper(0, priority=0))
+        mbus.detach_snooper(0)
+        assert mbus.snoopers == ()
+        with pytest.raises(ConfigurationError):
+            mbus.detach_snooper(0)
+
+    def test_ipi_to_unregistered_target_rejected(self, sim):
+        mbus = MBus(sim)
+        with pytest.raises(ConfigurationError):
+            mbus.send_interrupt(target=3, sender=0)
+        received = []
+        mbus.register_interrupt_handler(3, received.append)
+        mbus.send_interrupt(target=3, sender=0)
+        assert received == [0]
+        assert mbus.stats["ipi"].total == 1
+
+
+# ---------------------------------------------------------------------------
+# chaos campaigns: the CLI-visible surface
+
+
+class TestChaosCampaign:
+    def test_campaign_is_deterministic_and_json_safe(self):
+        first = run_campaign(seed=2026, quick=True, scenarios=["bus-parity"])
+        second = run_campaign(seed=2026, quick=True,
+                              scenarios=["bus-parity"])
+        assert first.to_dict() == second.to_dict()
+        assert first.ok
+        encoded = json.dumps(first.to_dict(), sort_keys=True)
+        assert json.loads(encoded)["schema"] == "firefly-chaos/1"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(quick=True, scenarios=["no-such-chaos"])
+
+    def test_cli_chaos_output_is_byte_identical(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--quick", "--seed", "7",
+                     "--scenario", "bus-parity"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--quick", "--seed", "7",
+                     "--scenario", "bus-parity"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "chaos: OK" in first
+
+    def test_cli_chaos_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bus-parity" in out
+        assert "device-degrade" in out

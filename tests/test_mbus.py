@@ -298,9 +298,12 @@ class TestInterrupts:
         assert got == [0]
         assert bus.stats["ipi"].total == 1
 
-    def test_ipi_to_unregistered_target_is_silent(self):
+    def test_ipi_to_unregistered_target_raises(self):
         _, _, bus = _bus()
-        bus.send_interrupt(9, sender=0)  # no handler: no error
+        with pytest.raises(ConfigurationError) as excinfo:
+            bus.send_interrupt(9, sender=0)
+        assert "9" in str(excinfo.value)
+        assert bus.stats["ipi"].total == 0  # not counted as delivered
 
 
 class TestSignalTracing:
