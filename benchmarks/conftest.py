@@ -19,6 +19,20 @@ RESULTS_DIR = Path(__file__).parent / "results"
 _CAPTURE_MANAGER = []
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="worker processes for benchmarks that fan seeded machine "
+             "runs out through repro.observatory.runner (default 1; "
+             "simulated results are identical at any job count)")
+
+
+@pytest.fixture
+def jobs(request):
+    """The --jobs value: trial fan-out width for sweep benchmarks."""
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(autouse=True)
 def _grab_capture_manager(request):
     """Remember pytest's capture manager so emit() can suspend it.

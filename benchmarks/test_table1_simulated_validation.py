@@ -22,24 +22,36 @@ from conftest import emit
 PROCESSOR_COUNTS = (1, 2, 4, 5, 6, 8, 10, 12)
 
 
-def simulate_sweep():
+def _measure_point(np):
+    """One machine run of the sweep; module-level so it fans out
+    through the parallel trial executor (``--jobs N``)."""
+    machine = FireflyMachine(FireflyConfig(processors=np))
+    metrics = machine.run(warmup_cycles=200_000, measure_cycles=300_000)
+    return {"bus_load": metrics.bus_load, "mean_tpi": metrics.mean_tpi,
+            "instr_rate": metrics.total_instruction_krate,
+            "mean_miss_rate": metrics.mean_miss_rate,
+            "dirty_fraction": metrics.dirty_fraction}
+
+
+def simulate_sweep(jobs=1):
+    from repro.observatory.runner import run_ordered
+
     model = FireflyAnalyticModel()
+    measured = run_ordered(PROCESSOR_COUNTS, _measure_point, jobs=jobs,
+                           describe=lambda np: f"(table1 np={np})")
     rows = []
     baseline_rate = None
-    for np in PROCESSOR_COUNTS:
-        machine = FireflyMachine(FireflyConfig(processors=np))
-        metrics = machine.run(warmup_cycles=200_000, measure_cycles=300_000)
-        tpi = metrics.mean_tpi
+    for np, point in zip(PROCESSOR_COUNTS, measured):
+        tpi = point["mean_tpi"]
         rp = 11.9 / tpi if tpi else 0.0
-        instr_rate = metrics.total_instruction_krate
         if np == 1:
-            baseline_rate = instr_rate / rp  # no-wait-normalised
-        tp = instr_rate / baseline_rate
+            baseline_rate = point["instr_rate"] / rp  # no-wait-normalised
+        tp = point["instr_rate"] / baseline_rate
         analytic = model.operating_point(np)
-        rows.append((np, metrics.bus_load, analytic.load, tpi,
+        rows.append((np, point["bus_load"], analytic.load, tpi,
                      analytic.tpi, rp, analytic.relative_performance,
                      tp, analytic.total_performance,
-                     metrics.mean_miss_rate, metrics.dirty_fraction))
+                     point["mean_miss_rate"], point["dirty_fraction"]))
     return rows
 
 
@@ -56,8 +68,8 @@ def render(rows):
     return table.render()
 
 
-def test_table1_simulated_validation(once):
-    rows = once(simulate_sweep)
+def test_table1_simulated_validation(once, jobs):
+    rows = once(simulate_sweep, jobs)
     emit("Table 1 validation: cycle simulation vs analytic model",
          render(rows))
 

@@ -27,14 +27,16 @@ python -m pytest -x -q "$@"
 echo "== static verification (firefly-sim verify) =="
 python -m repro.cli verify --all-protocols
 
-echo "== bench smoke (firefly-sim bench) =="
-# One quick single-trial scenario into a scratch dir: proves the
-# harness runs end-to-end and writes a schema-valid BENCH file
-# without touching any BENCH_*.json at the repo root.
+echo "== bench smoke + overhead gate (firefly-sim bench --jobs 2) =="
+# Quick suite with two parallel workers into a scratch dir: proves the
+# deterministic trial executor end-to-end and enforces the <=2%
+# disabled-telemetry overhead budget (no --skip-overhead: a breach
+# fails this script).  Nothing touches BENCH_*.json at the repo root.
 BENCH_TMP=$(mktemp -d)
 trap 'rm -rf "$BENCH_TMP"' EXIT
-python -m repro.cli bench --quick --trials 1 --scenario table1-sweep \
-    --skip-overhead --out-dir "$BENCH_TMP"
+python -m repro.cli bench --quick --trials 1 --jobs 2 \
+    --scenario exerciser-1cpu --scenario table1-sweep \
+    --out-dir "$BENCH_TMP"
 
 echo "== chaos smoke (firefly-sim chaos) =="
 # One quick seeded fault campaign: proves every recovery path end to

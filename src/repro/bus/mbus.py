@@ -23,7 +23,6 @@ the identical bus model; see :class:`repro.common.types.BusOp`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.common.errors import (
@@ -40,7 +39,6 @@ from repro.telemetry.probe import NULL_PROBE
 LineData = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
 class SnoopResult:
     """What one snooper reports back during a bus operation.
 
@@ -56,11 +54,33 @@ class SnoopResult:
         asserts memory-inhibit instead and keeps the dirty copy);
         Illinois/MESI and write-once use it when a modified holder
         answers a read and simultaneously gives up ownership.
+
+    Treat instances as immutable.  Slotted plain class (not a frozen
+    dataclass): one is built per snooped transaction, inside the snoop
+    fan-out that dominates multi-CPU runs.
     """
 
-    shared: bool = False
-    data: Optional[LineData] = None
-    write_back: bool = False
+    __slots__ = ("shared", "data", "write_back")
+
+    def __init__(self, shared: bool = False,
+                 data: Optional[LineData] = None,
+                 write_back: bool = False) -> None:
+        self.shared = shared
+        self.data = data
+        self.write_back = write_back
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is SnoopResult:
+            return (self.shared == other.shared and self.data == other.data
+                    and self.write_back == other.write_back)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.shared, self.data, self.write_back))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SnoopResult(shared={self.shared!r}, data={self.data!r}, "
+                f"write_back={self.write_back!r})")
 
 
 class Snooper(Protocol):
@@ -111,6 +131,13 @@ class MBus:
     CPU stall) is cycle-exact while *state* is transaction-atomic.
     """
 
+    __slots__ = ("sim", "memory", "words_per_line", "trace", "_resource",
+                 "_snoopers", "_snoop_peers", "_interrupt_handlers",
+                 "faults", "stats", "utilization", "grant_wait", "probe",
+                 "_c_ops", "_c_read_memory", "_c_read_cache",
+                 "_c_write_mshared", "_c_write_not_mshared",
+                 "_c_write_victim", "_c_per_op")
+
     def __init__(self, sim: Simulator, memory: Optional[MemoryPort] = None,
                  words_per_line: int = 1,
                  trace: Optional[SignalTrace] = None) -> None:
@@ -123,6 +150,11 @@ class MBus:
         self.trace = trace
         self._resource = sim.resource("MBus")
         self._snoopers: List[Snooper] = []
+        # Per-initiator snoop fan-out lists: (snooper, bound snoop), in
+        # attach order minus the initiator itself.  Rebuilt lazily after
+        # any attach/detach; saves re-filtering the initiator and
+        # re-creating the bound method on every transaction.
+        self._snoop_peers: Dict[int, List] = {}
         self._interrupt_handlers: Dict[int, List[Callable[[int], None]]] = {}
         #: Optional fault model (see :mod:`repro.faults.models`).  When
         #: None — the default — every fault branch below is a single
@@ -137,10 +169,18 @@ class MBus:
         self.probe = NULL_PROBE
         # The reporting counters exist from construction (not lazily on
         # first increment), so metric collection can tell "zero events"
-        # apart from "counter renamed" — see StatSet.get_windowed.
-        for key in ("ops", "read.memory_supplied", "read.cache_supplied",
-                    "write.mshared", "write.not_mshared", "write.victim"):
-            self.stats.counter(key)
+        # apart from "counter renamed" — see StatSet.get_windowed.  They
+        # are also kept pre-bound: _count runs once per bus operation
+        # and a bound Counter.add skips the StatSet key lookup.
+        stats = self.stats
+        self._c_ops = stats.counter("ops")
+        self._c_read_memory = stats.counter("read.memory_supplied")
+        self._c_read_cache = stats.counter("read.cache_supplied")
+        self._c_write_mshared = stats.counter("write.mshared")
+        self._c_write_not_mshared = stats.counter("write.not_mshared")
+        self._c_write_victim = stats.counter("write.victim")
+        self._c_per_op = {op: stats.counter(f"op.{op.value}")
+                          for op in BusOp}
 
     # -- configuration -------------------------------------------------
 
@@ -174,12 +214,14 @@ class MBus:
                         f"{snooper.snooper_id} share fixed arbitration "
                         f"priority {priority}")
         self._snoopers.append(snooper)
+        self._snoop_peers.clear()
 
     def detach_snooper(self, snooper_id: int) -> None:
         """Remove a cache from the snoop fan-out (CPU-board offlining)."""
         for i, snooper in enumerate(self._snoopers):
             if snooper.snooper_id == snooper_id:
                 del self._snoopers[i]
+                self._snoop_peers.clear()
                 return
         raise ConfigurationError(f"no snooper {snooper_id} attached")
 
@@ -224,17 +266,20 @@ class MBus:
             remains owner and memory stays stale until victimisation).
             The Firefly always updates memory.
         """
-        if op.carries_write_data and data is None:
+        if op is BusOp.MWRITE and data is None:
             raise SimulationError(f"{op} requires write data")
-        if line_address % self.words_per_line != 0:
+        wpl = self.words_per_line
+        if wpl != 1 and line_address % wpl != 0:
             raise SimulationError(
                 f"unaligned line address {line_address:#x} "
-                f"(words_per_line={self.words_per_line})")
+                f"(words_per_line={wpl})")
         attempts = 0
+        sim = self.sim
+        resource = self._resource
         while True:
-            requested = self.sim.now
-            yield self._resource.acquire(priority=priority)
-            start = self.sim.now
+            requested = sim.now
+            yield resource.acquire(priority=priority)
+            start = sim.now
             self.grant_wait.record(start - requested)
             faults = self.faults
             corrupted = (faults is not None
@@ -242,11 +287,11 @@ class MBus:
             if not corrupted:
                 txn = self._execute(op, line_address, initiator, data,
                                     is_victim, start, update_memory)
-            yield self.sim.timeout(MBUS_OP_CYCLES)
-            holder = self._resource.holder
+            yield sim.timeout(MBUS_OP_CYCLES)
+            holder = resource.holder
             if holder is None:  # pragma: no cover - defensive
                 raise SimulationError("bus released mid-transaction")
-            self._resource.release(holder)
+            resource.release(holder)
             if not corrupted:
                 break
             # Parity failed during the data cycles: the tenure occupied
@@ -295,9 +340,12 @@ class MBus:
         snarf = False
         cache_data: Optional[LineData] = None
         faults = self.faults
-        for snooper in self._snoopers:
-            if snooper.snooper_id == initiator:
-                continue
+        peers = self._snoop_peers.get(initiator)
+        if peers is None:
+            peers = self._snoop_peers[initiator] = [
+                (s, s.snoop) for s in self._snoopers
+                if s.snooper_id != initiator]
+        for snooper, probe_snoop in peers:
             if (faults is not None
                     and faults.drops_snoop(snooper, op, line_address)):
                 # The snoop probe never reached this cache: it neither
@@ -309,27 +357,28 @@ class MBus:
                                        op=op.value, address=line_address,
                                        victim=snooper.snooper_id)
                 continue
-            result = snooper.snoop(op, line_address, data)
+            result = probe_snoop(op, line_address, data)
             if result.shared:
                 shared = True
             if result.write_back:
                 snarf = True
-            if result.data is not None:
-                if cache_data is not None and cache_data != result.data:
+            rdata = result.data
+            if rdata is not None:
+                if cache_data is not None and cache_data != rdata:
                     raise SimulationError(
                         f"caches drove conflicting data for {line_address:#x}: "
-                        f"{cache_data} vs {result.data}")
-                cache_data = result.data
+                        f"{cache_data} vs {rdata}")
+                cache_data = rdata
 
         supplied_by_cache = False
         returned: Optional[LineData] = None
-        if op.carries_write_data:
+        if op is BusOp.MWRITE:
             # Write-throughs and victim writes always update main memory
             # ("other caches that share the datum are updated, as is
             # main storage").
             if update_memory and self.memory is not None:
                 self.memory.write_line(line_address, data)
-        elif op.returns_data:
+        elif op is not BusOp.MINVALIDATE:  # MRead / MReadEx return data
             if cache_data is not None:
                 supplied_by_cache = True
                 returned = cache_data
@@ -364,18 +413,18 @@ class MBus:
     def _count(self, op: BusOp, shared: bool, is_victim: bool,
                supplied_by_cache: bool) -> None:
         self.utilization.add_busy(MBUS_OP_CYCLES)
-        self.stats.incr("ops")
-        self.stats.incr(f"op.{op.value}")
+        self._c_ops.add()
+        self._c_per_op[op].add()
         if op is BusOp.MWRITE:
             if is_victim:
-                self.stats.incr("write.victim")
+                self._c_write_victim.add()
             elif shared:
-                self.stats.incr("write.mshared")
+                self._c_write_mshared.add()
             else:
-                self.stats.incr("write.not_mshared")
-        elif op.returns_data:
-            self.stats.incr("read.cache_supplied" if supplied_by_cache
-                            else "read.memory_supplied")
+                self._c_write_not_mshared.add()
+        elif op is not BusOp.MINVALIDATE:  # MRead / MReadEx
+            (self._c_read_cache if supplied_by_cache
+             else self._c_read_memory).add()
 
     # -- measurement ----------------------------------------------------
 

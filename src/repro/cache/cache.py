@@ -74,6 +74,9 @@ class CacheGeometry:
 CacheGeometry.MICROVAX = CacheGeometry(4096, 1)
 CacheGeometry.CVAX = CacheGeometry(16384, 1)
 
+#: Shared "no match" snoop response (immutable; see SnoopyCache.snoop).
+_SNOOP_MISS = SnoopResult(shared=False)
+
 
 class SnoopyCache:
     """One processor's cache, attached to the MBus as a snooper.
@@ -93,6 +96,15 @@ class SnoopyCache:
         Cache shape; must agree with the bus's ``words_per_line``.
     """
 
+    __slots__ = ("mbus", "_sim", "protocol", "snooper_id", "priority",
+                 "geometry", "lines", "stats", "miss_latency", "probe",
+                 "_track", "tag_busy_until", "on_snooped_write",
+                 "_wpl_shift", "_off_mask", "_idx_mask", "_tag_shift",
+                 "_silent_states", "_silent_result", "_read_hit_is_base",
+                 "_c_ifetch_hit", "_c_ifetch_miss", "_c_dread_hit",
+                 "_c_dread_miss", "_c_dwrite_hit", "_c_dwrite_miss",
+                 "_c_snoop_probes", "_c_snoop_hits")
+
     def __init__(self, mbus: MBus, protocol, cache_id: int,
                  geometry: CacheGeometry,
                  priority: Optional[int] = None) -> None:
@@ -101,6 +113,7 @@ class SnoopyCache:
                 f"cache line of {geometry.words_per_line} words does not "
                 f"match bus line of {mbus.words_per_line} words")
         self.mbus = mbus
+        self._sim = mbus.sim
         self.protocol = protocol
         self.snooper_id = cache_id
         self.priority = cache_id if priority is None else priority
@@ -121,14 +134,46 @@ class SnoopyCache:
         #: processor's (or DMA's) code modification drops the stale
         #: on-chip copy.
         self.on_snooped_write = None
+        # Geometry as shifts and masks (both dimensions are validated
+        # powers of two), so the hit fast path splits an address with
+        # two shifts and two ands instead of divmod.
+        self._wpl_shift = geometry.words_per_line.bit_length() - 1
+        self._off_mask = geometry.words_per_line - 1
+        self._idx_mask = geometry.lines - 1
+        self._tag_shift = geometry.lines.bit_length() - 1
+        # Protocol facts the fast path needs per access, hoisted.
+        self._silent_states = protocol.silent_write_states
+        self._silent_result = protocol.silent_write_result
+        # Every shipped protocol inherits the base read_hit, which only
+        # returns line.data[offset]; when that's the case the fast path
+        # can skip the call outright (the CPU discards the value).
+        from repro.cache.protocols.base import CoherenceProtocol
+        self._read_hit_is_base = (
+            type(protocol).read_hit is CoherenceProtocol.read_hit)
+        # Hot counters pre-created (the MBus does the same) so the hit
+        # path increments a bound Counter instead of formatting a key
+        # and resolving it through the StatSet dict on every access.
+        stats = self.stats
+        self._c_ifetch_hit = stats.counter("ifetch.hit")
+        self._c_ifetch_miss = stats.counter("ifetch.miss")
+        self._c_dread_hit = stats.counter("dread.hit")
+        self._c_dread_miss = stats.counter("dread.miss")
+        self._c_dwrite_hit = stats.counter("dwrite.hit")
+        self._c_dwrite_miss = stats.counter("dwrite.miss")
+        self._c_snoop_probes = stats.counter("snoop.probes")
+        self._c_snoop_hits = stats.counter("snoop.hits")
         mbus.attach_snooper(self)
 
     # -- lookup helpers --------------------------------------------------
 
     def lookup(self, word_address: int) -> Tuple[CacheLine, int, int, int]:
         """Return (line, index, tag, offset); the line may not match."""
-        index, tag, offset = self.geometry.split(word_address)
-        return self.lines[index], index, tag, offset
+        # Shift/mask address split (precomputed in __init__); same
+        # result as geometry.split for the validated power-of-two shape.
+        line_number = word_address >> self._wpl_shift
+        index = line_number & self._idx_mask
+        return (self.lines[index], index, line_number >> self._tag_shift,
+                word_address & self._off_mask)
 
     def present(self, word_address: int) -> bool:
         """Whether the word's line is valid in this cache (no side effects)."""
@@ -151,15 +196,75 @@ class SnoopyCache:
 
     # -- CPU port ----------------------------------------------------------
 
+    def cpu_read_fast(self, ref: MemRef) -> bool:
+        """Service a read hit without suspending; True if fully handled.
+
+        The non-generator twin of :meth:`cpu_read` for the
+        overwhelmingly common case: a tag match under a protocol whose
+        ``read_hit`` is the silent base implementation.  Takes zero
+        simulated time, performs the same counter update as the
+        generator path, and emits nothing (read hits never emit).  The
+        CPU discards the value, so none is returned.  Returns False —
+        with no side effects at all — when the generator path must run
+        (a miss, or a protocol with a side-effecting ``read_hit``).
+        """
+        if not self._read_hit_is_base:
+            return False
+        line_number = ref.address >> self._wpl_shift
+        line = self.lines[line_number & self._idx_mask]
+        if (line.state is LineState.INVALID
+                or line.tag != line_number >> self._tag_shift):
+            return False
+        if ref.kind is AccessKind.INSTRUCTION_READ:
+            self._c_ifetch_hit.add()
+        else:
+            self._c_dread_hit.add()
+        return True
+
+    def cpu_write_fast(self, ref: MemRef, value: int) -> bool:
+        """Service a silent write hit without suspending; True if handled.
+
+        Handles the tag-match case where the protocol's
+        :attr:`~repro.cache.protocols.base.CoherenceProtocol.silent_write_states`
+        says the write needs no bus operation: stores the word, applies
+        the protocol's declared
+        :attr:`~repro.cache.protocols.base.CoherenceProtocol.silent_write_result`
+        state, and (when telemetry is live) emits the same zero-elapsed
+        ``Pwrite.hit`` transition event the generator path would.
+        Returns False with no side effects for misses and loud hits.
+        """
+        line_number = ref.address >> self._wpl_shift
+        line = self.lines[line_number & self._idx_mask]
+        if (line.state is LineState.INVALID
+                or line.tag != line_number >> self._tag_shift):
+            return False
+        before = line.state
+        if before not in self._silent_states:
+            return False
+        self._c_dwrite_hit.add()
+        line.data[ref.address & self._off_mask] = value
+        result = self._silent_result
+        if result is not None:
+            line.state = result
+        probe = self.probe
+        if probe.active and line.state is not before:
+            now = self.mbus.sim.now
+            probe.complete(
+                "cache.transition", self._track, now, 0,
+                stimulus="Pwrite.hit", before=before.name,
+                after=line.state.name,
+                address=self.geometry.line_address(ref.address))
+        return True
+
     def cpu_read(self, ref: MemRef):
         """Generator: service a CPU read, returning the word value."""
         line, index, tag, offset = self.lookup(ref.address)
-        kind = "ifetch" if ref.kind is AccessKind.INSTRUCTION_READ else "dread"
-        if line.valid and line.tag == tag:
-            self.stats.incr(f"{kind}.hit")
+        ifetch = ref.kind is AccessKind.INSTRUCTION_READ
+        if line.state is not LineState.INVALID and line.tag == tag:
+            (self._c_ifetch_hit if ifetch else self._c_dread_hit).add()
             value = self.protocol.read_hit(self, line, offset)
             return value
-        self.stats.incr(f"{kind}.miss")
+        (self._c_ifetch_miss if ifetch else self._c_dread_miss).add()
         start = self.mbus.sim.now
         value = yield from self.protocol.read_miss(self, line, index, tag, offset)
         elapsed = self.mbus.sim.now - start
@@ -168,7 +273,8 @@ class SnoopyCache:
             # Figure 3 FSM event: a miss is the P-arc out of INVALID.
             self.probe.complete(
                 "cache.transition", self._track, start, elapsed,
-                stimulus=f"P{kind}.miss", before=LineState.INVALID.name,
+                stimulus="Pifetch.miss" if ifetch else "Pdread.miss",
+                before=LineState.INVALID.name,
                 after=line.state.name,
                 address=self.geometry.line_address(ref.address))
         return value
@@ -179,8 +285,8 @@ class SnoopyCache:
             raise SimulationError(f"cpu_write given non-write ref {ref}")
         line, index, tag, offset = self.lookup(ref.address)
         probe = self.probe
-        if line.valid and line.tag == tag:
-            self.stats.incr("dwrite.hit")
+        if line.state is not LineState.INVALID and line.tag == tag:
+            self._c_dwrite_hit.add()
             if not probe.active:
                 yield from self.protocol.write_hit(self, line, index, offset,
                                                    value)
@@ -198,7 +304,7 @@ class SnoopyCache:
                     before=before.name, after=line.state.name,
                     address=self.geometry.line_address(ref.address))
         else:
-            self.stats.incr("dwrite.miss")
+            self._c_dwrite_miss.add()
             start = self.mbus.sim.now
             yield from self.protocol.write_miss(
                 self, line, index, tag, offset, value, ref.partial)
@@ -305,20 +411,27 @@ class SnoopyCache:
         (semantically cycle 2 of the transaction), which is what delays
         concurrent CPU accesses — the paper's SP term.
         """
-        self.tag_busy_until = self.mbus.sim.now + 2
-        self.stats.incr("snoop.probes")
+        self.tag_busy_until = self._sim.now + 2
+        self._c_snoop_probes.add()
         if self.on_snooped_write is not None and (
                 op.carries_write_data or op.invalidates):
             self.on_snooped_write(line_address)
-        line, _, tag, _ = self.lookup(line_address)
-        if not (line.valid and line.tag == tag):
-            return SnoopResult(shared=False)
-        self.stats.incr("snoop.hits")
+        line_number = line_address >> self._wpl_shift
+        line = self.lines[line_number & self._idx_mask]
+        if (line.state is LineState.INVALID
+                or line.tag != line_number >> self._tag_shift):
+            # The overwhelmingly common outcome on a busy bus: the probe
+            # misses this cache's tags.  A shared immutable result
+            # avoids one allocation per (transaction x snooper).
+            return _SNOOP_MISS
+        self._c_snoop_hits.add()
         if not self.probe.active:
             return self.protocol.snoop(self, line, line_address, op, data)
         before = line.state
         result = self.protocol.snoop(self, line, line_address, op, data)
-        after = (line.state if line.valid and line.tag == tag
+        after = (line.state
+                 if line.state is not LineState.INVALID
+                 and line.tag == line_number >> self._tag_shift
                  else LineState.INVALID)
         self.probe.instant(
             "cache.transition", self._track, stimulus=f"M{op.value}",

@@ -94,7 +94,8 @@ class CacheLine:
 
     @property
     def valid(self) -> bool:
-        return self.state.is_valid
+        # Inlined is_valid: this property sits on every cache lookup.
+        return self.state is not LineState.INVALID
 
     def fill(self, tag: int, data: Tuple[int, ...], state: LineState) -> None:
         """Load a line from the bus."""

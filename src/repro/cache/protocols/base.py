@@ -37,6 +37,14 @@ class CoherenceProtocol(abc.ABC):
     #: the other copies stale).
     silent_write_states: frozenset = frozenset()
 
+    #: State a silent write hit leaves the line in, or ``None`` to keep
+    #: the current state.  The cache's non-generator write-hit fast
+    #: path applies ``line.data[offset] = value`` plus this state; it
+    #: must match what :meth:`write_hit` does for every state in
+    #: :attr:`silent_write_states` (the fast-path equivalence test in
+    #: tests/test_fastpath.py checks all registered protocols).
+    silent_write_result: Optional[LineState] = LineState.DIRTY
+
     # -- processor side -------------------------------------------------
 
     def read_hit(self, cache, line: CacheLine, offset: int) -> int:

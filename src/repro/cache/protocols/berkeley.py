@@ -34,6 +34,8 @@ class BerkeleyProtocol(CoherenceProtocol):
 
     name = "berkeley"
     silent_write_states = frozenset({LineState.OWNED})
+    # A silent write hit (already OWNED) stays OWNED.
+    silent_write_result = None
 
     def read_miss(self, cache, line: CacheLine, index: int, tag: int,
                   offset: int):

@@ -33,6 +33,15 @@ Subcommands:
     latency, recovery time and degradation vs a fault-free twin.
     Identical seeds produce byte-identical reports; exits non-zero if
     any scenario's recovery story fails.  See docs/FAULTS.md.
+``sweep``
+    Run a (processor-count x seed) grid of machine runs and print (or
+    write as JSON) the purely simulated metrics.  The document is
+    byte-identical at any ``--jobs`` value.
+
+``bench``, ``chaos`` and ``sweep`` accept ``--jobs N`` to fan their
+seeded trials out over worker processes (see
+:mod:`repro.observatory.runner`); parallelism changes wall-clock
+timing fields only, never a simulated bit.
 
 ``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
 capture a trace of an ordinary run (refusing to overwrite an existing
@@ -54,8 +63,11 @@ Examples::
     firefly-sim verify --all-protocols --dma
     firefly-sim bench --quick
     firefly-sim bench --compare --threshold 0.2
+    firefly-sim bench --quick --jobs 4 --baseline-dir . --compare
     firefly-sim chaos --quick
     firefly-sim chaos --seed 2024 --scenario snoop-storm --json report.json
+    firefly-sim chaos --quick --jobs 4
+    firefly-sim sweep --processors 1,3,5,7 --seeds 1987 --jobs 4
 """
 
 from __future__ import annotations
@@ -178,13 +190,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<n>.json (default: .)")
     bench.add_argument("--compare", action="store_true",
-                       help="compare against the previous BENCH file; "
-                            "exit nonzero on a regression")
+                       help="compare against the newest committed BENCH "
+                            "file; exit nonzero on a regression")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="BENCH file to compare against "
+                            "(default: newest BENCH_<n>.json in "
+                            "--baseline-dir)")
+    bench.add_argument("--baseline-dir", metavar="DIR", default=None,
+                       help="directory searched for the newest baseline "
+                            "BENCH file (default: --out-dir)")
     bench.add_argument("--threshold", type=float, default=0.2,
                        help="regression threshold as a fraction "
                             "(default 0.2; widened by trial noise)")
     bench.add_argument("--skip-overhead", action="store_true",
                        help="skip the disabled-tracing overhead guard")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for (scenario x trial) "
+                            "fan-out; simulated results are identical "
+                            "at any job count (default 1)")
 
     chaos = sub.add_parser(
         "chaos", help="run the seeded fault-injection campaigns")
@@ -200,6 +223,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="list the pinned scenarios and exit")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write the campaign report as JSON")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for scenario fan-out; the "
+                            "report is byte-identical at any job count "
+                            "(default 1)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (processors x seed) metric sweep")
+    sweep.add_argument("--processors", default="1,2,3,4,5,6,7",
+                       metavar="LIST",
+                       help="comma-separated processor counts "
+                            "(default 1,2,3,4,5,6,7 — the Table 1 axis)")
+    sweep.add_argument("--seeds", default="1987,1988,1989", metavar="LIST",
+                       help="comma-separated seeds (default 1987,1988,1989)")
+    sweep.add_argument("--protocol", choices=sorted(available_protocols()),
+                       default="firefly")
+    sweep.add_argument("--generation", choices=("microvax", "cvax"),
+                       default="microvax")
+    sweep.add_argument("--warmup-cycles", type=int, default=None,
+                       help="warm-up cycles per point")
+    sweep.add_argument("--measure-cycles", type=int, default=None,
+                       help="measured cycles per point")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the sweep document as JSON "
+                            "(sorted keys; byte-identical at any --jobs)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for grid fan-out (default 1)")
 
     return parser
 
@@ -437,12 +486,23 @@ def _cmd_bench(args) -> int:
     out_dir = Path(args.out_dir)
     if not out_dir.is_dir():
         raise ConfigurationError(f"--out-dir {out_dir} is not a directory")
-    existing = bench_files(out_dir)
-    previous = existing[-1] if existing else None
+    if args.baseline is not None:
+        previous = Path(args.baseline)
+        if not previous.is_file():
+            raise ConfigurationError(f"--baseline {previous} does not exist")
+    else:
+        baseline_dir = Path(args.baseline_dir) if args.baseline_dir \
+            else out_dir
+        if not baseline_dir.is_dir():
+            raise ConfigurationError(
+                f"--baseline-dir {baseline_dir} is not a directory")
+        existing = bench_files(baseline_dir)
+        previous = existing[-1] if existing else None
 
     document = run_suite(quick=args.quick, trials=args.trials,
                          scenarios=args.scenario,
                          skip_overhead=args.skip_overhead,
+                         jobs=args.jobs,
                          progress=print)
     path = write_bench(document, out_dir)
     print()
@@ -453,26 +513,29 @@ def _cmd_bench(args) -> int:
                       entry["noise"])
     print(table.render())
     overhead = document["overhead"]
+    overhead_failed = False
     if overhead is not None:
         print(f"disabled-tracing overhead: "
               f"{(overhead['disabled_ratio'] - 1.0) * 100:+.1f}% "
               f"(budget {overhead['budget']:.0%})")
         if not overhead["ok"]:
-            print("warning: disabled span tracing exceeds its wall-clock "
+            overhead_failed = True
+            print("error: disabled span tracing exceeds its wall-clock "
                   "budget", file=sys.stderr)
     print(f"bench: wrote {path}")
 
     if args.compare:
         if previous is None:
             print("bench: no previous BENCH file to compare against")
-            return 0
+            return 1 if overhead_failed else 0
         report = compare_bench(load_bench(previous), document,
                                threshold=args.threshold)
         print()
         print(f"comparing against {previous.name}:")
         print(report.render())
-        return 0 if report.ok else 1
-    return 0
+        if not report.ok:
+            return 1
+    return 1 if overhead_failed else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -483,7 +546,7 @@ def _cmd_chaos(args) -> int:
             print(f"{scenario.name:<16} {scenario.description}")
         return 0
     report = run_campaign(seed=args.seed, quick=args.quick,
-                          scenarios=args.scenario)
+                          scenarios=args.scenario, jobs=args.jobs)
     print(report.render())
     if args.json is not None:
         import json
@@ -492,6 +555,49 @@ def _cmd_chaos(args) -> int:
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
         print(f"chaos: wrote {args.json}")
     return 0 if report.ok else 1
+
+
+def _parse_int_list(text: str, flag: str) -> List[int]:
+    from repro.common.errors import ConfigurationError
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ConfigurationError(f"{flag} expects comma-separated "
+                                 f"integers, got {text!r}") from None
+    if not values:
+        raise ConfigurationError(f"{flag} is empty")
+    return values
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.observatory.runner import (SWEEP_MEASURE, SWEEP_WARMUP,
+                                          run_sweep)
+
+    warmup = args.warmup_cycles if args.warmup_cycles is not None \
+        else SWEEP_WARMUP
+    measure = args.measure_cycles if args.measure_cycles is not None \
+        else SWEEP_MEASURE
+    document = run_sweep(
+        _parse_int_list(args.processors, "--processors"),
+        _parse_int_list(args.seeds, "--seeds"),
+        protocol=args.protocol, generation=args.generation,
+        warmup=warmup, measure=measure, jobs=args.jobs, progress=print)
+    table = TextTable([Column("NP", "d"), Column("seed", "d"),
+                       Column("bus load", ".4f"), Column("TPI", ".3f"),
+                       Column("miss rate", ".4f")])
+    for point in document["points"]:
+        table.add_row(point["processors"], point["seed"],
+                      point["bus_load"], point["mean_tpi"],
+                      point["mean_miss_rate"])
+    print(table.render())
+    if args.json is not None:
+        from pathlib import Path
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"sweep: wrote {args.json}")
+    return 0
 
 
 _COMMANDS = {
@@ -503,6 +609,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -37,6 +37,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterator, List, Optional
 
 from repro.common.errors import DeadlockError, SimulationError
@@ -148,9 +149,21 @@ class Process:
             for j in joiners:
                 sim._schedule(0, j, self._result)
             return
-        if isinstance(waitable, _Timeout):
+        # Timeouts dominate every workload (one per simulated tick), so
+        # that branch is checked first and its scheduling is inlined —
+        # no _schedule() frame, no negative-delay re-check (the _Timeout
+        # constructor already validated the delay).
+        if waitable.__class__ is _Timeout:
             self._blocked_on = "timeout"
-            sim._schedule(waitable.delay, self, waitable.value)
+            sim._seq += 1
+            heappush(sim._heap, (sim.now + waitable.delay, sim._seq, self,
+                                 waitable.value, None))
+        elif waitable.__class__ is _AcquireRequest:
+            # Second-hottest waitable (one per bus transaction); exact
+            # class check, mirroring the timeout branch.  The isinstance
+            # fallback below keeps hypothetical subclasses working.
+            self._blocked_on = waitable.resource._blocked_label
+            waitable.resource._enqueue(waitable, self)
         elif isinstance(waitable, Event):
             self._blocked_on = f"event:{waitable.name}"
             waitable._add_waiter(self)
@@ -158,7 +171,7 @@ class Process:
             self._blocked_on = f"join:{waitable.name}"
             waitable._add_waiter(self)
         elif isinstance(waitable, _AcquireRequest):
-            self._blocked_on = f"resource:{waitable.resource.name}"
+            self._blocked_on = waitable.resource._blocked_label
             waitable.resource._enqueue(waitable, self)
         else:
             raise SimulationError(
@@ -189,11 +202,19 @@ class Resource:
     request order (FIFO), which matches a daisy-chained arbiter.
     """
 
-    __slots__ = ("_sim", "name", "_holder", "_queue", "_seq", "_wait_cycles", "_grants")
+    __slots__ = ("_sim", "name", "_holder", "_queue", "_seq", "_wait_cycles",
+                 "_grants", "_blocked_label", "_requests")
 
     def __init__(self, sim: "Simulator", name: str = "resource") -> None:
         self._sim = sim
         self.name = name
+        # Formatted once: _step assigns this on every acquire.
+        self._blocked_label = f"resource:{name}"
+        # Interned acquire waitables, keyed by priority: a request is
+        # immutable and read-only to _enqueue, and each client acquires
+        # at a fixed priority (the MBus priority chain), so one object
+        # per priority serves every transaction.
+        self._requests: dict = {}
         self._holder: Optional[Process] = None
         self._queue: List = []  # heap of (priority, seq, enqueue_time, proc)
         self._seq = 0
@@ -222,7 +243,10 @@ class Resource:
 
     def acquire(self, priority: int = 0) -> _AcquireRequest:
         """Return a waitable that resolves when this process is granted."""
-        return _AcquireRequest(self, priority)
+        request = self._requests.get(priority)
+        if request is None:
+            request = self._requests[priority] = _AcquireRequest(self, priority)
+        return request
 
     def release(self, proc: Process) -> None:
         """Release the resource; the caller must be the holder."""
@@ -258,11 +282,20 @@ class Simulator:
     like the MDC's poll timer).
     """
 
+    __slots__ = ("now", "_heap", "_seq", "_live", "_timeouts")
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List = []  # (time, seq, proc_or_None, value, callback)
         self._seq = 0
         self._live: set = set()
+        # Interned value-less timeouts, keyed by delay.  _Timeout is
+        # immutable once built and _step only reads it, so one object
+        # per distinct delay serves every yield; models yield a timeout
+        # per simulated tick, making this the kernel's hottest
+        # allocation.  Delays in practice form a tiny set (tick widths,
+        # bus cycles, residual instruction budgets).
+        self._timeouts: dict = {}
 
     # -- scheduling ---------------------------------------------------
 
@@ -286,6 +319,11 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> _Timeout:
         """Waitable: suspend the yielding process for ``delay`` units."""
+        if value is None:
+            cached = self._timeouts.get(delay)
+            if cached is None:
+                cached = self._timeouts[delay] = _Timeout(delay)
+            return cached
         return _Timeout(delay, value)
 
     def event(self, name: str = "") -> Event:
@@ -315,8 +353,19 @@ class Simulator:
         live processes remain blocked when the heap drains (useful in
         tests of the synchronisation primitives).
         """
-        while self._heap:
-            self._pop_and_run()
+        # The dispatch loop is inlined (no _pop_and_run call frame) with
+        # the heap and heappop bound locally: this loop runs once per
+        # simulated event and dominates the wall-clock of every run.
+        heap = self._heap
+        pop = heappop
+        while heap:
+            time, _, proc, value, callback = pop(heap)
+            self.now = time
+            if callback is None:
+                if proc is not None:
+                    proc._step(value)
+            else:
+                callback()
         if check_deadlock and self._live:
             blocked = sorted(
                 (p.name, p._blocked_on or "?")
@@ -336,8 +385,16 @@ class Simulator:
             raise SimulationError(
                 f"run_until({end_time}) is in the past (now={self.now})"
             )
-        while self._heap and self._heap[0][0] <= end_time:
-            self._pop_and_run()
+        heap = self._heap
+        pop = heappop
+        while heap and heap[0][0] <= end_time:
+            time, _, proc, value, callback = pop(heap)
+            self.now = time
+            if callback is None:
+                if proc is not None:
+                    proc._step(value)
+            else:
+                callback()
         self.now = end_time
 
     def peek(self) -> Optional[int]:

@@ -23,36 +23,61 @@ from repro.common.errors import ConfigurationError
 
 
 class RandomStream:
-    """A named, seeded pseudo-random stream (wraps :mod:`random.Random`)."""
+    """A named, seeded pseudo-random stream (wraps :mod:`random.Random`).
+
+    Draw-for-draw identity is load-bearing: every BENCH metric and the
+    calibration tests pin exact values, so each method below must
+    consume exactly the same Mersenne-Twister words as the plain
+    :mod:`random.Random` call it stands in for.  The fast paths are
+    therefore *provably identical* rewrites, not approximations:
+
+    - ``random``/``shuffle`` are the underlying C methods, pre-bound;
+    - ``randint(lo, hi)`` is ``lo + _randbelow(hi - lo + 1)``, which is
+      precisely what ``Random.randrange`` computes after its (pure,
+      draw-free) argument validation;
+    - ``choice(seq)`` is ``seq[_randbelow(len(seq))]``, ditto.
+
+    Bulk float draws are available via :meth:`random_block` /
+    :meth:`take_block`; see those docstrings for when batching is
+    sound.
+    """
+
+    __slots__ = ("name", "_rng", "random", "shuffle", "_randbelow",
+                 "_expovariate", "_block", "_block_pos")
 
     def __init__(self, root_seed: int, name: str) -> None:
         self.name = name
         # Derive a stable 64-bit seed from (root_seed, name) so streams
         # are independent of creation order.
         digest = zlib.crc32(name.encode("utf-8"))
-        self._rng = random.Random((root_seed << 32) ^ digest)
-
-    def random(self) -> float:
-        """Uniform float in [0, 1)."""
-        return self._rng.random()
+        rng = random.Random((root_seed << 32) ^ digest)
+        self._rng = rng
+        #: Uniform float in [0, 1) — the C method itself, no wrapper.
+        self.random = rng.random
+        #: In-place Fisher-Yates shuffle — the C-backed method itself.
+        self.shuffle = rng.shuffle
+        self._randbelow = rng._randbelow
+        self._expovariate = rng.expovariate
+        self._block: list = []
+        self._block_pos = 0
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in [lo, hi] inclusive."""
-        return self._rng.randint(lo, hi)
+        return lo + self._randbelow(hi - lo + 1)
 
     def choice(self, seq: Sequence):
         """Uniform choice from a non-empty sequence."""
-        return self._rng.choice(seq)
+        return seq[self._randbelow(len(seq))]
 
     def bernoulli(self, p: float) -> bool:
         """True with probability ``p``."""
-        return self._rng.random() < p
+        return self.random() < p
 
     def expovariate(self, mean: float) -> float:
         """Exponentially distributed value with the given mean."""
         if mean <= 0:
             raise ConfigurationError(f"exponential mean must be positive, got {mean}")
-        return self._rng.expovariate(1.0 / mean)
+        return self._expovariate(1.0 / mean)
 
     def geometric(self, mean: float) -> int:
         """Geometric run length (>= 1) with the given mean."""
@@ -62,13 +87,53 @@ class RandomStream:
             return 1
         p = 1.0 / mean
         n = 1
-        while self._rng.random() >= p:
+        draw = self.random
+        while draw() >= p:
             n += 1
         return n
 
-    def shuffle(self, seq: list) -> None:
-        """In-place Fisher-Yates shuffle."""
-        self._rng.shuffle(seq)
+    # -- batched draws --------------------------------------------------
+
+    def random_block(self, n: int) -> list:
+        """Draw ``n`` uniform floats in one vectorized block.
+
+        Element-for-element identical to ``n`` successive ``random()``
+        calls (it IS ``n`` successive calls, made in bulk without
+        Python-level dispatch per draw).  Sound wherever a consumer
+        draws a *known* number of floats with no interleaved
+        ``randint``/``choice``/``shuffle`` — those route through
+        ``getrandbits`` and consume different generator words, so
+        pre-drawing floats across one would reorder the stream.
+        """
+        if n < 0:
+            raise ConfigurationError(f"block size must be >= 0, got {n}")
+        draw = self.random
+        return [draw() for _ in range(n)]
+
+    def take_block(self, chunk: int = 256) -> float:
+        """Incremental consumption of block-drawn floats.
+
+        Returns the next float of an internally buffered
+        :meth:`random_block`, refilling ``chunk`` draws at a time.  The
+        caller owns the soundness argument: between a refill and the
+        last buffered draw being consumed, the stream must see no
+        ``getrandbits``-backed call (``randint``/``choice``/
+        ``shuffle``), or ordering diverges from the unbatched stream.
+        (The calibrated reference sources interleave ``randint`` and
+        ``choice`` data-dependently, which is why they pre-bind methods
+        instead of buffering — see docs/PERFORMANCE.md.)
+        """
+        if self._block_pos >= len(self._block):
+            self._block = self.random_block(chunk)
+            self._block_pos = 0
+        value = self._block[self._block_pos]
+        self._block_pos += 1
+        return value
+
+    @property
+    def buffered_draws(self) -> int:
+        """Block draws consumed from the source but not yet handed out."""
+        return len(self._block) - self._block_pos
 
 
 class StreamFactory:
@@ -80,6 +145,8 @@ class StreamFactory:
     >>> a.random() != b.random()
     True
     """
+
+    __slots__ = ("seed", "_issued")
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

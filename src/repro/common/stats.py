@@ -240,7 +240,13 @@ class StatSet:
     >>> stats.incr("read_hit")
     >>> stats["read_hit"].total
     1
+
+    Hot callers (caches, CPUs, the bus) pre-create their counters with
+    :meth:`counter` and call ``Counter.add`` directly, skipping the
+    per-event dict lookup here.
     """
+
+    __slots__ = ("name", "_counters", "_warned_missing")
 
     def __init__(self, name: str) -> None:
         self.name = name

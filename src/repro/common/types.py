@@ -20,7 +20,6 @@ Timing constants (from the paper)
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 # --- timing constants -------------------------------------------------
@@ -90,7 +89,6 @@ class BusOp(enum.Enum):
         return self in (BusOp.MREAD_EX, BusOp.MINVALIDATE)
 
 
-@dataclass(frozen=True)
 class MemRef:
     """One CPU memory reference presented to a cache.
 
@@ -98,21 +96,48 @@ class MemRef:
     cannot use the Firefly longword write-miss optimisation and must
     take the read-miss-then-write-hit path.  ``prefetch`` marks
     instruction reads issued by the prefetcher ahead of execution.
+
+    Instances are immutable (:meth:`__setattr__` raises).  This is a
+    hand-rolled slotted class rather than a frozen dataclass because
+    reference sources construct one per memory reference — the single
+    hottest allocation in the simulator — and the generated frozen
+    ``__init__`` costs more than the rest of construction combined.
+    Equality, hashing and repr keep the dataclass semantics.
     """
 
-    address: int
-    kind: AccessKind
-    partial: bool = False
-    prefetch: bool = False
+    __slots__ = ("address", "kind", "partial", "prefetch")
 
-    def __post_init__(self) -> None:
-        if self.address < 0:
-            raise ValueError(f"negative address {self.address}")
-        if self.partial and self.kind is not AccessKind.DATA_WRITE:
+    def __init__(self, address: int, kind: AccessKind,
+                 partial: bool = False, prefetch: bool = False,
+                 _set=object.__setattr__) -> None:
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        if partial and kind is not AccessKind.DATA_WRITE:
             raise ValueError("only data writes can be partial")
+        _set(self, "address", address)
+        _set(self, "kind", kind)
+        _set(self, "partial", partial)
+        _set(self, "prefetch", prefetch)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"MemRef is immutable (tried to set {name})")
+
+    def _key(self):
+        return (self.address, self.kind, self.partial, self.prefetch)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is MemRef:
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"MemRef(address={self.address!r}, kind={self.kind!r}, "
+                f"partial={self.partial!r}, prefetch={self.prefetch!r})")
 
 
-@dataclass(frozen=True)
 class BusTransaction:
     """A completed MBus transaction, as observed on the wires.
 
@@ -120,16 +145,47 @@ class BusTransaction:
     see: the operation, the address, whether any snooper asserted
     ``MShared`` during cycle 3, whether a cache (rather than memory)
     supplied read data, and whether the write was a victim write-back.
+
+    Treat instances as immutable; slotted plain class for the same
+    per-transaction allocation-cost reason as :class:`MemRef`.
     """
 
-    op: BusOp
-    address: int
-    initiator: int
-    start_cycle: int
-    shared_response: bool
-    supplied_by_cache: bool
-    is_victim: bool = False
-    data: Optional[int] = None
+    __slots__ = ("op", "address", "initiator", "start_cycle",
+                 "shared_response", "supplied_by_cache", "is_victim", "data")
+
+    def __init__(self, op: BusOp, address: int, initiator: int,
+                 start_cycle: int, shared_response: bool,
+                 supplied_by_cache: bool, is_victim: bool = False,
+                 data: Optional[int] = None) -> None:
+        self.op = op
+        self.address = address
+        self.initiator = initiator
+        self.start_cycle = start_cycle
+        self.shared_response = shared_response
+        self.supplied_by_cache = supplied_by_cache
+        self.is_victim = is_victim
+        self.data = data
+
+    def _key(self):
+        return (self.op, self.address, self.initiator, self.start_cycle,
+                self.shared_response, self.supplied_by_cache,
+                self.is_victim, self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is BusTransaction:
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"BusTransaction(op={self.op!r}, address={self.address!r}, "
+                f"initiator={self.initiator!r}, "
+                f"start_cycle={self.start_cycle!r}, "
+                f"shared_response={self.shared_response!r}, "
+                f"supplied_by_cache={self.supplied_by_cache!r}, "
+                f"is_victim={self.is_victim!r}, data={self.data!r})")
 
 
 def align_to_line(address: int, words_per_line: int) -> int:

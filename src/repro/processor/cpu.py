@@ -44,7 +44,6 @@ from repro.processor.onchip import OnChipICache
 from repro.processor.timing import ProcessorTiming
 
 
-@dataclass(frozen=True)
 class InstructionBundle:
     """One instruction's worth of memory references.
 
@@ -58,13 +57,31 @@ class InstructionBundle:
     this bundle — sources use it to model workload-dependent
     instruction mixes (the Threads exerciser of Table 2 executes
     simpler, faster instructions than the VAX-average 11.9 TPI).
+
+    Treat instances as immutable.  Slotted plain class (not a frozen
+    dataclass): reference sources build one per simulated instruction,
+    so construction cost is hot — see docs/PERFORMANCE.md.
     """
 
-    refs: Tuple[MemRef, ...]
-    is_jump: bool = False
-    prefetch_addresses: Tuple[int, ...] = ()
-    write_values: Tuple[int, ...] = ()
-    base_cycles: Optional[int] = None
+    __slots__ = ("refs", "is_jump", "prefetch_addresses", "write_values",
+                 "base_cycles")
+
+    def __init__(self, refs: Tuple[MemRef, ...], is_jump: bool = False,
+                 prefetch_addresses: Tuple[int, ...] = (),
+                 write_values: Tuple[int, ...] = (),
+                 base_cycles: Optional[int] = None) -> None:
+        self.refs = refs
+        self.is_jump = is_jump
+        self.prefetch_addresses = prefetch_addresses
+        self.write_values = write_values
+        self.base_cycles = base_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"InstructionBundle(refs={self.refs!r}, "
+                f"is_jump={self.is_jump!r}, "
+                f"prefetch_addresses={self.prefetch_addresses!r}, "
+                f"write_values={self.write_values!r}, "
+                f"base_cycles={self.base_cycles!r})")
 
 
 class ReferenceSource(Protocol):
@@ -137,6 +154,14 @@ class InterleavedSource:
 class Processor:
     """One CPU: timing model + cache + reference source, as a process."""
 
+    __slots__ = ("sim", "cpu_id", "timing", "cache", "source", "prefetch",
+                 "_rng", "stats", "_base_acc", "_wasted_acc", "onchip",
+                 "_write_token", "_halted", "failed", "_window_start",
+                 "process", "fast_path",
+                 "_c_refs_ifetch", "_c_refs_dread", "_c_refs_dwrite",
+                 "_c_sp_stalls", "_c_bus_stall_cycles", "_c_instructions",
+                 "_c_prefetch_covered")
+
     def __init__(self, sim: Simulator, cpu_id: int, timing: ProcessorTiming,
                  cache: SnoopyCache, source: ReferenceSource,
                  prefetch: Optional[PrefetchConfig] = None,
@@ -175,6 +200,21 @@ class Processor:
         self.failed = False
         self._window_start = 0
         self.process = None  # set by start()
+        #: When True (the default), hit accesses are serviced by the
+        #: cache's non-generator fast paths.  Timing, statistics and
+        #: telemetry are identical either way (tests/test_fastpath.py
+        #: asserts it); the flag exists so those tests can compare.
+        self.fast_path = True
+        # Per-reference counters, pre-created so the execute loop does
+        # bound Counter.add calls instead of keyed StatSet lookups.
+        stats = self.stats
+        self._c_refs_ifetch = stats.counter("refs.ifetch")
+        self._c_refs_dread = stats.counter("refs.dread")
+        self._c_refs_dwrite = stats.counter("refs.dwrite")
+        self._c_sp_stalls = stats.counter("sp_stalls")
+        self._c_bus_stall_cycles = stats.counter("bus_stall_cycles")
+        self._c_instructions = stats.counter("instructions")
+        self._c_prefetch_covered = stats.counter("prefetch_covered")
 
     # -- lifecycle -------------------------------------------------------
 
@@ -230,52 +270,81 @@ class Processor:
         spent = 0
         refund = 0
         write_index = 0
+        # Hot-loop locals: every name below is touched once or more per
+        # reference, and the per-tick reference loop IS the simulator's
+        # profile peak (see docs/PERFORMANCE.md).
+        sim = self.sim
+        cache = self.cache
+        onchip = self.onchip
+        fast = self.fast_path
+        tick = timing.tick_cycles
+        miss_overhead = timing.miss_overhead_cycles
+        prefetch_enabled = self.prefetch.enabled
+        refund_cycles = self.prefetch.refund_cycles
 
         for ref in bundle.refs:
-            if self.cache.tag_contention_stall(self.sim.now):
-                self.stats.incr("sp_stalls")
-                yield self.sim.timeout(timing.tick_cycles)
+            if sim.now < cache.tag_busy_until:
+                self._c_sp_stalls.add()
+                yield sim.timeout(tick)
 
-            if ref.kind is AccessKind.DATA_WRITE:
+            # Hits are serviced by the cache's non-generator fast paths
+            # (no generator construction, no suspension); only misses
+            # and protocol-loud hits pay for the coroutine machinery.
+            # Counter ordering matters: the reference counters increment
+            # after the access completes, exactly as the generator path
+            # did, so a measurement window opened mid-miss attributes
+            # the reference to the same side of the mark.
+            kind = ref.kind
+            if kind is AccessKind.DATA_WRITE:
                 value = self._next_write_value(bundle, write_index)
                 write_index += 1
-                elapsed = yield from self._timed(self.cache.cpu_write(ref, value))
-                self.stats.incr("refs.dwrite")
-            elif ref.kind is AccessKind.INSTRUCTION_READ:
-                elapsed = yield from self._ifetch(ref)
-                self.stats.incr("refs.ifetch")
+                if fast and cache.cpu_write_fast(ref, value):
+                    elapsed = 0
+                else:
+                    started = sim.now
+                    yield from cache.cpu_write(ref, value)
+                    elapsed = sim.now - started
+                self._c_refs_dwrite.add()
+            elif kind is AccessKind.INSTRUCTION_READ:
+                if onchip is not None and onchip.access(ref.address):
+                    elapsed = 0
+                elif fast and cache.cpu_read_fast(ref):
+                    elapsed = 0
+                else:
+                    started = sim.now
+                    yield from cache.cpu_read(ref)
+                    elapsed = sim.now - started
+                self._c_refs_ifetch.add()
             else:
-                elapsed = yield from self._timed(self.cache.cpu_read(ref))
-                self.stats.incr("refs.dread")
+                if fast and cache.cpu_read_fast(ref):
+                    elapsed = 0
+                else:
+                    started = sim.now
+                    yield from cache.cpu_read(ref)
+                    elapsed = sim.now - started
+                self._c_refs_dread.add()
 
             if elapsed > 0:
                 # This reference visited the bus: its budgeted tick was
                 # consumed during the wait, plus any fixed overhead.
-                spent += timing.tick_cycles
-                self.stats.incr("bus_stall_cycles", elapsed)
-                if timing.miss_overhead_cycles:
-                    yield self.sim.timeout(timing.miss_overhead_cycles)
-            elif (self.prefetch.enabled
-                  and ref.kind is AccessKind.INSTRUCTION_READ
+                spent += tick
+                self._c_bus_stall_cycles.add(elapsed)
+                if miss_overhead:
+                    yield sim.timeout(miss_overhead)
+            elif (prefetch_enabled
+                  and kind is AccessKind.INSTRUCTION_READ
                   and not bundle.is_jump):
                 # Sequential fetch that hit: overlapped with execution.
-                refund += self.prefetch.refund_cycles
-                self.stats.incr("prefetch_covered")
+                refund += refund_cycles
+                self._c_prefetch_covered.add()
 
-        if self.prefetch.enabled and bundle.is_jump:
+        if prefetch_enabled and bundle.is_jump:
             yield from self._wasted_prefetches(bundle)
 
         remaining = budget - spent - refund
         if remaining > 0:
-            yield self.sim.timeout(remaining)
-        self.stats.incr("instructions")
-
-    def _ifetch(self, ref: MemRef):
-        """Generator: instruction fetch, via the on-chip cache if present."""
-        if self.onchip is not None and self.onchip.access(ref.address):
-            return 0
-        elapsed = yield from self._timed(self.cache.cpu_read(ref))
-        return elapsed
+            yield sim.timeout(remaining)
+        self._c_instructions.add()
 
     def _timed(self, access):
         """Generator: run a cache access, returning elapsed cycles."""

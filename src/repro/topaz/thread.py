@@ -98,13 +98,27 @@ class ThreadFootprint:
         """One instruction's worth of references."""
         self._jumped = False
         refs: List[MemRef] = []
-        for _ in range(self._ir.next()):
-            refs.append(MemRef(self._code_word(),
-                               AccessKind.INSTRUCTION_READ))
-        for _ in range(self._dr.next()):
-            refs.append(MemRef(self._read_word(), AccessKind.DATA_READ))
-        for _ in range(self._dw.next()):
-            refs.append(MemRef(self._write_word(), AccessKind.DATA_WRITE))
+        append = refs.append
+        # The three accumulator draws are inlined (error diffusion is
+        # two float ops) — .next() frames dominate this hot method.
+        acc = self._ir
+        residue = acc._residue + acc.rate
+        whole = int(residue)
+        acc._residue = residue - whole
+        for _ in range(whole):
+            append(MemRef(self._code_word(), AccessKind.INSTRUCTION_READ))
+        acc = self._dr
+        residue = acc._residue + acc.rate
+        whole = int(residue)
+        acc._residue = residue - whole
+        for _ in range(whole):
+            append(MemRef(self._read_word(), AccessKind.DATA_READ))
+        acc = self._dw
+        residue = acc._residue + acc.rate
+        whole = int(residue)
+        acc._residue = residue - whole
+        for _ in range(whole):
+            append(MemRef(self._write_word(), AccessKind.DATA_WRITE))
         return InstructionBundle(
             refs=tuple(refs),
             is_jump=self._jumped,
@@ -129,19 +143,23 @@ class ThreadFootprint:
         return word
 
     def _read_word(self) -> int:
+        # rng.random() < p IS bernoulli(p) — same single draw, minus
+        # the wrapper frame (these run several times per instruction).
+        rng = self.rng
         if (self.sweep_fraction > 0
-                and self.rng.bernoulli(self.sweep_fraction)):
+                and rng.random() < self.sweep_fraction):
             word = self.sweep_base + self._sweep_cursor
             self._sweep_cursor = (self._sweep_cursor + 1) % self.sweep_words
             return word
-        if self.rng.bernoulli(self.stack_read_bias):
-            return self.stack_base + self.rng.randint(0, self.stack_words - 1)
-        return self.data_base + self.rng.randint(0, self.data_words - 1)
+        if rng.random() < self.stack_read_bias:
+            return self.stack_base + rng.randint(0, self.stack_words - 1)
+        return self.data_base + rng.randint(0, self.data_words - 1)
 
     def _write_word(self) -> int:
-        if self.rng.bernoulli(self.stack_write_bias):
-            return self.stack_base + self.rng.randint(0, self.stack_words - 1)
-        return self.data_base + self.rng.randint(0, self.data_words - 1)
+        rng = self.rng
+        if rng.random() < self.stack_write_bias:
+            return self.stack_base + rng.randint(0, self.stack_words - 1)
+        return self.data_base + rng.randint(0, self.data_words - 1)
 
 
 class TopazThread:

@@ -1,0 +1,140 @@
+"""The deterministic parallel trial executor (repro.observatory.runner).
+
+The load-bearing claim: ``jobs=N`` is a pure fan-out — same results,
+same order, same bytes in every serialised document — and a trial that
+fails (or a worker process that dies) surfaces as one clean
+:class:`TrialFailure` naming the trial, never a hang or a raw child
+traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults.chaos import run_campaign
+from repro.observatory.bench import run_suite
+from repro.observatory.runner import (
+    TrialFailure,
+    run_ordered,
+    run_sweep,
+    sweep_point,
+)
+
+pytestmark = pytest.mark.observatory
+
+
+# Module-level so they pickle by reference into worker processes.
+def _square(spec):
+    return spec * spec
+
+
+def _fail_on_three(spec):
+    if spec == 3:
+        raise ValueError("three is right out")
+    return spec
+
+
+def _die_on_two(spec):
+    if spec == 2:
+        os._exit(13)  # simulates a segfaulting / killed worker
+    return spec
+
+
+class TestRunOrdered:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_results_in_spec_order(self, jobs):
+        specs = list(range(10))
+        assert run_ordered(specs, _square, jobs=jobs) \
+            == [n * n for n in specs]
+
+    def test_empty_specs(self):
+        assert run_ordered([], _square, jobs=4) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_names_the_trial(self, jobs):
+        with pytest.raises(TrialFailure) as exc:
+            run_ordered([1, 2, 3, 4], _fail_on_three, jobs=jobs,
+                        describe=lambda s: f"(scenario-x, seed {s})")
+        message = str(exc.value)
+        assert "(scenario-x, seed 3)" in message
+        assert "ValueError" in message
+        assert "three is right out" in message
+
+    def test_dead_worker_surfaces_cleanly(self):
+        """A worker process that exits hard must not hang the parent;
+        the failure names the trial whose result never arrived."""
+        with pytest.raises(TrialFailure) as exc:
+            run_ordered([1, 2, 4], _die_on_two, jobs=2,
+                        describe=lambda s: f"(chaos-y, seed {s})")
+        assert "seed" in str(exc.value)
+        assert "worker process died" in str(exc.value)
+
+
+SWEEP_KW = dict(processor_counts=[1, 2], seeds=[1987, 1988],
+                warmup=1_000, measure=4_000)
+
+
+class TestByteIdentity:
+    def test_sweep_jobs4_byte_identical_to_serial(self):
+        serial = run_sweep(jobs=1, **SWEEP_KW)
+        parallel = run_sweep(jobs=4, **SWEEP_KW)
+        assert json.dumps(serial, indent=2, sort_keys=True) \
+            == json.dumps(parallel, indent=2, sort_keys=True)
+
+    def test_sweep_point_grid_order(self):
+        document = run_sweep(jobs=2, **SWEEP_KW)
+        assert [(p["processors"], p["seed"])
+                for p in document["points"]] \
+            == [(1, 1987), (1, 1988), (2, 1987), (2, 1988)]
+
+    @pytest.mark.slow
+    def test_chaos_report_byte_identical_across_jobs(self):
+        kw = dict(quick=True, scenarios=["bus-parity", "cpu-offline"])
+        serial = run_campaign(jobs=1, **kw)
+        parallel = run_campaign(jobs=2, **kw)
+        assert json.dumps(serial.to_dict(), indent=2, sort_keys=True) \
+            == json.dumps(parallel.to_dict(), indent=2, sort_keys=True)
+        assert serial.render() == parallel.render()
+
+    def test_bench_simulated_content_identical_across_jobs(self):
+        """BENCH documents byte-compare after dropping the wall-clock
+        measurement fields — those describe the host, and a host
+        running N workers is a different host."""
+        kw = dict(quick=True, trials=2, scenarios=["exerciser-1cpu"],
+                  skip_overhead=True)
+        serial = self._normalised(run_suite(jobs=1, **kw))
+        parallel = self._normalised(run_suite(jobs=2, **kw))
+        assert serial == parallel
+
+    @staticmethod
+    def _normalised(document):
+        document = json.loads(json.dumps(document, sort_keys=True))
+        document.pop("host", None)
+        for entry in document["scenarios"].values():
+            entry.pop("median_ticks_per_second", None)
+            entry.pop("noise", None)
+            for trial in entry["trials"]:
+                trial.pop("wall_seconds", None)
+                trial.pop("ticks_per_second", None)
+        return json.dumps(document, sort_keys=True)
+
+
+class TestSweepValidation:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(Exception):
+            run_sweep(processor_counts=[], seeds=[1987])
+        with pytest.raises(Exception):
+            run_sweep(processor_counts=[1], seeds=[])
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(Exception):
+            run_sweep(processor_counts=[0], seeds=[1987])
+
+    def test_sweep_point_worker_is_self_contained(self):
+        point = sweep_point((1, "firefly", "microvax", 1987, 1_000, 4_000))
+        assert point["processors"] == 1
+        assert point["seed"] == 1987
+        assert 0.0 < point["bus_load"] <= 1.0
