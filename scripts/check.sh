@@ -43,3 +43,16 @@ echo "== chaos smoke (firefly-sim chaos) =="
 # end (see docs/FAULTS.md); exits nonzero if any scenario fails.
 python -m repro.cli chaos --quick --scenario bus-parity \
     --scenario cpu-offline
+
+echo "== campaign smoke (firefly-sim campaign run + report) =="
+# The quick example campaign through the resumable ledger into a
+# scratch store (golden digests included — drift exits nonzero), then
+# the HTML dashboard over the committed BENCH trajectory plus that
+# ledger (see docs/CAMPAIGNS.md).
+CAMPAIGN_TMP=$(mktemp -d)
+trap 'rm -rf "$BENCH_TMP" "$CAMPAIGN_TMP"' EXIT
+python -m repro.cli campaign run examples/campaigns/quick.yaml \
+    --jobs 2 --store-dir "$CAMPAIGN_TMP/store" \
+    --report "$CAMPAIGN_TMP/report.json"
+python -m repro.cli campaign report --bench-dir . \
+    --store-dir "$CAMPAIGN_TMP/store" --out "$CAMPAIGN_TMP/dashboard.html"

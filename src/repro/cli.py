@@ -37,17 +37,28 @@ Subcommands:
     Run a (processor-count x seed) grid of machine runs and print (or
     write as JSON) the purely simulated metrics.  The document is
     byte-identical at any ``--jobs`` value.
+``campaign``
+    The campaign manager (see docs/CAMPAIGNS.md): ``run`` executes a
+    declarative YAML/JSON campaign spec against the persistent result
+    ledger, skipping already-completed trials, checking pinned golden
+    digests, and writing a byte-deterministic merged report;
+    ``resume`` is ``run`` that refuses to start from an empty ledger;
+    ``report`` renders the static HTML regression dashboard from the
+    committed ``BENCH_<n>.json`` trajectory plus the campaign ledgers;
+    ``gc`` compacts a ledger to the rows the current spec and git
+    revision can still use.
 
-``bench``, ``chaos`` and ``sweep`` accept ``--jobs N`` to fan their
-seeded trials out over worker processes (see
+``bench``, ``chaos``, ``sweep`` and ``campaign run`` accept ``--jobs
+N`` to fan their seeded trials out over worker processes (see
 :mod:`repro.observatory.runner`); parallelism changes wall-clock
 timing fields only, never a simulated bit.
 
 ``simulate`` and ``exerciser`` also accept ``--telemetry-out PATH`` to
-capture a trace of an ordinary run (refusing to overwrite an existing
-file unless ``--force`` is passed), ``--spans`` for transaction span
+capture a trace of an ordinary run, ``--spans`` for transaction span
 percentiles, and ``--divergence`` for the live analytic-model
-residual report.
+residual report.  Every file-writing flag (``--telemetry-out``, sweep
+and chaos ``--json``, campaign ``--report``/``--out``) refuses to
+overwrite an existing file unless ``--force`` is passed.
 
 Examples::
 
@@ -68,6 +79,10 @@ Examples::
     firefly-sim chaos --seed 2024 --scenario snoop-storm --json report.json
     firefly-sim chaos --quick --jobs 4
     firefly-sim sweep --processors 1,3,5,7 --seeds 1987 --jobs 4
+    firefly-sim campaign run examples/campaigns/quick.yaml --jobs 2
+    firefly-sim campaign resume examples/campaigns/full.yaml
+    firefly-sim campaign report --out dashboard.html
+    firefly-sim campaign gc examples/campaigns/quick.yaml
 """
 
 from __future__ import annotations
@@ -223,6 +238,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="list the pinned scenarios and exit")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write the campaign report as JSON")
+    chaos.add_argument("--force", action="store_true",
+                       help="overwrite an existing --json file")
     chaos.add_argument("--jobs", type=int, default=1,
                        help="worker processes for scenario fan-out; the "
                             "report is byte-identical at any job count "
@@ -247,8 +264,62 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the sweep document as JSON "
                             "(sorted keys; byte-identical at any --jobs)")
+    sweep.add_argument("--force", action="store_true",
+                       help="overwrite an existing --json file")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for grid fan-out (default 1)")
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative sweep campaigns with a "
+                         "persistent, resumable result store")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _campaign_common(sub_parser, with_spec=True):
+        if with_spec:
+            sub_parser.add_argument("spec", metavar="SPEC",
+                                    help="campaign spec file "
+                                         "(.yaml/.yml/.json)")
+        sub_parser.add_argument("--store-dir", default=".campaign",
+                                metavar="DIR",
+                                help="result-store directory holding "
+                                     "the ledgers (default .campaign)")
+
+    for verb, blurb in (("run", "run a campaign, skipping trials the "
+                                "ledger already holds"),
+                        ("resume", "like run, but refuse to start "
+                                   "from an empty ledger")):
+        runp = campaign_sub.add_parser(verb, help=blurb)
+        _campaign_common(runp)
+        runp.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for trial fan-out "
+                               "(default 1)")
+        runp.add_argument("--report", metavar="PATH", default=None,
+                          help="write the merged campaign report as "
+                               "JSON (byte-identical for identical "
+                               "ledger content at any --jobs)")
+        runp.add_argument("--force", action="store_true",
+                          help="overwrite an existing --report file")
+        runp.add_argument("--print-golden", action="store_true",
+                          help="print a ready-to-paste golden: section "
+                               "pinning this run's digests")
+
+    reportp = campaign_sub.add_parser(
+        "report", help="render the static HTML regression dashboard")
+    _campaign_common(reportp, with_spec=False)
+    reportp.add_argument("--bench-dir", default=".", metavar="DIR",
+                         help="directory holding the BENCH_<n>.json "
+                              "trajectory (default .)")
+    reportp.add_argument("--out", default="dashboard.html",
+                         metavar="PATH",
+                         help="output HTML path (default "
+                              "dashboard.html)")
+    reportp.add_argument("--force", action="store_true",
+                         help="overwrite an existing --out file")
+
+    gcp = campaign_sub.add_parser(
+        "gc", help="compact a campaign ledger to currently-live rows")
+    _campaign_common(gcp)
 
     return parser
 
@@ -275,19 +346,28 @@ def _add_telemetry_args(sub_parser) -> None:
              "measured rates; print the residual report")
 
 
+def _guard_output(path_str, force: bool, flag: str) -> None:
+    """Refuse to overwrite an existing output file without ``--force``.
+
+    Called before the simulation runs, so a long measurement is never
+    wasted on a file that will not be written.  Shared by
+    ``--telemetry-out``, sweep/chaos ``--json`` and the campaign
+    report/dashboard outputs.
+    """
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    if path_str is not None and Path(path_str).exists() and not force:
+        raise ConfigurationError(
+            f"{flag} {path_str} already exists; pass --force to "
+            f"overwrite it")
+
+
 def _begin_telemetry(args, subject, for_kernel: bool):
     """(hub, sampler) when ``--telemetry-out`` was given, else (None, None)."""
     if getattr(args, "telemetry_out", None) is None:
         return None, None
-    from pathlib import Path
-
-    from repro.common.errors import ConfigurationError
-    if Path(args.telemetry_out).exists() and not args.force:
-        # Checked before the simulation runs, so a long measurement is
-        # never wasted on an export that will not be written.
-        raise ConfigurationError(
-            f"{args.telemetry_out} already exists; pass --force to "
-            f"overwrite it")
+    _guard_output(args.telemetry_out, args.force, "--telemetry-out")
     setup = telemetry_for_kernel if for_kernel else telemetry_for_machine
     hub, sampler = setup(subject, interval=args.sample_interval)
     sampler.start()
@@ -545,6 +625,7 @@ def _cmd_chaos(args) -> int:
         for scenario in CHAOS_SCENARIOS:
             print(f"{scenario.name:<16} {scenario.description}")
         return 0
+    _guard_output(args.json, args.force, "--json")
     report = run_campaign(seed=args.seed, quick=args.quick,
                           scenarios=args.scenario, jobs=args.jobs)
     print(report.render())
@@ -579,6 +660,7 @@ def _cmd_sweep(args) -> int:
         else SWEEP_WARMUP
     measure = args.measure_cycles if args.measure_cycles is not None \
         else SWEEP_MEASURE
+    _guard_output(args.json, args.force, "--json")
     document = run_sweep(
         _parse_int_list(args.processors, "--processors"),
         _parse_int_list(args.seeds, "--seeds"),
@@ -600,6 +682,70 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import CampaignStore, load_spec
+
+    store = CampaignStore(args.store_dir)
+
+    if args.campaign_command in ("run", "resume"):
+        from repro.campaign import golden_block, run_campaign_spec
+
+        _guard_output(args.report, args.force, "--report")
+        spec = load_spec(args.spec)
+        run = run_campaign_spec(
+            spec, store, jobs=args.jobs,
+            resume_only=args.campaign_command == "resume",
+            progress=print)
+        print(f"campaign {spec.name}: {run.total} trial(s) merged "
+              f"({run.ran} ran, {run.skipped} skipped via ledger)")
+        if args.report is not None:
+            Path(args.report).write_text(
+                json.dumps(run.report, indent=2, sort_keys=True) + "\n")
+            print(f"campaign: wrote {args.report}")
+        if args.print_golden:
+            print()
+            print(golden_block(run))
+        for label in run.golden_failures:
+            verdict = run.golden[label]
+            print(f"golden drift: {label} is {verdict['actual']}, "
+                  f"pinned {verdict['pinned']}", file=sys.stderr)
+        if run.golden:
+            ok_count = sum(1 for v in run.golden.values()
+                           if v["verdict"] == "ok")
+            print(f"golden: {ok_count}/{len(run.golden)} pinned "
+                  f"trial(s) match")
+        return 0 if run.ok else 1
+
+    if args.campaign_command == "report":
+        from repro.observatory import bench_files, load_bench
+        from repro.reporting import render_dashboard
+
+        _guard_output(args.out, args.force, "--out")
+        bench_dir = Path(args.bench_dir)
+        docs = [(path.name, load_bench(path))
+                for path in bench_files(bench_dir)]
+        ledgers = [(name, list(store.load(name).rows.values()))
+                   for name in store.campaigns()]
+        Path(args.out).write_text(render_dashboard(docs, ledgers))
+        trials = sum(len(rows) for _, rows in ledgers)
+        print(f"campaign report: {len(docs)} BENCH file(s), "
+              f"{len(ledgers)} ledger(s) ({trials} trial(s)) -> "
+              f"{args.out}")
+        return 0
+
+    # gc
+    from repro.campaign import gc_campaign
+
+    spec = load_spec(args.spec)
+    kept, dropped = gc_campaign(spec, store)
+    print(f"campaign gc: {spec.name}: kept {kept} row(s), "
+          f"dropped {dropped}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
@@ -610,6 +756,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "sweep": _cmd_sweep,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
 from repro.common.errors import ConfigurationError
+from repro.common.provenance import provenance_stamp
 from repro.system import FireflyConfig, FireflyMachine
 from repro.telemetry.probe import NULL_PROBE, TelemetryHub
 from repro.telemetry.instrument import attach_kernel
@@ -432,6 +433,16 @@ def run_suite(quick: bool = False, trials: Optional[int] = None,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
+        # Provenance (PR 6): which revision produced this document and
+        # a content hash of the suite configuration.  Absent from
+        # BENCH files written before the stamp existed; every reader
+        # tolerates that.
+        "provenance": provenance_stamp({
+            "mode": "quick" if quick else "full",
+            "trials": trials,
+            "scenarios": [s.name for s in selected],
+            "skip_overhead": skip_overhead,
+        }, schema=BENCH_SCHEMA),
         "scenarios": {},
         "overhead": None,
     }
@@ -495,6 +506,11 @@ def validate_bench(document: Dict) -> List[str]:
             for key in ("disabled_ratio", "budget", "ok"):
                 if key not in overhead:
                     problems.append(f"overhead: missing {key}")
+    # Provenance is optional — BENCH files predating the stamp carry
+    # none — but when present it must at least be an object.
+    provenance = document.get("provenance")
+    if provenance is not None and not isinstance(provenance, dict):
+        problems.append("provenance must be an object when present")
     return problems
 
 
@@ -525,6 +541,13 @@ def write_bench(document: Dict, directory: Path) -> Path:
             "refusing to write an invalid BENCH document: "
             + "; ".join(problems))
     path = next_bench_path(directory)
+    if path.exists():
+        # next_bench_path always indexes past the existing files, so
+        # hitting this means two writers raced for the same slot;
+        # refuse rather than clobber a result that was just produced.
+        raise ConfigurationError(
+            f"refusing to overwrite {path}; another bench run claimed "
+            f"this index concurrently — rerun to take the next slot")
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -26,7 +26,9 @@ Failure contract: a trial that raises in a worker is reported as a
 single :class:`TrialFailure` naming the failing *(scenario, seed)* —
 the child's traceback is summarised, never dumped raw — and a worker
 process that dies outright (killed, segfault) surfaces the same way
-instead of hanging the parent.  Remaining queued trials are cancelled.
+instead of hanging the parent.  Remaining queued trials are cancelled,
+and a ``KeyboardInterrupt`` in the parent terminates every worker
+process before re-raising — Ctrl-C never leaks simulating workers.
 """
 
 from __future__ import annotations
@@ -67,8 +69,28 @@ def _guarded(worker: Callable, spec) -> Tuple[str, object]:
         return ("error", f"{type(exc).__name__}: {exc}")
 
 
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's worker processes outright.
+
+    Used on KeyboardInterrupt only: ``shutdown(cancel_futures=True)``
+    cancels *queued* work but lets already-running trials finish, so a
+    Ctrl-C during a long fan-out would leave workers simulating for
+    minutes after the user asked to stop.  The process handles are a
+    private attribute of the executor; degrade to a plain shutdown if a
+    future Python hides them.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+
+
 def run_ordered(specs: Sequence, worker: Callable, jobs: int = 1,
-                describe: Callable[[object], str] = str) -> List:
+                describe: Callable[[object], str] = str,
+                on_result: Optional[Callable[[object, object], None]] = None
+                ) -> List:
     """Run ``worker(spec)`` for every spec; results in spec order.
 
     ``worker`` must be a module-level function and each spec a small
@@ -76,6 +98,15 @@ def run_ordered(specs: Sequence, worker: Callable, jobs: int = 1,
     and seeds, not live objects).  ``jobs <= 1`` runs in-process with
     identical semantics — the parallel path is pure fan-out, never a
     behaviour switch.
+
+    ``on_result(spec, result)`` is invoked in **spec order** as each
+    trial's result is collected, on both the serial and parallel paths.
+    Campaign resume rides on this: every result the callback saw is
+    durable even if a later trial fails, and spec-order delivery keeps
+    append-only stores deterministic at any job count.
+
+    A ``KeyboardInterrupt`` during a fan-out terminates the worker
+    processes and re-raises — no leaked workers, no swallowed Ctrl-C.
     """
     if jobs is None:
         jobs = 1
@@ -85,6 +116,8 @@ def run_ordered(specs: Sequence, worker: Callable, jobs: int = 1,
             tag, payload = _guarded(worker, spec)
             if tag != "ok":
                 raise TrialFailure(describe(spec), payload)
+            if on_result is not None:
+                on_result(spec, payload)
             results.append(payload)
         return results
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
@@ -104,8 +137,15 @@ def run_ordered(specs: Sequence, worker: Callable, jobs: int = 1,
                     f"{type(exc).__name__}: {exc}") from None
             if tag != "ok":
                 raise TrialFailure(describe(spec), payload)
+            if on_result is not None:
+                on_result(spec, payload)
             results.append(payload)
         return results
+    except KeyboardInterrupt:
+        # Raised outside future.result() (e.g. between collections):
+        # same contract — tear the workers down before propagating.
+        _terminate_workers(pool)
+        raise
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 

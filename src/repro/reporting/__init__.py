@@ -12,6 +12,7 @@ from repro.reporting.figures import (
     render_system_diagram,
     render_topaz_diagram,
 )
+from repro.reporting.html import render_dashboard
 from repro.reporting.timeline import (
     render_event_summary,
     render_phase_timeline,
@@ -22,6 +23,7 @@ from repro.reporting.timeline import (
 __all__ = [
     "Column",
     "TextTable",
+    "render_dashboard",
     "render_event_summary",
     "render_phase_timeline",
     "render_series_table",

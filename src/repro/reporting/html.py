@@ -1,0 +1,436 @@
+"""The static regression-observatory dashboard (stdlib-only HTML).
+
+``firefly-sim campaign report`` renders one self-contained HTML file —
+no server, no JavaScript, no external assets — from two inputs:
+
+- the committed ``BENCH_<n>.json`` trajectory (perf history across
+  PRs): per-scenario ticks/s trend charts with noise bands, and the
+  noise-aware regression verdicts of
+  :func:`repro.observatory.bench.compare_bench` between consecutive
+  files;
+- campaign ledgers from the :mod:`repro.campaign` store: trial
+  rollups, §5.2 divergence residuals from sweep/table1 results, and
+  the chaos recovery-time ledger (detect latency and recovery time per
+  injected fault).
+
+Charts are inline SVG with hover ``<title>`` tooltips and an adjacent
+table view of the same numbers; colors come from a CVD-validated
+palette declared once as CSS custom properties with selected light and
+dark steps (``prefers-color-scheme`` plus a ``data-theme`` override).
+The output contains no timestamps or host fields, so regenerating the
+dashboard from the same inputs is byte-identical.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Categorical series slots (validated order, light/dark selected per
+# surface); scenarios take slots in sorted order and never cycle.
+_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
+                 "#008300", "#4a3aa7", "#e34948")
+_SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181",
+                "#008300", "#9085e9", "#e66767")
+
+_CSS = """
+.ffly {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --surface-2: #f0efec;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #d8d7d2;
+  --good: #008300;
+  --bad: #c73635;
+  --band: rgba(42, 120, 214, 0.16);
+  font: 14px/1.45 system-ui, sans-serif;
+  color: var(--text-primary);
+  background: var(--surface-1);
+  margin: 0 auto;
+  max-width: 1080px;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .ffly {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --surface-2: #383835;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #44443f;
+    --bad: #e66767;
+    --band: rgba(57, 135, 229, 0.22);
+  }
+}
+:root[data-theme="dark"] .ffly {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --surface-2: #383835;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --grid: #44443f;
+  --bad: #e66767;
+  --band: rgba(57, 135, 229, 0.22);
+}
+.ffly h1 { font-size: 22px; margin: 0 0 4px; }
+.ffly h2 { font-size: 17px; margin: 28px 0 8px; }
+.ffly .sub { color: var(--text-secondary); margin: 0 0 12px; }
+.ffly .grid { display: flex; flex-wrap: wrap; gap: 16px; }
+.ffly .card {
+  background: var(--surface-1);
+  border: 1px solid var(--grid);
+  border-radius: 8px;
+  padding: 12px 14px;
+}
+.ffly .card h3 { font-size: 14px; margin: 0 0 6px; }
+.ffly table { border-collapse: collapse; margin: 8px 0; }
+.ffly th, .ffly td {
+  text-align: right;
+  padding: 3px 10px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+.ffly th { color: var(--text-secondary); font-weight: 600; }
+.ffly th:first-child, .ffly td:first-child { text-align: left; }
+.ffly .chip {
+  display: inline-block;
+  padding: 0 8px;
+  border-radius: 9px;
+  font-size: 12px;
+  border: 1px solid var(--grid);
+}
+.ffly .chip.good { color: var(--good); border-color: var(--good); }
+.ffly .chip.bad { color: var(--bad); border-color: var(--bad); }
+.ffly .mono { font-family: ui-monospace, monospace; font-size: 12px; }
+.ffly svg text { fill: var(--text-secondary); font-size: 10px; }
+.ffly .note { color: var(--text-secondary); font-size: 12px; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f}K"
+    return f"{value:.3g}"
+
+
+# ---------------------------------------------------------------------------
+# SVG marks
+
+
+def _line_chart(points: Sequence[Tuple[str, float]],
+                band: Optional[Sequence[Tuple[float, float]]] = None,
+                color: str = "var(--series)", width: int = 300,
+                height: int = 110, unit: str = "") -> str:
+    """One series as an SVG line with optional noise band.
+
+    ``points`` are ``(x label, value)``; the y scale is anchored at
+    zero so trajectory charts cannot exaggerate noise into drama.
+    """
+    if not points:
+        return "<p class='note'>no data</p>"
+    pad_l, pad_r, pad_t, pad_b = 42, 12, 8, 18
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    top = max(value for _, value in points)
+    if band:
+        top = max(top, max(hi for _, hi in band))
+    top = top * 1.08 or 1.0
+
+    def x_at(index: int) -> float:
+        if len(points) == 1:
+            return pad_l + plot_w / 2
+        return pad_l + plot_w * index / (len(points) - 1)
+
+    def y_at(value: float) -> float:
+        return pad_t + plot_h * (1.0 - value / top)
+
+    parts = [f"<svg viewBox='0 0 {width} {height}' width='{width}' "
+             f"height='{height}' role='img'>"]
+    # recessive grid: zero line + top gridline with its value
+    parts.append(f"<line x1='{pad_l}' y1='{y_at(0):.1f}' "
+                 f"x2='{width - pad_r}' y2='{y_at(0):.1f}' "
+                 f"stroke='var(--grid)'/>")
+    parts.append(f"<line x1='{pad_l}' y1='{pad_t}' "
+                 f"x2='{width - pad_r}' y2='{pad_t}' "
+                 f"stroke='var(--grid)' stroke-dasharray='2 3'/>")
+    parts.append(f"<text x='{pad_l - 4}' y='{pad_t + 3}' "
+                 f"text-anchor='end'>{_esc(_fmt(top))}</text>")
+    parts.append(f"<text x='{pad_l - 4}' y='{y_at(0) + 3:.1f}' "
+                 f"text-anchor='end'>0</text>")
+    if band:
+        upper = [f"{x_at(i):.1f},{y_at(hi):.1f}"
+                 for i, (_lo, hi) in enumerate(band)]
+        lower = [f"{x_at(i):.1f},{y_at(lo):.1f}"
+                 for i, (lo, _hi) in reversed(list(enumerate(band)))]
+        parts.append(f"<polygon points='{' '.join(upper + lower)}' "
+                     f"fill='var(--band)' stroke='none'/>")
+    path = " ".join(f"{x_at(i):.1f},{y_at(v):.1f}"
+                    for i, (_, v) in enumerate(points))
+    parts.append(f"<polyline points='{path}' fill='none' "
+                 f"stroke='{color}' stroke-width='2' "
+                 f"stroke-linejoin='round'/>")
+    for i, (label, value) in enumerate(points):
+        parts.append(
+            f"<circle cx='{x_at(i):.1f}' cy='{y_at(value):.1f}' r='4' "
+            f"fill='{color}'>"
+            f"<title>{_esc(label)}: {_esc(_fmt(value))}{_esc(unit)}"
+            f"</title></circle>")
+        parts.append(f"<text x='{x_at(i):.1f}' y='{height - 4}' "
+                     f"text-anchor='middle'>{_esc(label)}</text>")
+    # selective direct label: last point only
+    last_label, last_value = points[-1]
+    parts.append(f"<text x='{x_at(len(points) - 1):.1f}' "
+                 f"y='{y_at(last_value) - 7:.1f}' text-anchor='middle'>"
+                 f"{_esc(_fmt(last_value))}{_esc(unit)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _series_style(index: int) -> str:
+    """Per-card style block binding --series for light and dark."""
+    light = _SERIES_LIGHT[index % len(_SERIES_LIGHT)]
+    dark = _SERIES_DARK[index % len(_SERIES_DARK)]
+    return (f"--series:{light};"
+            f"--series-dark:{dark}")
+
+
+# ---------------------------------------------------------------------------
+# sections
+
+
+def _section_trajectory(bench_docs: Sequence[Tuple[str, Dict]]) -> str:
+    scenarios = sorted({name
+                        for _, doc in bench_docs
+                        for name in doc.get("scenarios", {})})
+    if not scenarios:
+        return "<p class='note'>no BENCH files found</p>"
+    cards = []
+    for index, scenario in enumerate(scenarios):
+        points: List[Tuple[str, float]] = []
+        band: List[Tuple[float, float]] = []
+        rows = []
+        for file_name, doc in bench_docs:
+            entry = doc.get("scenarios", {}).get(scenario)
+            if entry is None:
+                continue
+            median = entry["median_ticks_per_second"]
+            noise = entry.get("noise", 0.0)
+            label = file_name.replace("BENCH_", "").replace(".json", "")
+            points.append((label, median))
+            band.append((median * (1.0 - noise / 2.0),
+                         median * (1.0 + noise / 2.0)))
+            rows.append(f"<tr><td>{_esc(file_name)}</td>"
+                        f"<td>{median:,.0f}</td>"
+                        f"<td>{noise:.1%}</td>"
+                        f"<td>{_esc(doc.get('mode', '?'))}</td></tr>")
+        chart = _line_chart(points, band, color="var(--series)",
+                            unit=" t/s")
+        cards.append(
+            f"<div class='card' style='{_series_style(index)}'>"
+            f"<h3>{_esc(scenario)}</h3>{chart}"
+            f"<details><summary class='note'>table</summary>"
+            f"<table><tr><th>file</th><th>ticks/s</th><th>noise</th>"
+            f"<th>mode</th></tr>{''.join(rows)}</table></details></div>")
+    return "<div class='grid'>" + "".join(cards) + "</div>"
+
+
+def _verdict_chip(status: str) -> str:
+    if status == "regression":
+        return "<span class='chip bad'>regression ▼</span>"
+    if status == "improvement":
+        return "<span class='chip good'>improvement ▲</span>"
+    return "<span class='chip'>flat</span>"
+
+
+def _section_verdicts(bench_docs: Sequence[Tuple[str, Dict]]) -> str:
+    from repro.observatory.bench import compare_bench
+
+    if len(bench_docs) < 2:
+        return ("<p class='note'>fewer than two BENCH files — nothing "
+                "to compare</p>")
+    blocks = []
+    for (prev_name, prev), (cur_name, cur) in zip(bench_docs,
+                                                  bench_docs[1:]):
+        report = compare_bench(prev, cur)
+        rows = []
+        for delta in report.deltas:
+            rows.append(
+                f"<tr><td>{_esc(delta.name)}</td>"
+                f"<td>{delta.previous:,.0f}</td>"
+                f"<td>{delta.current:,.0f}</td>"
+                f"<td>{delta.ratio:.3f}×</td>"
+                f"<td>{delta.margin:.0%}</td>"
+                f"<td>{_verdict_chip(delta.status)}</td></tr>")
+        note = ("<p class='note'>quick/full mode mismatch — not "
+                "like-for-like</p>" if report.mode_mismatch else "")
+        blocks.append(
+            f"<h3 class='mono'>{_esc(prev_name)} → {_esc(cur_name)}"
+            f"</h3>{note}<table><tr><th>scenario</th><th>prev t/s</th>"
+            f"<th>cur t/s</th><th>ratio</th><th>margin</th>"
+            f"<th>verdict</th></tr>{''.join(rows)}</table>")
+    return "".join(blocks)
+
+
+def _section_residuals(bench_docs: Sequence[Tuple[str, Dict]],
+                       campaigns: Sequence[Tuple[str, List[Dict]]]) -> str:
+    """§5.2 model residuals: measured bus load minus the prediction."""
+    by_np: Dict[int, List[Tuple[str, float]]] = {}
+    for file_name, doc in bench_docs:
+        metrics = doc.get("scenarios", {}) \
+            .get("table1-sweep", {}).get("metrics", {})
+        for key, value in sorted(metrics.items()):
+            if key.startswith("np") and key.endswith(".load_residual"):
+                processors = int(key[2:key.index(".")])
+                label = file_name.replace("BENCH_", "") \
+                    .replace(".json", "")
+                by_np.setdefault(processors, []).append((label, value))
+    rows = []
+    for processors in sorted(by_np):
+        cells = "".join(f"<td>{value:+.4f}</td>"
+                        for _, value in by_np[processors])
+        rows.append(f"<tr><td>{processors} CPU(s)</td>{cells}</tr>")
+    parts = []
+    if rows:
+        heads = "".join(f"<th>{_esc(label)}</th>"
+                        for label, _ in by_np[min(by_np)])
+        parts.append(
+            "<p class='sub'>measured bus load − analytic prediction at "
+            "the Table 1 operating points; positive means the model "
+            "underpredicts (the paper's §5.2 story)</p>"
+            f"<table><tr><th></th>{heads}</tr>{''.join(rows)}</table>")
+    sweep_rows = [
+        f"<tr><td>{_esc(name)}</td><td>{_esc(row['label'])}</td>"
+        f"<td>{row['result'].get('bus_load', 0.0):.4f}</td>"
+        f"<td>{row['result'].get('mean_tpi', 0.0):.3f}</td>"
+        f"<td>{row['result'].get('mean_miss_rate', 0.0):.4f}</td></tr>"
+        for name, ledger_rows in campaigns
+        for row in ledger_rows if row.get("kind") == "sweep"]
+    if sweep_rows:
+        parts.append(
+            "<h3>campaign sweep points</h3><table><tr><th>campaign</th>"
+            "<th>trial</th><th>bus load</th><th>TPI</th>"
+            "<th>miss rate</th></tr>" + "".join(sweep_rows) + "</table>")
+    return "".join(parts) or "<p class='note'>no residual data</p>"
+
+
+def _section_chaos(campaigns: Sequence[Tuple[str, List[Dict]]]) -> str:
+    rows = []
+    for name, ledger_rows in campaigns:
+        for row in ledger_rows:
+            if row.get("kind") != "chaos":
+                continue
+            result = row.get("result", {})
+            verdict = result.get("verdict", "?")
+            chip = ("<span class='chip good'>OK</span>"
+                    if verdict == "OK"
+                    else f"<span class='chip bad'>{_esc(verdict)}</span>")
+            for fault in result.get("faults", []):
+                injected = fault.get("injected_at")
+                detected = fault.get("detected_at")
+                recovered = fault.get("recovered_at")
+                detect = (detected - injected
+                          if None not in (injected, detected) else None)
+                recover = (recovered - detected
+                           if None not in (detected, recovered) else None)
+                rows.append(
+                    f"<tr><td>{_esc(name)}</td>"
+                    f"<td>{_esc(row.get('label', '?'))}</td>"
+                    f"<td>{_esc(fault.get('kind', '?'))}</td>"
+                    f"<td>{injected if injected is not None else '—'}</td>"
+                    f"<td>{detect if detect is not None else '—'}</td>"
+                    f"<td>{recover if recover is not None else '—'}</td>"
+                    f"<td>{_esc(fault.get('outcome', '?'))}</td>"
+                    f"<td>{chip}</td></tr>")
+    if not rows:
+        return ("<p class='note'>no chaos trials in the campaign "
+                "ledgers</p>")
+    return ("<p class='sub'>per injected fault: cycles to detect and "
+            "to recover (simulated time)</p>"
+            "<table><tr><th>campaign</th><th>scenario</th>"
+            "<th>fault</th><th>injected@</th><th>detect</th>"
+            "<th>recover</th><th>outcome</th><th>verdict</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _section_campaigns(campaigns: Sequence[Tuple[str, List[Dict]]]) -> str:
+    if not campaigns:
+        return "<p class='note'>no campaign ledgers in the store</p>"
+    blocks = []
+    for name, ledger_rows in campaigns:
+        counts: Dict[str, int] = {}
+        shas = sorted({str(row.get("git_sha"))[:12]
+                       for row in ledger_rows if row.get("git_sha")})
+        for row in ledger_rows:
+            counts[row.get("kind", "?")] = \
+                counts.get(row.get("kind", "?"), 0) + 1
+        summary = ", ".join(f"{counts[kind]} {kind}"
+                            for kind in sorted(counts)) or "empty"
+        blocks.append(
+            f"<div class='card'><h3>{_esc(name)}</h3>"
+            f"<p class='sub'>{len(ledger_rows)} completed trial(s): "
+            f"{_esc(summary)}</p>"
+            f"<p class='note mono'>git {_esc(', '.join(shas) or '?')}"
+            f"</p></div>")
+    return "<div class='grid'>" + "".join(blocks) + "</div>"
+
+
+# ---------------------------------------------------------------------------
+# the document
+
+
+def render_dashboard(bench_docs: Sequence[Tuple[str, Dict]],
+                     campaigns: Sequence[Tuple[str, List[Dict]]] = (),
+                     title: str = "Firefly regression observatory"
+                     ) -> str:
+    """The full dashboard HTML.
+
+    ``bench_docs`` are ``(file name, loaded BENCH document)`` in
+    trajectory order; ``campaigns`` are ``(campaign name, ledger
+    rows)``.  Output is deterministic for identical inputs.
+    """
+    bench_docs = list(bench_docs)
+    campaigns = list(campaigns)
+    shas = sorted({str(doc.get("provenance", {}).get("git_sha"))[:12]
+                   for _, doc in bench_docs
+                   if isinstance(doc.get("provenance"), dict)
+                   and doc["provenance"].get("git_sha")})
+    provenance = (f"revisions {', '.join(shas)}" if shas
+                  else "no provenance stamps (pre-PR-6 BENCH files)")
+    # --series-dark swap: cards set both custom properties; dark mode
+    # re-points --series at the dark step.
+    dark_swap = ("@media (prefers-color-scheme: dark) {"
+                 " :root:where(:not([data-theme=\"light\"]))"
+                 " .ffly .card { --series: var(--series-dark); } }\n"
+                 ":root[data-theme=\"dark\"] .ffly .card"
+                 " { --series: var(--series-dark); }")
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='sub'>{len(bench_docs)} BENCH file(s), "
+        f"{len(campaigns)} campaign ledger(s) · {_esc(provenance)}</p>",
+        "<h2>Performance trajectory (median ticks/s per scenario)</h2>",
+        _section_trajectory(bench_docs),
+        "<h2>Regression verdicts (noise-aware)</h2>",
+        _section_verdicts(bench_docs),
+        "<h2>Analytic-model divergence</h2>",
+        _section_residuals(bench_docs, campaigns),
+        "<h2>Chaos recovery ledger</h2>",
+        _section_chaos(campaigns),
+        "<h2>Campaigns</h2>",
+        _section_campaigns(campaigns),
+    ]
+    return ("<!DOCTYPE html>\n<html lang='en'>\n<head>\n"
+            "<meta charset='utf-8'>\n"
+            "<meta name='viewport' "
+            "content='width=device-width, initial-scale=1'>\n"
+            f"<title>{_esc(title)}</title>\n"
+            f"<style>{_CSS}{dark_swap}</style>\n"
+            "</head>\n<body class='ffly'>\n"
+            + "\n".join(sections)
+            + "\n</body>\n</html>\n")

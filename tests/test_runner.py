@@ -10,7 +10,11 @@ traceback.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import signal
+import threading
+import time
 
 import pytest
 
@@ -43,6 +47,11 @@ def _die_on_two(spec):
     return spec
 
 
+def _slow_square(spec):
+    time.sleep(20)
+    return spec * spec
+
+
 class TestRunOrdered:
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_results_in_spec_order(self, jobs):
@@ -71,6 +80,72 @@ class TestRunOrdered:
                         describe=lambda s: f"(chaos-y, seed {s})")
         assert "seed" in str(exc.value)
         assert "worker process died" in str(exc.value)
+
+
+class TestOnResult:
+    """The ``on_result`` streaming callback: delivered in spec order on
+    both paths, and every completed-before-the-failure trial is seen
+    even when a later trial raises — the hook the campaign ledger's
+    resume guarantee stands on."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_callback_runs_in_spec_order(self, jobs):
+        seen = []
+        results = run_ordered(
+            list(range(8)), _square, jobs=jobs,
+            on_result=lambda spec, result: seen.append((spec, result)))
+        assert seen == [(n, n * n) for n in range(8)]
+        assert results == [n * n for n in range(8)]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_completed_trials_delivered_before_failure(self, jobs):
+        seen = []
+        with pytest.raises(TrialFailure):
+            run_ordered([1, 2, 3, 4], _fail_on_three, jobs=jobs,
+                        on_result=lambda spec, result:
+                        seen.append(spec))
+        assert seen == [1, 2]
+
+    def test_callback_exception_propagates(self):
+        def boom(spec, result):
+            raise RuntimeError("ledger disk full")
+
+        with pytest.raises(RuntimeError, match="ledger disk full"):
+            run_ordered([1, 2], _square, jobs=1, on_result=boom)
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_terminates_workers(self):
+        """Ctrl-C mid-campaign must kill the worker pool, not leak
+        processes that keep simulating (the pre-fix behaviour:
+        ``shutdown(cancel_futures=True)`` cancels *queued* futures but
+        lets running workers finish their 20-second trials).
+
+        The timer delivers a real SIGINT to this process while four
+        workers are mid-trial; the assertions are that KeyboardInterrupt
+        propagates (no swallowing) and every child is reaped within a
+        bounded, much-shorter-than-a-trial window.
+        """
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("active_children introspection needs fork")
+        before = set(multiprocessing.active_children())
+        timer = threading.Timer(
+            1.0, lambda: os.kill(os.getpid(), signal.SIGINT))
+        timer.start()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                run_ordered(list(range(8)), _slow_square, jobs=4)
+        finally:
+            timer.cancel()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            leaked = [child
+                      for child in multiprocessing.active_children()
+                      if child not in before and child.is_alive()]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"leaked workers: {leaked}"
 
 
 SWEEP_KW = dict(processor_counts=[1, 2], seeds=[1987, 1988],
