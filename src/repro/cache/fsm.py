@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bus.mbus import MBus
 from repro.cache.cache import CacheGeometry, SnoopyCache
 from repro.cache.line import LineState
-from repro.cache.protocols import protocol_by_name
+from repro.cache.protocols import PROTOCOL_FACTS, protocol_by_name
 from repro.common.errors import ConfigurationError
 from repro.common.events import Simulator
 from repro.common.types import AccessKind, BusOp, MemRef
@@ -31,26 +31,14 @@ from repro.memory.main_memory import MainMemory, MemoryModule
 
 #: States each protocol's lines can occupy (besides INVALID), and the
 #: state a *peer* cache naturally holds when it shares the line.
+#: Generated from the DSL definitions' facts tables — these used to be
+#: hand-maintained dictionaries that every new protocol had to edit.
 PROTOCOL_STATES: Dict[str, Tuple[LineState, ...]] = {
-    "firefly": (LineState.VALID, LineState.DIRTY, LineState.SHARED,
-                LineState.SHARED_DIRTY),
-    "dragon": (LineState.VALID, LineState.DIRTY, LineState.SHARED,
-               LineState.SHARED_DIRTY),
-    "mesi": (LineState.VALID, LineState.DIRTY, LineState.SHARED),
-    "berkeley": (LineState.VALID, LineState.OWNED, LineState.OWNED_SHARED),
-    "synapse": (LineState.VALID, LineState.DIRTY),
-    "write-once": (LineState.VALID, LineState.RESERVED, LineState.DIRTY),
-    "write-through": (LineState.VALID,),
+    name: facts.states for name, facts in PROTOCOL_FACTS.items()
 }
 
 PEER_COSTATE: Dict[str, LineState] = {
-    "firefly": LineState.SHARED,
-    "dragon": LineState.SHARED,
-    "mesi": LineState.SHARED,
-    "berkeley": LineState.VALID,
-    "synapse": LineState.VALID,
-    "write-once": LineState.VALID,
-    "write-through": LineState.VALID,
+    name: facts.peer_costate for name, facts in PROTOCOL_FACTS.items()
 }
 
 

@@ -1,0 +1,98 @@
+"""A BedRock-style directory protocol family member (MSI), in the DSL.
+
+"The BlackParrot BedRock Cache Coherence System" (PAPERS.md) describes
+a *directory-based* MSI/MESI/MOESI family in which a central coherence
+engine serialises requests and sends directed commands (invalidations,
+write-back demands, data grants) to the caches holding a line — there
+is no broadcast snooping and no MShared-style combined response.
+
+This definition expresses the family's base MSI member in the same
+guarded-action vocabulary as the snoopy protocols, demonstrating that
+the DSL is not snoopy-specific.  The MBus stands in for the directory's
+serialisation point, and each bus operation models the corresponding
+directed command arriving at a cache (``MReadEx`` a read-with-
+invalidate, ``MInvalidate`` an upgrade, an observed ``MWrite`` a
+write-back notification):
+
+- There is no exclusive-clean state and the combined response is never
+  consulted: a fill is ``SHARED`` whether or not other copies exist,
+  exactly as a BedRock S-grant.
+- A dirty holder answering a read demotes to ``SHARED`` and the data
+  is written back to the home node in the same transaction
+  (``write_back=True``) — BedRock's downgrade-with-writeback command.
+- Writing a shared line requires an upgrade (invalidate) round trip.
+
+State mapping: M = ``DIRTY``, S = ``SHARED``, I = ``INVALID``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
+from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    AcquireThenWrite,
+    Goto,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    TakeData,
+    WriteHitRule,
+    WriteMissRule,
+)
+
+BEDROCK = ProtocolDef(
+    name="bedrock",
+    states=(LineState.SHARED, LineState.DIRTY),
+    peer_costate=LineState.SHARED,
+    # Every read fill is an S-grant; the directory does not reveal
+    # whether other sharers exist.
+    read_miss=ReadMissRule(shared_state=LineState.SHARED,
+                           exclusive_state=LineState.SHARED),
+    write_hit=(
+        WriteHitRule(frozenset({LineState.DIRTY}), SilentWrite()),
+        # Upgrade: ask the directory to invalidate the other sharers.
+        WriteHitRule(frozenset({LineState.SHARED}),
+                     AcquireThenWrite(next_state=LineState.DIRTY,
+                                      counter="invalidations_sent")),
+    ),
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.DIRTY)),),
+    snoop=(
+        # Downgrade-with-writeback: supply, home node is updated in the
+        # same transaction, keep a clean shared copy.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.SHARED), supply=True, write_back=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.SHARED}), Stay()),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.DIRTY}),
+                  Invalidate(), supply=True, write_back=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.SHARED}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.SHARED, LineState.DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+        # A write-back notification (another cache's victim, or DMA):
+        # the home node now holds the data; refresh as a clean sharer.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.SHARED, LineState.DIRTY}),
+                  TakeData(LineState.SHARED)),
+    ),
+    silent_write_states=frozenset({LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    # No exclusive-clean state exists; a post-DMA resident copy is a
+    # plain sharer either way.
+    dma_shared_state=LineState.SHARED,
+    dma_exclusive_state=LineState.SHARED,
+)
+
+
+class BedrockProtocol(DSLProtocol):
+    """Directory-style MSI: S-grants, upgrades, downgrade-writebacks."""
+
+    definition = BEDROCK

@@ -20,89 +20,78 @@ protocol-comparison ablation (A2 in DESIGN.md) demonstrates.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import CoherenceProtocol, _line_data
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    AcquireThenWrite,
+    Goto,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    TakeData,
+    WriteHitRule,
+    WriteMissRule,
+)
+
+BERKELEY = ProtocolDef(
+    name="berkeley",
+    states=(LineState.VALID, LineState.OWNED, LineState.OWNED_SHARED),
+    peer_costate=LineState.VALID,
+    # A plain read never confers ownership.
+    read_miss=ReadMissRule(shared_state=LineState.VALID,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        # Already the exclusive owner: silent, stays OWNED.
+        WriteHitRule(frozenset({LineState.OWNED}), SilentWrite()),
+        # VALID or OWNED_SHARED: must (re)claim exclusive ownership.
+        WriteHitRule(frozenset({LineState.VALID, LineState.OWNED_SHARED}),
+                     AcquireThenWrite(next_state=LineState.OWNED,
+                                      counter="invalidations_sent")),
+    ),
+    # Read-for-ownership: fetches the data and invalidates all copies.
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.OWNED)),),
+    snoop=(
+        # Owners supply the data; memory is NOT updated (no
+        # write_back), and this cache remains the owner.
+        SnoopRule(BusOp.MREAD,
+                  frozenset({LineState.OWNED, LineState.OWNED_SHARED}),
+                  Goto(LineState.OWNED_SHARED), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}), Stay()),
+        SnoopRule(BusOp.MREAD_EX,
+                  frozenset({LineState.OWNED, LineState.OWNED_SHARED}),
+                  Invalidate(), supply=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.VALID}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.VALID, LineState.OWNED,
+                             LineState.OWNED_SHARED}),
+                  Invalidate(), counter="invalidations_received"),
+        # Victim write-back from another cache, or a DMA write: the
+        # bus transaction updates memory, so our copy refreshes and
+        # any ownership we held is now redundant — demote to VALID.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.OWNED,
+                             LineState.OWNED_SHARED}),
+                  TakeData(LineState.VALID)),
+    ),
+    silent_write_states=frozenset({LineState.OWNED}),
+    # A silent write hit (already OWNED) stays OWNED.
+    silent_write_result=None,
+    # Berkeley's unowned clean state is VALID regardless of sharers.
+    dma_shared_state=LineState.VALID,
+    dma_exclusive_state=LineState.VALID,
+)
 
 
-class BerkeleyProtocol(CoherenceProtocol):
+class BerkeleyProtocol(DSLProtocol):
     """Ownership with invalidation; no memory update on transfers."""
 
-    name = "berkeley"
-    silent_write_states = frozenset({LineState.OWNED})
-    # A silent write hit (already OWNED) stays OWNED.
-    silent_write_result = None
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
-        data = _line_data(txn, cache.geometry.words_per_line)
-        # A plain read never confers ownership.
-        line.fill(tag, data, LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if line.state is not LineState.OWNED:
-            # VALID or OWNED_SHARED: must (re)claim exclusive ownership.
-            cache.stats.incr("invalidations_sent")
-            tag = line.tag
-            line_address = cache.geometry.rebuild_address(index, tag)
-            yield from cache.bus_op(BusOp.MINVALIDATE, line_address)
-            if not (line.valid and line.tag == tag):
-                # A competing owner's invalidation serialised first; our
-                # copy is gone, so this is now a write miss.
-                yield from self.write_miss(cache, line, index, tag, offset,
-                                           value, partial=False)
-                return
-            line.state = LineState.OWNED
-        line.data[offset] = value
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        # Read-for-ownership: fetches the data and invalidates all copies.
-        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
-        data = list(_line_data(txn, cache.geometry.words_per_line))
-        data[offset] = value
-        line.fill(tag, tuple(data), LineState.OWNED)
-
-    def resident_after_dma_write(self, shared_response: bool) -> LineState:
-        # Berkeley's unowned clean state is VALID regardless of sharers.
-        return LineState.VALID
-
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        owned = line.state in (LineState.OWNED, LineState.OWNED_SHARED)
-        if op is BusOp.MREAD:
-            if owned:
-                # Supply the data; memory is NOT updated (no write_back),
-                # and this cache remains the owner.
-                line.state = LineState.OWNED_SHARED
-                return SnoopResult(shared=True, data=line.snapshot())
-            return SnoopResult(shared=True)
-        if op is BusOp.MREAD_EX:
-            result = SnoopResult(shared=True,
-                                 data=line.snapshot() if owned else None)
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return result
-        if op is BusOp.MINVALIDATE:
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return SnoopResult(shared=True)
-        if op is BusOp.MWRITE:
-            # Victim write-back from another cache, or a DMA write: the
-            # bus transaction updates memory, so our copy refreshes and
-            # any ownership we held is now redundant — demote to VALID.
-            line.data[:] = data
-            line.state = LineState.VALID
-            return SnoopResult(shared=True)
-        raise ProtocolError(f"Berkeley cache snooped unknown bus op {op}")
+    definition = BERKELEY

@@ -5,9 +5,10 @@ like the Firefly, updates other caches on writes to shared lines
 instead of invalidating them.  The difference is what happens to main
 memory on a shared write: the Firefly writes through (the line ends up
 clean everywhere), while the Dragon broadcasts the update to caches
-*only* — memory stays stale, and the most recent writer remains the
-line's owner (``SHARED_DIRTY``, Dragon's *Sm*), responsible for
-supplying future readers and for the eventual victim write-back.
+*only* (``update_memory=False``) — memory stays stale, and the most
+recent writer remains the line's owner (``SHARED_DIRTY``, Dragon's
+*Sm*), responsible for supplying future readers and for the eventual
+victim write-back.
 
 State mapping onto :class:`~repro.cache.line.LineState`:
 
@@ -23,71 +24,69 @@ M        ``DIRTY``            modified exclusive
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import CoherenceProtocol, merged_payload
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    Goto,
+    ProtocolDef,
+    ReadMissRule,
+    ReadThenWrite,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    TakeData,
+    WriteHitRule,
+    WriteMissRule,
+    WriteThrough,
+)
+
+DRAGON = ProtocolDef(
+    name="dragon",
+    states=(LineState.VALID, LineState.DIRTY, LineState.SHARED,
+            LineState.SHARED_DIRTY),
+    peer_costate=LineState.SHARED,
+    read_miss=ReadMissRule(shared_state=LineState.SHARED,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        WriteHitRule(frozenset({LineState.VALID, LineState.DIRTY}),
+                     SilentWrite(LineState.DIRTY)),
+        # Shared: broadcast the update to the other caches.  Memory is
+        # NOT updated; we become/remain the owner.
+        WriteHitRule(frozenset({LineState.SHARED, LineState.SHARED_DIRTY}),
+                     WriteThrough(counter="bus_updates",
+                                  shared_state=LineState.SHARED_DIRTY,
+                                  exclusive_state=LineState.DIRTY,
+                                  update_memory=False)),
+    ),
+    # Dragon has no write-miss shortcut: read the line (learning
+    # whether it is shared), then apply the write-hit logic.
+    write_miss=(WriteMissRule(GUARD_ALWAYS, ReadThenWrite()),),
+    snoop=(
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.SHARED_DIRTY), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.SHARED_DIRTY}),
+                  Stay(), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}),
+                  Goto(LineState.SHARED)),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.SHARED}), Stay()),
+        # An update broadcast from the new owner, a victim write, or a
+        # DMA write.  Take the data; the writer (or memory) now holds
+        # responsibility, so we are a clean sharer.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED, LineState.SHARED_DIRTY}),
+                  TakeData(LineState.SHARED)),
+    ),
+    silent_write_states=frozenset({LineState.VALID, LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    dma_shared_state=LineState.SHARED,
+    dma_exclusive_state=LineState.VALID,
+)
 
 
-class DragonProtocol(CoherenceProtocol):
+class DragonProtocol(DSLProtocol):
     """Write-update with owner-held dirty data (memory not updated)."""
 
-    name = "dragon"
-    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        data = yield from self.fill_from_read(
-            cache, line, index, tag,
-            shared_state=LineState.SHARED,
-            exclusive_state=LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if not line.state.is_shared:
-            line.data[offset] = value
-            line.state = LineState.DIRTY
-            return
-        # Shared: broadcast the update to the other caches.  Memory is
-        # NOT updated (update_memory=False); we become/remain the owner.
-        # The copy updates at grant time (merged_payload) so this cache
-        # never answers a read with a value other sharers lack.
-        cache.stats.incr("bus_updates")
-        line_address = cache.geometry.rebuild_address(index, line.tag)
-        txn = yield from cache.bus_op(
-            BusOp.MWRITE, line_address,
-            data=merged_payload(line, offset, value),
-            update_memory=False)
-        line.state = (LineState.SHARED_DIRTY if txn.shared_response
-                      else LineState.DIRTY)
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        # Dragon has no write-miss shortcut: read the line (learning
-        # whether it is shared), then apply the write-hit logic.
-        yield from self.read_miss(cache, line, index, tag, offset)
-        yield from self.write_hit(cache, line, index, offset, value)
-
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            if line.state is LineState.DIRTY:
-                line.state = LineState.SHARED_DIRTY
-                return SnoopResult(shared=True, data=line.snapshot())
-            if line.state is LineState.SHARED_DIRTY:
-                return SnoopResult(shared=True, data=line.snapshot())
-            if line.state is LineState.VALID:
-                line.state = LineState.SHARED
-            return SnoopResult(shared=True)
-        if op is BusOp.MWRITE:
-            # An update broadcast from the new owner, a victim write, or
-            # a DMA write.  Take the data; the writer (or memory) now
-            # holds responsibility, so we are a clean sharer.
-            line.data[:] = data
-            line.state = LineState.SHARED
-            return SnoopResult(shared=True)
-        raise ProtocolError(f"Dragon cache snooped foreign bus op {op}")
+    definition = DRAGON

@@ -28,97 +28,88 @@ The longword write-miss optimisation: with one-longword lines, an
 aligned full-word write miss skips the read-for-allocate and simply
 writes through, allocating the line clean with Shared set from the
 response.  Sub-longword (``partial``) writes, and any geometry with
-multi-word lines, take the read-miss-then-write-hit path instead.
+multi-word lines, take the read-miss-then-write-hit path instead —
+the definition's two write-miss guards.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import CoherenceProtocol, merged_payload
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALIGNED_LONGWORD,
+    GUARD_NOT_ALIGNED_LONGWORD,
+    Goto,
+    ProtocolDef,
+    ReadMissRule,
+    ReadThenWrite,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    TakeData,
+    WriteAllocate,
+    WriteHitRule,
+    WriteMissRule,
+    WriteThrough,
+)
 
-
-class FireflyProtocol(CoherenceProtocol):
-    """Conditional write-through with bus-update of shared lines."""
-
-    name = "firefly"
-    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
-
-    # -- processor side ------------------------------------------------
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        data = yield from self.fill_from_read(
-            cache, line, index, tag,
-            shared_state=LineState.SHARED,
-            exclusive_state=LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if not line.state.is_shared:
-            # Private line: pure write-back, no bus traffic.
-            line.data[offset] = value
-            line.state = LineState.DIRTY
-            return
-        # Shared line: conditional write-through.  The response tells us
+FIREFLY = ProtocolDef(
+    name="firefly",
+    states=(LineState.VALID, LineState.DIRTY, LineState.SHARED,
+            LineState.SHARED_DIRTY),
+    peer_costate=LineState.SHARED,
+    # MRead; MShared picks clean-shared vs clean-exclusive.
+    read_miss=ReadMissRule(shared_state=LineState.SHARED,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        # Private line: pure write-back, no bus traffic.
+        WriteHitRule(frozenset({LineState.VALID, LineState.DIRTY}),
+                     SilentWrite(LineState.DIRTY)),
+        # Shared line: conditional write-through.  The response says
         # whether anyone still shares it; if not, revert to write-back.
-        #
-        # The cached copy is NOT updated until the transaction is
-        # granted (merged_payload applies the word then): updating it
-        # eagerly would let this cache answer an intervening bus read
-        # with a value the other sharers do not yet have — two sharers
-        # driving different data, which the hardware forbids.  The CPU
-        # is stalled for the write-through anyway, so it cannot observe
-        # its own store's delay.
-        cache.stats.incr("write_throughs")
-        line_address = cache.geometry.rebuild_address(index, line.tag)
-        txn = yield from cache.bus_op(
-            BusOp.MWRITE, line_address,
-            data=merged_payload(line, offset, value))
-        line.state = (LineState.SHARED if txn.shared_response
-                      else LineState.VALID)
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        if partial or cache.geometry.words_per_line != 1:
-            # "A write miss is treated as a read miss followed
-            # immediately by a write hit."
-            yield from self.read_miss(cache, line, index, tag, offset)
-            yield from self.write_hit(cache, line, index, offset, value)
-            return
+        WriteHitRule(frozenset({LineState.SHARED, LineState.SHARED_DIRTY}),
+                     WriteThrough(counter="write_throughs",
+                                  shared_state=LineState.SHARED,
+                                  exclusive_state=LineState.VALID)),
+    ),
+    write_miss=(
         # Aligned-longword optimisation: write through directly, leaving
         # the line clean; Shared comes from the MShared response.
-        yield from self.victimize(cache, line, index)
-        cache.stats.incr("write_throughs")
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MWRITE, line_address,
-                                      data=(value,))
-        state = LineState.SHARED if txn.shared_response else LineState.VALID
-        line.fill(tag, (value,), state)
+        WriteMissRule(GUARD_ALIGNED_LONGWORD,
+                      WriteAllocate(counter="write_throughs",
+                                    shared_state=LineState.SHARED,
+                                    exclusive_state=LineState.VALID)),
+        # "A write miss is treated as a read miss followed immediately
+        # by a write hit."
+        WriteMissRule(GUARD_NOT_ALIGNED_LONGWORD, ReadThenWrite()),
+    ),
+    snoop=(
+        # Assert MShared and supply the data (memory is inhibited).
+        # Every holder drives identical values, clean or dirty.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}),
+                  Goto(LineState.SHARED), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.SHARED_DIRTY), supply=True),
+        SnoopRule(BusOp.MREAD,
+                  frozenset({LineState.SHARED, LineState.SHARED_DIRTY}),
+                  Stay(), supply=True),
+        # Another cache's write-through or victim write, or a DMA
+        # write: take the data.  Main memory is updated by the same
+        # transaction, so the copy is clean afterwards.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED, LineState.SHARED_DIRTY}),
+                  TakeData(LineState.SHARED)),
+    ),
+    silent_write_states=frozenset({LineState.VALID, LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    dma_shared_state=LineState.SHARED,
+    dma_exclusive_state=LineState.VALID,
+)
 
-    # -- bus side ---------------------------------------------------------
 
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            # Assert MShared and supply the data (memory is inhibited).
-            # Every holder drives identical values, clean or dirty.
-            if line.state is LineState.VALID:
-                line.state = LineState.SHARED
-            elif line.state is LineState.DIRTY:
-                line.state = LineState.SHARED_DIRTY
-            return SnoopResult(shared=True, data=line.snapshot())
-        if op is BusOp.MWRITE:
-            # Another cache's write-through or victim write, or a DMA
-            # write: take the data.  Main memory is updated by the same
-            # transaction, so the copy is clean afterwards.
-            line.data[:] = data
-            line.state = LineState.SHARED
-            return SnoopResult(shared=True)
-        raise ProtocolError(
-            f"Firefly cache snooped foreign bus op {op} at {line_address:#x}")
+class FireflyProtocol(DSLProtocol):
+    """Conditional write-through with bus-update of shared lines."""
+
+    definition = FIREFLY

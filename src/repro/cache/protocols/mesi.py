@@ -3,9 +3,9 @@
 From the Archibald & Baer survey the paper cites.  Writes to shared
 lines invalidate every other copy; a modified holder answering a bus
 read supplies the data and the bus *snarfs* it into main memory in the
-same transaction (``SnoopResult.write_back``), after which the holder
-demotes to ``SHARED`` — unlike the Firefly, which inhibits memory and
-keeps the dirty copy.
+same transaction (``write_back=True``), after which the holder demotes
+to ``SHARED`` — unlike the Firefly, which inhibits memory and keeps
+the dirty copy.
 
 State mapping: M = ``DIRTY``, E = ``VALID``, S = ``SHARED``,
 I = ``INVALID``.  Illinois-style clean cache-to-cache supply is
@@ -14,83 +14,75 @@ modelled: clean holders also drive read data (it equals memory's).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import CoherenceProtocol, _line_data
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    AcquireThenWrite,
+    Goto,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    TakeData,
+    WriteHitRule,
+    WriteMissRule,
+)
+
+MESI = ProtocolDef(
+    name="mesi",
+    states=(LineState.VALID, LineState.DIRTY, LineState.SHARED),
+    peer_costate=LineState.SHARED,
+    read_miss=ReadMissRule(shared_state=LineState.SHARED,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        WriteHitRule(frozenset({LineState.VALID, LineState.DIRTY}),
+                     SilentWrite(LineState.DIRTY)),
+        # Shared: claim exclusivity with an MInvalidate first.
+        WriteHitRule(frozenset({LineState.SHARED}),
+                     AcquireThenWrite(next_state=LineState.DIRTY,
+                                      counter="invalidations_sent")),
+    ),
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.DIRTY)),),
+    snoop=(
+        # Supply and let the bus snarf the data into memory; we keep a
+        # now-clean shared copy.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.SHARED), supply=True, write_back=True),
+        # Illinois: clean holders also supply (identical to memory).
+        SnoopRule(BusOp.MREAD,
+                  frozenset({LineState.VALID, LineState.SHARED}),
+                  Goto(LineState.SHARED), supply=True),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.DIRTY}),
+                  Invalidate(), supply=True, write_back=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX,
+                  frozenset({LineState.VALID, LineState.SHARED}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED}),
+                  Invalidate(), counter="invalidations_received"),
+        # Only DMA writes can hit a MESI snooper (victim writes come
+        # from exclusive holders).  Memory is updated by the same
+        # transaction; refresh the copy and demote to shared-clean.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED}),
+                  TakeData(LineState.SHARED)),
+    ),
+    silent_write_states=frozenset({LineState.VALID, LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    dma_shared_state=LineState.SHARED,
+    dma_exclusive_state=LineState.VALID,
+)
 
 
-class MesiProtocol(CoherenceProtocol):
+class MesiProtocol(DSLProtocol):
     """Write-invalidate, write-back, with exclusive-clean state."""
 
-    name = "mesi"
-    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        data = yield from self.fill_from_read(
-            cache, line, index, tag,
-            shared_state=LineState.SHARED,
-            exclusive_state=LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if line.state is LineState.SHARED:
-            cache.stats.incr("invalidations_sent")
-            tag = line.tag
-            line_address = cache.geometry.rebuild_address(index, tag)
-            yield from cache.bus_op(BusOp.MINVALIDATE, line_address)
-            if not (line.valid and line.tag == tag):
-                # A competing writer's invalidation serialised first.
-                yield from self.write_miss(cache, line, index, tag, offset,
-                                           value, partial=False)
-                return
-        line.data[offset] = value
-        line.state = LineState.DIRTY
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
-        data = list(_line_data(txn, cache.geometry.words_per_line))
-        data[offset] = value
-        line.fill(tag, tuple(data), LineState.DIRTY)
-
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            if line.state is LineState.DIRTY:
-                # Supply and let the bus snarf the data into memory;
-                # we keep a now-clean shared copy.
-                result = SnoopResult(shared=True, data=line.snapshot(),
-                                     write_back=True)
-                line.state = LineState.SHARED
-                return result
-            # Illinois: clean holders also supply (identical to memory).
-            line.state = LineState.SHARED
-            return SnoopResult(shared=True, data=line.snapshot())
-        if op is BusOp.MREAD_EX:
-            result = SnoopResult(
-                shared=True,
-                data=line.snapshot() if line.state.is_dirty else None,
-                write_back=line.state.is_dirty)
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return result
-        if op is BusOp.MINVALIDATE:
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return SnoopResult(shared=True)
-        if op is BusOp.MWRITE:
-            # Only DMA writes can hit a MESI snooper (victim writes come
-            # from exclusive holders).  Memory is updated by the same
-            # transaction; refresh the copy and demote to shared-clean.
-            line.data[:] = data
-            line.state = LineState.SHARED
-            return SnoopResult(shared=True)
-        raise ProtocolError(f"MESI cache snooped unknown bus op {op}")
+    definition = MESI

@@ -1,0 +1,97 @@
+"""MOESI: MESI plus an owned-shared state (AMD/SPARC style).
+
+The first protocol added purely as a DSL definition — no imperative
+code, no ``SnoopyCache`` changes.  MOESI extends MESI with an *Owned*
+state: a modified holder answering a bus read keeps the dirty data and
+becomes the line's owner instead of pushing it back to memory (the
+Berkeley move), so read sharing of a written line costs one bus
+transfer instead of a transfer plus a memory update.  The owner
+supplies subsequent readers and performs the eventual victim
+write-back.
+
+State mapping: M = ``DIRTY``, O = ``SHARED_DIRTY``, E = ``VALID``,
+S = ``SHARED``, I = ``INVALID``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
+from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    AcquireThenWrite,
+    Goto,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    TakeData,
+    WriteHitRule,
+    WriteMissRule,
+)
+
+MOESI = ProtocolDef(
+    name="moesi",
+    states=(LineState.VALID, LineState.DIRTY, LineState.SHARED,
+            LineState.SHARED_DIRTY),
+    peer_costate=LineState.SHARED,
+    read_miss=ReadMissRule(shared_state=LineState.SHARED,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        WriteHitRule(frozenset({LineState.VALID, LineState.DIRTY}),
+                     SilentWrite(LineState.DIRTY)),
+        # Shared (owner or not): invalidate the other copies, then
+        # write locally — the line becomes modified-exclusive.
+        WriteHitRule(frozenset({LineState.SHARED, LineState.SHARED_DIRTY}),
+                     AcquireThenWrite(next_state=LineState.DIRTY,
+                                      counter="invalidations_sent")),
+    ),
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.DIRTY)),),
+    snoop=(
+        # The MOESI move: supply without a memory update and keep the
+        # dirty data as the owner.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.SHARED_DIRTY), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.SHARED_DIRTY}),
+                  Stay(), supply=True),
+        # Clean holders supply too (Illinois-style; equals memory).
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}),
+                  Goto(LineState.SHARED), supply=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.SHARED}),
+                  Stay(), supply=True),
+        # Read-for-ownership: the requester fills dirty, so a dirty
+        # holder hands over without a memory update.
+        SnoopRule(BusOp.MREAD_EX,
+                  frozenset({LineState.DIRTY, LineState.SHARED_DIRTY}),
+                  Invalidate(), supply=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX,
+                  frozenset({LineState.VALID, LineState.SHARED}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED, LineState.SHARED_DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+        # A victim write-back or DMA write updates memory; everyone
+        # left holding the line is a clean sharer.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.DIRTY,
+                             LineState.SHARED, LineState.SHARED_DIRTY}),
+                  TakeData(LineState.SHARED)),
+    ),
+    silent_write_states=frozenset({LineState.VALID, LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    dma_shared_state=LineState.SHARED,
+    dma_exclusive_state=LineState.VALID,
+)
+
+
+class MoesiProtocol(DSLProtocol):
+    """MESI plus owner-held dirty sharing (no memory update on supply)."""
+
+    definition = MOESI

@@ -9,7 +9,8 @@ line entirely: it writes the data back and invalidates, rather than
 demoting to a shared state the way Illinois/MESI does.  There is no
 shared-clean/exclusive-clean distinction — a single Valid state covers
 every clean copy — so a write hit on a clean line cannot tell whether
-other copies exist and must always re-fetch with a read-exclusive.
+other copies exist and must always re-fetch with a read-exclusive
+(the ``AsWriteMiss`` rule).
 
 State mapping: Invalid = ``INVALID``, Valid = ``VALID``,
 Dirty = ``DIRTY``.
@@ -21,86 +22,74 @@ surrender forces it to reload the line if it is referenced again.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import CoherenceProtocol, _line_data
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    AsWriteMiss,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    WriteHitRule,
+    WriteMissRule,
+)
 
-
-class SynapseProtocol(CoherenceProtocol):
-    """Ownership-before-write; dirty holders surrender on bus reads."""
-
-    name = "synapse"
-    silent_write_states = frozenset({LineState.DIRTY})
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
-        data = _line_data(txn, cache.geometry.words_per_line)
-        # One undifferentiated Valid state, shared or not: Synapse has
-        # no MShared-style wire, so the response cannot be consulted.
-        line.fill(tag, data, LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if line.state is LineState.DIRTY:
-            # Already the owner: pure write-back, no bus traffic.
-            line.data[offset] = value
-            return
+SYNAPSE = ProtocolDef(
+    name="synapse",
+    states=(LineState.VALID, LineState.DIRTY),
+    peer_costate=LineState.VALID,
+    # One undifferentiated Valid state, shared or not: Synapse has no
+    # MShared-style wire, so the response cannot be consulted.
+    read_miss=ReadMissRule(shared_state=LineState.VALID,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        # Already the owner: pure write-back, no bus traffic.
+        WriteHitRule(frozenset({LineState.DIRTY}), SilentWrite()),
         # Valid (clean) hit: ownership must be acquired first, and the
         # cached copy cannot be trusted to be unique — re-fetch with a
         # read-exclusive exactly as a write miss would.
-        tag = line.tag
-        yield from self.write_miss(cache, line, index, tag, offset, value,
-                                   partial=False)
+        WriteHitRule(frozenset({LineState.VALID}), AsWriteMiss()),
+    ),
+    # Read-for-ownership: fetches the line and invalidates all copies.
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.DIRTY)),),
+    snoop=(
+        # Total surrender: supply the data, let the bus snarf it into
+        # memory, and drop the line (no shared-dirty state).
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Invalidate(), supply=True, write_back=True,
+                  counter="surrenders"),
+        # Clean holders keep their copies; memory supplies the data.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}), Stay()),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.DIRTY}),
+                  Invalidate(), supply=True, write_back=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.VALID}),
+                  Invalidate(), counter="invalidations_received"),
+        # Another cache's victim write-back or a DMA write: memory is
+        # updated by the transaction and the ownership bit moves with
+        # it, so our copy is stale — invalidate.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.VALID, LineState.DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+    ),
+    silent_write_states=frozenset({LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    # Synapse's single clean state already means "possibly shared".
+    dma_shared_state=LineState.VALID,
+    dma_exclusive_state=LineState.VALID,
+)
 
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        # Read-for-ownership: fetches the line and invalidates all copies.
-        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
-        data = list(_line_data(txn, cache.geometry.words_per_line))
-        data[offset] = value
-        line.fill(tag, tuple(data), LineState.DIRTY)
 
-    def resident_after_dma_write(self, shared_response: bool) -> LineState:
-        # Synapse's single clean state already means "possibly shared".
-        return LineState.VALID
+class SynapseProtocol(DSLProtocol):
+    """Ownership-before-write; dirty holders surrender on bus reads."""
 
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            if line.state is LineState.DIRTY:
-                # Total surrender: supply the data, let the bus snarf it
-                # into memory, and drop the line (no shared-dirty state).
-                result = SnoopResult(shared=True, data=line.snapshot(),
-                                     write_back=True)
-                cache.stats.incr("surrenders")
-                line.invalidate()
-                return result
-            # Clean holders keep their copies; memory supplies the data.
-            return SnoopResult(shared=True)
-        if op is BusOp.MREAD_EX:
-            result = SnoopResult(
-                shared=True,
-                data=line.snapshot() if line.state is LineState.DIRTY
-                else None,
-                write_back=line.state is LineState.DIRTY)
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return result
-        if op in (BusOp.MWRITE, BusOp.MINVALIDATE):
-            # Another cache's victim write-back or a DMA write: memory is
-            # updated by the transaction and the ownership bit moves with
-            # it, so our copy is stale — invalidate.
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return SnoopResult(shared=True)
-        raise ProtocolError(f"Synapse cache snooped unknown bus op {op}")
+    definition = SYNAPSE

@@ -11,92 +11,78 @@ Reserved = ``RESERVED``, Dirty = ``DIRTY``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import (
-    CoherenceProtocol,
-    _line_data,
-    merged_payload,
-)
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    Goto,
+    Invalidate,
+    ProtocolDef,
+    ReadForOwnership,
+    ReadMissRule,
+    SilentWrite,
+    SnoopRule,
+    Stay,
+    WriteHitRule,
+    WriteMissRule,
+    WriteThrough,
+)
+
+WRITE_ONCE = ProtocolDef(
+    name="write-once",
+    states=(LineState.VALID, LineState.RESERVED, LineState.DIRTY),
+    peer_costate=LineState.VALID,
+    read_miss=ReadMissRule(shared_state=LineState.VALID,
+                           exclusive_state=LineState.VALID),
+    write_hit=(
+        # RESERVED or DIRTY: local, write-back from here on.
+        WriteHitRule(frozenset({LineState.RESERVED, LineState.DIRTY}),
+                     SilentWrite(LineState.DIRTY)),
+        # The once: write through, invalidating other copies; the
+        # MShared response is not consulted (RESERVED either way).
+        WriteHitRule(frozenset({LineState.VALID}),
+                     WriteThrough(counter="write_throughs",
+                                  shared_state=LineState.RESERVED,
+                                  exclusive_state=LineState.RESERVED)),
+    ),
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, ReadForOwnership(fill_state=LineState.DIRTY)),),
+    snoop=(
+        # Supply; bus snarfs into memory; we demote to VALID.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.DIRTY}),
+                  Goto(LineState.VALID), supply=True, write_back=True),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.RESERVED}),
+                  Goto(LineState.VALID)),
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}), Stay()),
+        SnoopRule(BusOp.MREAD_EX, frozenset({LineState.DIRTY}),
+                  Invalidate(), supply=True, write_back=True,
+                  counter="invalidations_received"),
+        SnoopRule(BusOp.MREAD_EX,
+                  frozenset({LineState.VALID, LineState.RESERVED}),
+                  Invalidate(), counter="invalidations_received"),
+        # A write-once write-through from another cache (or DMA):
+        # memory is updated and our copy is stale — invalidate.
+        SnoopRule(BusOp.MWRITE,
+                  frozenset({LineState.VALID, LineState.RESERVED,
+                             LineState.DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+        SnoopRule(BusOp.MINVALIDATE,
+                  frozenset({LineState.VALID, LineState.RESERVED,
+                             LineState.DIRTY}),
+                  Invalidate(), counter="invalidations_received"),
+    ),
+    silent_write_states=frozenset({LineState.RESERVED, LineState.DIRTY}),
+    silent_write_result=LineState.DIRTY,
+    # Write-once has no shared-clean state: every non-VALID state
+    # writes silently, so a leaked SHARED tag would suppress the
+    # announcing write-through and strand other copies stale.
+    dma_shared_state=LineState.VALID,
+    dma_exclusive_state=LineState.VALID,
+)
 
 
-class WriteOnceProtocol(CoherenceProtocol):
+class WriteOnceProtocol(DSLProtocol):
     """First write goes through; later writes are local write-back."""
 
-    name = "write-once"
-    silent_write_states = frozenset({LineState.RESERVED, LineState.DIRTY})
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
-        data = _line_data(txn, cache.geometry.words_per_line)
-        line.fill(tag, data, LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        if line.state is not LineState.VALID:
-            # RESERVED or DIRTY: local, write-back from here on.
-            line.data[offset] = value
-            line.state = LineState.DIRTY
-            return
-        # The once: write through, invalidating other copies.  The
-        # copy updates at grant time (merged_payload).
-        cache.stats.incr("write_throughs")
-        tag = line.tag
-        line_address = cache.geometry.rebuild_address(index, tag)
-        yield from cache.bus_op(BusOp.MWRITE, line_address,
-                                data=merged_payload(line, offset, value))
-        if line.valid and line.tag == tag:
-            line.state = LineState.RESERVED
-        # else: a concurrent write-once serialised first and
-        # invalidated us; memory has our value, line stays dropped.
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        yield from self.victimize(cache, line, index)
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
-        data = list(_line_data(txn, cache.geometry.words_per_line))
-        data[offset] = value
-        line.fill(tag, tuple(data), LineState.DIRTY)
-
-    def resident_after_dma_write(self, shared_response: bool) -> LineState:
-        # Write-once has no shared-clean state: every non-VALID state
-        # writes silently, so a leaked SHARED tag would suppress the
-        # announcing write-through and strand other copies stale.
-        return LineState.VALID
-
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            if line.state is LineState.DIRTY:
-                # Supply; bus snarfs into memory; we demote to VALID.
-                result = SnoopResult(shared=True, data=line.snapshot(),
-                                     write_back=True)
-                line.state = LineState.VALID
-                return result
-            if line.state is LineState.RESERVED:
-                line.state = LineState.VALID
-            return SnoopResult(shared=True)
-        if op is BusOp.MREAD_EX:
-            result = SnoopResult(
-                shared=True,
-                data=line.snapshot() if line.state is LineState.DIRTY else None,
-                write_back=line.state is LineState.DIRTY)
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return result
-        if op in (BusOp.MWRITE, BusOp.MINVALIDATE):
-            # A write-once write-through from another cache (or DMA):
-            # memory is updated and our copy is stale — invalidate.
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return SnoopResult(shared=True)
-        raise ProtocolError(f"write-once cache snooped unknown bus op {op}")
+    definition = WRITE_ONCE

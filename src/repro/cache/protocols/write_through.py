@@ -14,73 +14,52 @@ no-write-allocate, the common pairing for write-through caches.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.bus.mbus import SnoopResult
-from repro.cache.line import CacheLine, LineState
-from repro.cache.protocols.base import (
-    CoherenceProtocol,
-    _line_data,
-    merged_payload,
-)
-from repro.common.errors import ProtocolError
+from repro.cache.line import LineState
+from repro.cache.protocols.dsl import DSLProtocol
 from repro.common.types import BusOp
+from repro.protodsl.defs import (
+    GUARD_ALWAYS,
+    Invalidate,
+    ProtocolDef,
+    ReadMissRule,
+    SnoopRule,
+    Stay,
+    WriteHitRule,
+    WriteMissRule,
+    WriteNoAllocate,
+    WriteThrough,
+)
+
+WRITE_THROUGH = ProtocolDef(
+    name="write-through",
+    states=(LineState.VALID,),
+    peer_costate=LineState.VALID,
+    read_miss=ReadMissRule(shared_state=LineState.VALID,
+                           exclusive_state=LineState.VALID),
+    # Every write hit goes to the bus; the line stays VALID (unless a
+    # concurrent writer's invalidation serialised first).
+    write_hit=(WriteHitRule(frozenset({LineState.VALID}),
+                            WriteThrough(counter="write_throughs",
+                                         shared_state=LineState.VALID,
+                                         exclusive_state=LineState.VALID)),),
+    # No-write-allocate: send the write to memory, leave the cache
+    # untouched.
+    write_miss=(WriteMissRule(
+        GUARD_ALWAYS, WriteNoAllocate(counter="write_throughs")),),
+    snoop=(
+        # Memory is always current; let it supply the data.
+        SnoopRule(BusOp.MREAD, frozenset({LineState.VALID}), Stay()),
+        SnoopRule(BusOp.MWRITE, frozenset({LineState.VALID}),
+                  Invalidate(), counter="invalidations_received"),
+    ),
+    silent_write_states=frozenset(),
+    silent_write_result=None,
+    dma_shared_state=LineState.VALID,
+    dma_exclusive_state=LineState.VALID,
+)
 
 
-class WriteThroughInvalidateProtocol(CoherenceProtocol):
+class WriteThroughInvalidateProtocol(DSLProtocol):
     """Every write goes to the bus; snooped writes invalidate copies."""
 
-    name = "write-through"
-
-    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
-                  offset: int):
-        # No victim write can ever be needed; just replace.
-        line.invalidate()
-        line_address = cache.geometry.rebuild_address(index, tag)
-        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
-        data = _line_data(txn, cache.geometry.words_per_line)
-        line.fill(tag, data, LineState.VALID)
-        return data[offset]
-
-    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
-                  value: int):
-        # Copy updated at grant time (merged_payload): see the Firefly
-        # protocol's write_hit for why eager update is unsound.
-        cache.stats.incr("write_throughs")
-        tag = line.tag
-        line_address = cache.geometry.rebuild_address(index, tag)
-        yield from cache.bus_op(BusOp.MWRITE, line_address,
-                                data=merged_payload(line, offset, value))
-        # A concurrent writer serialised ahead of us invalidated our
-        # copy; our write still reached memory, so leave it dropped
-        # (no-write-allocate).  Otherwise the line stays VALID.
-        if line.valid and line.tag == tag:
-            line.state = LineState.VALID
-
-    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
-                   offset: int, value: int, partial: bool):
-        # No-write-allocate: send the write to memory, leave the cache
-        # untouched (the resident line at this index belongs to some
-        # other address and stays).
-        cache.stats.incr("write_throughs")
-        line_address = cache.geometry.rebuild_address(index, tag)
-        if cache.geometry.words_per_line == 1:
-            yield from cache.bus_op(BusOp.MWRITE, line_address, data=(value,))
-            return
-        # Multi-word lines need the rest of the line's current contents.
-        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
-        data = list(_line_data(txn, cache.geometry.words_per_line))
-        data[offset] = value
-        yield from cache.bus_op(BusOp.MWRITE, line_address, data=tuple(data))
-
-    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
-              data: Optional[Tuple[int, ...]]) -> SnoopResult:
-        if op is BusOp.MREAD:
-            # Memory is always current; let it supply the data.
-            return SnoopResult(shared=True)
-        if op is BusOp.MWRITE:
-            cache.stats.incr("invalidations_received")
-            line.invalidate()
-            return SnoopResult(shared=True)
-        raise ProtocolError(
-            f"write-through cache snooped foreign bus op {op}")
+    definition = WRITE_THROUGH

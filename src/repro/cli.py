@@ -17,10 +17,15 @@ Subcommands:
     Run a workload with full telemetry, write a Chrome-trace/JSONL
     file, and print the per-phase ASCII timeline.
 ``verify``
-    Static analysis: exhaustively model-check a protocol's (or every
-    protocol's) reachable N-cache global state space against the I1–I4
-    coherence invariants plus transition-table structural properties,
-    and run the simulation-safety linter over the sources.  Exits
+    Static analysis: run the guard checker over every protocol's
+    declarative DSL definition (exhaustiveness, determinism,
+    reachability, fact consistency — docs/PROTOCOL_DSL.md), then
+    exhaustively model-check the protocol's reachable N-cache global
+    state space against the I1–I4 coherence invariants plus
+    transition-table structural properties, and run the
+    simulation-safety linter over the sources.  ``--json`` writes the
+    findings (stable ordering) for CI; ``--oracle dsl`` explores with
+    the pure generated oracle instead of the simulator.  Exits
     non-zero on any violation; see docs/VERIFY.md.
 ``bench``
     Run the pinned benchmark suite, write ``BENCH_<n>.json``, and
@@ -72,6 +77,7 @@ Examples::
     firefly-sim fsm --protocol dragon
     firefly-sim verify --protocol firefly
     firefly-sim verify --all-protocols --dma
+    firefly-sim verify --all-protocols --oracle dsl --json findings.json
     firefly-sim bench --quick
     firefly-sim bench --compare --threshold 0.2
     firefly-sim bench --quick --jobs 4 --baseline-dir . --compare
@@ -173,6 +179,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="lint these files/dirs (default: the "
                              "installed repro package sources)")
+    verify.add_argument("--oracle", choices=("sim", "dsl"), default="sim",
+                        help="model-checker transition oracle: the live "
+                             "simulator rig ('sim', default) or the pure "
+                             "generated DSL oracle ('dsl', much faster)")
+    verify.add_argument("--json", metavar="PATH", default=None,
+                        help="write the findings document (guard/"
+                             "structural/invariant findings, minimal "
+                             "counterexamples, lint hits) as JSON with "
+                             "stable ordering")
+    verify.add_argument("--force", action="store_true",
+                        help="overwrite an existing --json file")
 
     trace = sub.add_parser(
         "trace", help="run a workload under full telemetry")
@@ -488,11 +505,29 @@ def _cmd_fsm(args) -> int:
     return 0
 
 
+def _counterexample_dict(counterexample) -> dict:
+    from repro.verify.model import format_state
+    return {
+        "protocol": counterexample.protocol,
+        "violation": str(counterexample.violation),
+        "trace": [
+            {"step": step, "stimulus": kind, "cache": cache,
+             "state": format_state(state)}
+            for step, ((kind, cache), state)
+            in enumerate(counterexample.trace, start=1)
+        ],
+    }
+
+
 def _cmd_verify(args) -> int:
+    import json
     from pathlib import Path
 
-    from repro.verify import lint_paths, verify_protocol
+    from repro.cache.protocols import PROTOCOL_DEFINITIONS
+    from repro.verify import check_guards, lint_paths, verify_protocol
 
+    _guard_output(args.json, args.force, "--json")
+    document = {"protocols": {}, "lint": []}
     failures = 0
 
     if not args.lint_only:
@@ -501,11 +536,46 @@ def _cmd_verify(args) -> int:
         else:
             names = sorted(available_protocols())
         for name in names:
-            report = verify_protocol(name, caches=args.caches,
-                                     include_dma=args.dma)
-            print(report.render())
-            if not report.ok:
+            # Stage 1: the guard checker proves the declarative
+            # definition total, deterministic, reachable and
+            # fact-consistent before any state is explored.
+            guard_findings = sorted(check_guards(PROTOCOL_DEFINITIONS[name]),
+                                    key=lambda f: f.sort_key())
+            entry = {
+                "guard_findings": [
+                    {"rule": f.rule, "state": f.state,
+                     "stimulus": f.stimulus, "message": f.message}
+                    for f in guard_findings],
+            }
+            for finding in guard_findings:
+                print(f"guard: {finding}")
+            if guard_findings:
                 failures += 1
+                entry["model"] = None
+                print(f"[FAIL] {name}: {len(guard_findings)} guard "
+                      f"finding(s); model checking skipped")
+            else:
+                # Stage 2: exhaustive model check of the global state
+                # space (sim rig or pure DSL oracle).
+                report = verify_protocol(name, caches=args.caches,
+                                         include_dma=args.dma,
+                                         oracle=args.oracle)
+                print(report.render())
+                entry["model"] = {
+                    "ok": report.ok,
+                    "oracle": args.oracle,
+                    "caches": report.caches,
+                    "states_explored": report.states_explored,
+                    "transitions_taken": report.transitions_taken,
+                    "structural_findings": [
+                        str(f) for f in report.structural_findings],
+                    "counterexample": (
+                        None if report.counterexample is None
+                        else _counterexample_dict(report.counterexample)),
+                }
+                if not report.ok:
+                    failures += 1
+            document["protocols"][name] = entry
 
     if not args.no_lint:
         package_root = Path(__file__).resolve().parent
@@ -515,7 +585,17 @@ def _cmd_verify(args) -> int:
             print(finding)
         print(f"lint: {len(findings)} finding(s) over "
               f"{', '.join(str(t) for t in targets)}")
+        document["lint"] = [
+            {"path": f.path, "line": f.line, "col": f.col,
+             "rule": f.rule, "message": f.message}
+            for f in findings]
         failures += len(findings)
+
+    document["ok"] = failures == 0
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"verify: wrote {args.json}")
 
     if failures:
         print(f"verify: FAILED ({failures} problem(s))", file=sys.stderr)

@@ -17,9 +17,15 @@ Two engines, both usable as a library and via ``firefly-sim verify``:
 - :mod:`repro.verify.lint` — an AST lint pass over simulator sources
   that flags determinism hazards (unseeded ``random``, wall-clock
   reads inside simulated time, iteration over unordered sets, direct
-  ``line.state`` mutation outside the protocol layer).
+  ``line.state`` mutation outside the protocol layer, hand-written
+  protocol handlers that bypass the DSL pipeline).
+- :mod:`repro.protodsl.check` (re-exported here) — the guard checker:
+  per-(state, stimulus) exhaustiveness, determinism, reachability and
+  fact-consistency proofs over the declarative protocol definitions,
+  run before any simulation.
 
-See ``docs/VERIFY.md`` for the full treatment.
+See ``docs/VERIFY.md`` and ``docs/PROTOCOL_DSL.md`` for the full
+treatment.
 """
 
 from repro.verify.invariants import (
@@ -37,10 +43,12 @@ from repro.verify.model import (
     verify_protocol,
 )
 from repro.verify.structural import StructuralFinding, check_structure
+from repro.protodsl import GuardFinding, check_guards
 
 __all__ = [
     "Copy",
     "Counterexample",
+    "GuardFinding",
     "INVARIANTS",
     "LintFinding",
     "ModelChecker",
@@ -48,6 +56,7 @@ __all__ = [
     "VerificationReport",
     "Violation",
     "abstract_state_of",
+    "check_guards",
     "check_structure",
     "check_word",
     "lint_paths",

@@ -27,6 +27,16 @@ are linted for mechanically:
     bypasses the coherence machinery the checker audits.  (Unrelated
     ``.state`` attributes — thread states, RPC states — are not
     flagged: the value must mention ``LineState``.)
+``V105 hand-written-protocol``
+    A ``*Protocol`` subclass that defines ``read_miss`` / ``write_hit``
+    / ``write_miss`` / ``snoop`` by hand instead of deriving the
+    handlers from a declarative :class:`repro.protodsl.defs.
+    ProtocolDef`.  Hand-written handlers bypass the guard checker's
+    exhaustiveness/determinism/reachability proofs and silently fall
+    out of sync with the generated facts table and transition oracle.
+    (Classes whose base is literally ``Protocol`` — i.e. ``typing.
+    Protocol`` structural types — are not protocol implementations and
+    are not flagged.)
 
 False positives are silenced per line with ``# lint: allow(V1xx)``
 (deliberate, reviewed exceptions — e.g. a test helper corrupting state
@@ -57,6 +67,9 @@ _WALL_CLOCK_CALLS = {
 
 _SET_CONSTRUCTORS = {"set", "frozenset"}
 _ORDERING_SINKS = {"sorted", "min", "max", "sum", "len", "any", "all"}
+
+#: The CoherenceProtocol handlers V105 refuses to see hand-written.
+_PROTOCOL_HANDLERS = ("read_miss", "write_hit", "write_miss", "snoop")
 
 
 @dataclass(frozen=True)
@@ -187,6 +200,24 @@ class _HazardVisitor(ast.NodeVisitor):
                        "iteration over an unordered set: wrap in sorted() "
                        "so event ordering is deterministic")
 
+    # -- V105: hand-written protocol handlers ---------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(_is_protocol_base(base) for base in node.bases):
+            handlers = [stmt.name for stmt in node.body
+                        if isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))
+                        and stmt.name in _PROTOCOL_HANDLERS]
+            if handlers:
+                self._flag(node, "V105",
+                           f"class {node.name} hand-writes protocol "
+                           f"handler(s) {', '.join(sorted(handlers))}: "
+                           f"express the protocol as a declarative "
+                           f"repro.protodsl ProtocolDef (compiled by "
+                           f"DSLProtocol) so the guard checker can prove "
+                           f"its transition tables")
+        self.generic_visit(node)
+
     # -- V104: FSM bypass ----------------------------------------------
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -210,6 +241,22 @@ def _dotted_tail(func: ast.expr) -> Optional[Tuple[str, str]]:
     if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
         return (func.value.id, func.attr)
     return None
+
+
+def _is_protocol_base(base: ast.expr) -> bool:
+    """A base class name that marks a coherence-protocol subclass.
+
+    The last dotted segment must *end* with ``Protocol`` without being
+    exactly ``Protocol`` — ``typing.Protocol`` structural types are
+    interfaces, not protocol implementations.
+    """
+    if isinstance(base, ast.Attribute):
+        name = base.attr
+    elif isinstance(base, ast.Name):
+        name = base.id
+    else:
+        return False
+    return name.endswith("Protocol") and name != "Protocol"
 
 
 def _mentions_line_state(node: ast.expr) -> bool:

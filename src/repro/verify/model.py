@@ -24,12 +24,21 @@ distinct versions can be observed at once, so the abstract space is
 finite and small — a few hundred states for three caches.
 
 Soundness comes from using the real simulator as the transition
-function: each exploration step materialises the abstract state into a
-fresh single-line rig (the same injection technique
-:mod:`repro.cache.fsm` uses to measure Figure 3), applies one stimulus
-through the actual cache/bus/protocol code, and reads the successor
-state back.  Nothing about the protocols is re-modelled, so the
-checker verifies the *implementation*, not a transcription of it.
+function (the default ``oracle="sim"``): each exploration step
+materialises the abstract state into a fresh single-line rig (the same
+injection technique :mod:`repro.cache.fsm` uses to measure Figure 3),
+applies one stimulus through the actual cache/bus/protocol code, and
+reads the successor state back.  Nothing about the protocols is
+re-modelled, so the checker verifies the *implementation*, not a
+transcription of it.
+
+For protocols expressed in the guarded-action DSL, ``oracle="dsl"``
+swaps in :func:`repro.protodsl.oracle.global_step` — a pure transition
+function compiled from the same declarative definition the runtime
+protocol is compiled from, with no simulator in the loop.  It is much
+faster, and the cross-validation tests assert both oracles reach the
+identical state set, which pins the generated runtime code and the
+generated oracle to each other through the bus semantics.
 
 Breadth-first exploration makes the first trace that reaches a
 violating state a minimal one (fewest stimuli).
@@ -50,11 +59,12 @@ from repro.bus.mbus import MBus
 from repro.cache.cache import CacheGeometry, SnoopyCache
 from repro.cache.fsm import PROTOCOL_STATES
 from repro.cache.line import LineState
-from repro.cache.protocols import protocol_by_name
+from repro.cache.protocols import definition_of, protocol_by_name
 from repro.common.errors import ConfigurationError
 from repro.common.events import Simulator
 from repro.common.types import AccessKind, MemRef
 from repro.memory.main_memory import MainMemory, MemoryModule
+from repro.protodsl.oracle import global_step
 from repro.verify.invariants import Violation, check_word
 from repro.verify.structural import StructuralFinding, check_structure
 
@@ -177,17 +187,28 @@ class ModelChecker:
     """
 
     def __init__(self, protocol_name: str, caches: int = 3,
-                 protocol=None, include_dma: bool = False) -> None:
+                 protocol=None, include_dma: bool = False,
+                 oracle: str = "sim") -> None:
         if protocol_name not in PROTOCOL_STATES:
             raise ConfigurationError(f"unknown protocol {protocol_name!r}")
         if caches < 2:
             raise ConfigurationError(
                 f"model checking needs >= 2 caches, got {caches}")
+        if oracle not in ("sim", "dsl"):
+            raise ConfigurationError(
+                f"unknown oracle {oracle!r}; choose 'sim' or 'dsl'")
         self.protocol_name = protocol_name
         self.protocol = (protocol if protocol is not None
                          else protocol_by_name(protocol_name))
         self.caches = caches
         self.include_dma = include_dma
+        self.oracle = oracle
+        # definition_of refuses protocols whose behaviour is not fully
+        # captured by a definition (hand-written handlers, mutation-test
+        # subclasses with overrides) — exactly the cases where the pure
+        # oracle would silently diverge from the running code.
+        self._definition = (definition_of(self.protocol)
+                            if oracle == "dsl" else None)
 
     # -- stimuli ---------------------------------------------------------
 
@@ -202,6 +223,11 @@ class ModelChecker:
     def _apply(self, state: GlobalState,
                stimulus: Stimulus) -> GlobalState:
         """Run one stimulus against a materialised rig; canonical result."""
+        if self.oracle == "dsl":
+            kind, cache_index = stimulus
+            raw = global_step(self._definition, state, kind, cache_index,
+                              self._fresh_version(state))
+            return _canonicalise(raw)
         rig = _ModelRig(self.protocol, self.caches)
         rig.materialise(state)
         kind, cache_index = stimulus
@@ -342,12 +368,13 @@ def abstract_state_of(caches, memory, address: int) -> GlobalState:
 
 def verify_protocol(protocol_name: str, caches: int = 3,
                     protocol=None, include_dma: bool = False,
-                    max_states: int = 100_000) -> VerificationReport:
+                    max_states: int = 100_000,
+                    oracle: str = "sim") -> VerificationReport:
     """Run the full static verification for one protocol.
 
     >>> verify_protocol("write-through", caches=2).ok
     True
     """
     checker = ModelChecker(protocol_name, caches=caches, protocol=protocol,
-                           include_dma=include_dma)
+                           include_dma=include_dma, oracle=oracle)
     return checker.explore(max_states=max_states)

@@ -1,0 +1,534 @@
+"""Verbatim copies of the hand-written (pre-DSL) protocol classes.
+
+PR 7 re-expressed every protocol as a declarative
+:class:`~repro.protodsl.defs.ProtocolDef`; these frozen copies of the
+original imperative implementations are the *differential-testing
+baseline*: the oracle-equivalence and fuzz tests drive a legacy class
+and its DSL twin through identical stimuli and assert bit-identical
+states, bus traffic and statistics.  Nothing in the library imports
+this module — it exists so a future edit to the DSL interpreter cannot
+silently drift from the semantics the original classes pinned.
+
+Classes are renamed ``Legacy*``; bodies are otherwise untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bus.mbus import SnoopResult
+from repro.cache.line import CacheLine, LineState
+from repro.cache.protocols.base import (
+    CoherenceProtocol,
+    _line_data,
+    merged_payload,
+)
+from repro.common.errors import ProtocolError
+from repro.common.types import BusOp
+
+class LegacyFireflyProtocol(CoherenceProtocol):
+    """Conditional write-through with bus-update of shared lines."""
+
+    name = "firefly"
+    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
+
+    # -- processor side ------------------------------------------------
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        data = yield from self.fill_from_read(
+            cache, line, index, tag,
+            shared_state=LineState.SHARED,
+            exclusive_state=LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if not line.state.is_shared:
+            # Private line: pure write-back, no bus traffic.
+            line.data[offset] = value
+            line.state = LineState.DIRTY
+            return
+        # Shared line: conditional write-through.  The response tells us
+        # whether anyone still shares it; if not, revert to write-back.
+        #
+        # The cached copy is NOT updated until the transaction is
+        # granted (merged_payload applies the word then): updating it
+        # eagerly would let this cache answer an intervening bus read
+        # with a value the other sharers do not yet have — two sharers
+        # driving different data, which the hardware forbids.  The CPU
+        # is stalled for the write-through anyway, so it cannot observe
+        # its own store's delay.
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, line.tag)
+        txn = yield from cache.bus_op(
+            BusOp.MWRITE, line_address,
+            data=merged_payload(line, offset, value))
+        line.state = (LineState.SHARED if txn.shared_response
+                      else LineState.VALID)
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        if partial or cache.geometry.words_per_line != 1:
+            # "A write miss is treated as a read miss followed
+            # immediately by a write hit."
+            yield from self.read_miss(cache, line, index, tag, offset)
+            yield from self.write_hit(cache, line, index, offset, value)
+            return
+        # Aligned-longword optimisation: write through directly, leaving
+        # the line clean; Shared comes from the MShared response.
+        yield from self.victimize(cache, line, index)
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                      data=(value,))
+        state = LineState.SHARED if txn.shared_response else LineState.VALID
+        line.fill(tag, (value,), state)
+
+    # -- bus side ---------------------------------------------------------
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            # Assert MShared and supply the data (memory is inhibited).
+            # Every holder drives identical values, clean or dirty.
+            if line.state is LineState.VALID:
+                line.state = LineState.SHARED
+            elif line.state is LineState.DIRTY:
+                line.state = LineState.SHARED_DIRTY
+            return SnoopResult(shared=True, data=line.snapshot())
+        if op is BusOp.MWRITE:
+            # Another cache's write-through or victim write, or a DMA
+            # write: take the data.  Main memory is updated by the same
+            # transaction, so the copy is clean afterwards.
+            line.data[:] = data
+            line.state = LineState.SHARED
+            return SnoopResult(shared=True)
+        raise ProtocolError(
+            f"Firefly cache snooped foreign bus op {op} at {line_address:#x}")
+
+
+class LegacyDragonProtocol(CoherenceProtocol):
+    """Write-update with owner-held dirty data (memory not updated)."""
+
+    name = "dragon"
+    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        data = yield from self.fill_from_read(
+            cache, line, index, tag,
+            shared_state=LineState.SHARED,
+            exclusive_state=LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if not line.state.is_shared:
+            line.data[offset] = value
+            line.state = LineState.DIRTY
+            return
+        # Shared: broadcast the update to the other caches.  Memory is
+        # NOT updated (update_memory=False); we become/remain the owner.
+        # The copy updates at grant time (merged_payload) so this cache
+        # never answers a read with a value other sharers lack.
+        cache.stats.incr("bus_updates")
+        line_address = cache.geometry.rebuild_address(index, line.tag)
+        txn = yield from cache.bus_op(
+            BusOp.MWRITE, line_address,
+            data=merged_payload(line, offset, value),
+            update_memory=False)
+        line.state = (LineState.SHARED_DIRTY if txn.shared_response
+                      else LineState.DIRTY)
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        # Dragon has no write-miss shortcut: read the line (learning
+        # whether it is shared), then apply the write-hit logic.
+        yield from self.read_miss(cache, line, index, tag, offset)
+        yield from self.write_hit(cache, line, index, offset, value)
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            if line.state is LineState.DIRTY:
+                line.state = LineState.SHARED_DIRTY
+                return SnoopResult(shared=True, data=line.snapshot())
+            if line.state is LineState.SHARED_DIRTY:
+                return SnoopResult(shared=True, data=line.snapshot())
+            if line.state is LineState.VALID:
+                line.state = LineState.SHARED
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            # An update broadcast from the new owner, a victim write, or
+            # a DMA write.  Take the data; the writer (or memory) now
+            # holds responsibility, so we are a clean sharer.
+            line.data[:] = data
+            line.state = LineState.SHARED
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"Dragon cache snooped foreign bus op {op}")
+
+
+class LegacyMesiProtocol(CoherenceProtocol):
+    """Write-invalidate, write-back, with exclusive-clean state."""
+
+    name = "mesi"
+    silent_write_states = frozenset({LineState.VALID, LineState.DIRTY})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        data = yield from self.fill_from_read(
+            cache, line, index, tag,
+            shared_state=LineState.SHARED,
+            exclusive_state=LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is LineState.SHARED:
+            cache.stats.incr("invalidations_sent")
+            tag = line.tag
+            line_address = cache.geometry.rebuild_address(index, tag)
+            yield from cache.bus_op(BusOp.MINVALIDATE, line_address)
+            if not (line.valid and line.tag == tag):
+                # A competing writer's invalidation serialised first.
+                yield from self.write_miss(cache, line, index, tag, offset,
+                                           value, partial=False)
+                return
+        line.data[offset] = value
+        line.state = LineState.DIRTY
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.DIRTY)
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            if line.state is LineState.DIRTY:
+                # Supply and let the bus snarf the data into memory;
+                # we keep a now-clean shared copy.
+                result = SnoopResult(shared=True, data=line.snapshot(),
+                                     write_back=True)
+                line.state = LineState.SHARED
+                return result
+            # Illinois: clean holders also supply (identical to memory).
+            line.state = LineState.SHARED
+            return SnoopResult(shared=True, data=line.snapshot())
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(
+                shared=True,
+                data=line.snapshot() if line.state.is_dirty else None,
+                write_back=line.state.is_dirty)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op is BusOp.MINVALIDATE:
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            # Only DMA writes can hit a MESI snooper (victim writes come
+            # from exclusive holders).  Memory is updated by the same
+            # transaction; refresh the copy and demote to shared-clean.
+            line.data[:] = data
+            line.state = LineState.SHARED
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"MESI cache snooped unknown bus op {op}")
+
+
+class LegacyBerkeleyProtocol(CoherenceProtocol):
+    """Ownership with invalidation; no memory update on transfers."""
+
+    name = "berkeley"
+    silent_write_states = frozenset({LineState.OWNED})
+    # A silent write hit (already OWNED) stays OWNED.
+    silent_write_result = None
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        # A plain read never confers ownership.
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is not LineState.OWNED:
+            # VALID or OWNED_SHARED: must (re)claim exclusive ownership.
+            cache.stats.incr("invalidations_sent")
+            tag = line.tag
+            line_address = cache.geometry.rebuild_address(index, tag)
+            yield from cache.bus_op(BusOp.MINVALIDATE, line_address)
+            if not (line.valid and line.tag == tag):
+                # A competing owner's invalidation serialised first; our
+                # copy is gone, so this is now a write miss.
+                yield from self.write_miss(cache, line, index, tag, offset,
+                                           value, partial=False)
+                return
+            line.state = LineState.OWNED
+        line.data[offset] = value
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        # Read-for-ownership: fetches the data and invalidates all copies.
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.OWNED)
+
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        # Berkeley's unowned clean state is VALID regardless of sharers.
+        return LineState.VALID
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        owned = line.state in (LineState.OWNED, LineState.OWNED_SHARED)
+        if op is BusOp.MREAD:
+            if owned:
+                # Supply the data; memory is NOT updated (no write_back),
+                # and this cache remains the owner.
+                line.state = LineState.OWNED_SHARED
+                return SnoopResult(shared=True, data=line.snapshot())
+            return SnoopResult(shared=True)
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(shared=True,
+                                 data=line.snapshot() if owned else None)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op is BusOp.MINVALIDATE:
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            # Victim write-back from another cache, or a DMA write: the
+            # bus transaction updates memory, so our copy refreshes and
+            # any ownership we held is now redundant — demote to VALID.
+            line.data[:] = data
+            line.state = LineState.VALID
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"Berkeley cache snooped unknown bus op {op}")
+
+
+class LegacySynapseProtocol(CoherenceProtocol):
+    """Ownership-before-write; dirty holders surrender on bus reads."""
+
+    name = "synapse"
+    silent_write_states = frozenset({LineState.DIRTY})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        # One undifferentiated Valid state, shared or not: Synapse has
+        # no MShared-style wire, so the response cannot be consulted.
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is LineState.DIRTY:
+            # Already the owner: pure write-back, no bus traffic.
+            line.data[offset] = value
+            return
+        # Valid (clean) hit: ownership must be acquired first, and the
+        # cached copy cannot be trusted to be unique — re-fetch with a
+        # read-exclusive exactly as a write miss would.
+        tag = line.tag
+        yield from self.write_miss(cache, line, index, tag, offset, value,
+                                   partial=False)
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        # Read-for-ownership: fetches the line and invalidates all copies.
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.DIRTY)
+
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        # Synapse's single clean state already means "possibly shared".
+        return LineState.VALID
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            if line.state is LineState.DIRTY:
+                # Total surrender: supply the data, let the bus snarf it
+                # into memory, and drop the line (no shared-dirty state).
+                result = SnoopResult(shared=True, data=line.snapshot(),
+                                     write_back=True)
+                cache.stats.incr("surrenders")
+                line.invalidate()
+                return result
+            # Clean holders keep their copies; memory supplies the data.
+            return SnoopResult(shared=True)
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(
+                shared=True,
+                data=line.snapshot() if line.state is LineState.DIRTY
+                else None,
+                write_back=line.state is LineState.DIRTY)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op in (BusOp.MWRITE, BusOp.MINVALIDATE):
+            # Another cache's victim write-back or a DMA write: memory is
+            # updated by the transaction and the ownership bit moves with
+            # it, so our copy is stale — invalidate.
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"Synapse cache snooped unknown bus op {op}")
+
+
+class LegacyWriteOnceProtocol(CoherenceProtocol):
+    """First write goes through; later writes are local write-back."""
+
+    name = "write-once"
+    silent_write_states = frozenset({LineState.RESERVED, LineState.DIRTY})
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        if line.state is not LineState.VALID:
+            # RESERVED or DIRTY: local, write-back from here on.
+            line.data[offset] = value
+            line.state = LineState.DIRTY
+            return
+        # The once: write through, invalidating other copies.  The
+        # copy updates at grant time (merged_payload).
+        cache.stats.incr("write_throughs")
+        tag = line.tag
+        line_address = cache.geometry.rebuild_address(index, tag)
+        yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                data=merged_payload(line, offset, value))
+        if line.valid and line.tag == tag:
+            line.state = LineState.RESERVED
+        # else: a concurrent write-once serialised first and
+        # invalidated us; memory has our value, line stays dropped.
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        yield from self.victimize(cache, line, index)
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD_EX, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        line.fill(tag, tuple(data), LineState.DIRTY)
+
+    def resident_after_dma_write(self, shared_response: bool) -> LineState:
+        # Write-once has no shared-clean state: every non-VALID state
+        # writes silently, so a leaked SHARED tag would suppress the
+        # announcing write-through and strand other copies stale.
+        return LineState.VALID
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            if line.state is LineState.DIRTY:
+                # Supply; bus snarfs into memory; we demote to VALID.
+                result = SnoopResult(shared=True, data=line.snapshot(),
+                                     write_back=True)
+                line.state = LineState.VALID
+                return result
+            if line.state is LineState.RESERVED:
+                line.state = LineState.VALID
+            return SnoopResult(shared=True)
+        if op is BusOp.MREAD_EX:
+            result = SnoopResult(
+                shared=True,
+                data=line.snapshot() if line.state is LineState.DIRTY else None,
+                write_back=line.state is LineState.DIRTY)
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return result
+        if op in (BusOp.MWRITE, BusOp.MINVALIDATE):
+            # A write-once write-through from another cache (or DMA):
+            # memory is updated and our copy is stale — invalidate.
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        raise ProtocolError(f"write-once cache snooped unknown bus op {op}")
+
+
+class LegacyWriteThroughInvalidateProtocol(CoherenceProtocol):
+    """Every write goes to the bus; snooped writes invalidate copies."""
+
+    name = "write-through"
+
+    def read_miss(self, cache, line: CacheLine, index: int, tag: int,
+                  offset: int):
+        # No victim write can ever be needed; just replace.
+        line.invalidate()
+        line_address = cache.geometry.rebuild_address(index, tag)
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = _line_data(txn, cache.geometry.words_per_line)
+        line.fill(tag, data, LineState.VALID)
+        return data[offset]
+
+    def write_hit(self, cache, line: CacheLine, index: int, offset: int,
+                  value: int):
+        # Copy updated at grant time (merged_payload): see the Firefly
+        # protocol's write_hit for why eager update is unsound.
+        cache.stats.incr("write_throughs")
+        tag = line.tag
+        line_address = cache.geometry.rebuild_address(index, tag)
+        yield from cache.bus_op(BusOp.MWRITE, line_address,
+                                data=merged_payload(line, offset, value))
+        # A concurrent writer serialised ahead of us invalidated our
+        # copy; our write still reached memory, so leave it dropped
+        # (no-write-allocate).  Otherwise the line stays VALID.
+        if line.valid and line.tag == tag:
+            line.state = LineState.VALID
+
+    def write_miss(self, cache, line: CacheLine, index: int, tag: int,
+                   offset: int, value: int, partial: bool):
+        # No-write-allocate: send the write to memory, leave the cache
+        # untouched (the resident line at this index belongs to some
+        # other address and stays).
+        cache.stats.incr("write_throughs")
+        line_address = cache.geometry.rebuild_address(index, tag)
+        if cache.geometry.words_per_line == 1:
+            yield from cache.bus_op(BusOp.MWRITE, line_address, data=(value,))
+            return
+        # Multi-word lines need the rest of the line's current contents.
+        txn = yield from cache.bus_op(BusOp.MREAD, line_address)
+        data = list(_line_data(txn, cache.geometry.words_per_line))
+        data[offset] = value
+        yield from cache.bus_op(BusOp.MWRITE, line_address, data=tuple(data))
+
+    def snoop(self, cache, line: CacheLine, line_address: int, op: BusOp,
+              data: Optional[Tuple[int, ...]]) -> SnoopResult:
+        if op is BusOp.MREAD:
+            # Memory is always current; let it supply the data.
+            return SnoopResult(shared=True)
+        if op is BusOp.MWRITE:
+            cache.stats.incr("invalidations_received")
+            line.invalidate()
+            return SnoopResult(shared=True)
+        raise ProtocolError(
+            f"write-through cache snooped foreign bus op {op}")

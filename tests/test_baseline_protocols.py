@@ -8,7 +8,7 @@ from repro.cache.protocols import available_protocols, protocol_by_name
 from tests.conftest import MiniRig, make_rig
 
 ALL_PROTOCOLS = ("firefly", "write-through", "berkeley", "dragon",
-                 "mesi", "synapse", "write-once")
+                 "mesi", "synapse", "write-once", "moesi", "bedrock")
 
 
 class TestRegistry:

@@ -97,3 +97,67 @@ class TestCli:
     def test_bad_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
+
+
+class TestCliVerify:
+    """The verify subcommand: guard stage, --json document, --oracle."""
+
+    def test_verify_one_protocol_with_dsl_oracle(self, capsys):
+        assert main(["verify", "--protocol", "mesi", "--no-lint",
+                     "--oracle", "dsl"]) == 0
+        out = capsys.readouterr().out
+        assert "[OK] mesi" in out
+        assert "all checks passed" in out
+
+    def test_verify_json_document(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "findings.json"
+        assert main(["verify", "--all-protocols", "--no-lint",
+                     "--oracle", "dsl", "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(out_path.read_text())
+        assert document["ok"] is True
+        assert sorted(document["protocols"]) == [
+            "bedrock", "berkeley", "dragon", "firefly", "mesi", "moesi",
+            "synapse", "write-once", "write-through"]
+        entry = document["protocols"]["firefly"]
+        assert entry["guard_findings"] == []
+        assert entry["model"]["ok"] is True
+        assert entry["model"]["oracle"] == "dsl"
+        assert entry["model"]["counterexample"] is None
+
+    def test_verify_json_is_byte_stable(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main(["verify", "--protocol", "bedrock", "--no-lint",
+                         "--oracle", "dsl", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_verify_json_refuses_overwrite_without_force(self, tmp_path,
+                                                         capsys):
+        out_path = tmp_path / "findings.json"
+        out_path.write_text("{}")
+        assert main(["verify", "--protocol", "mesi", "--no-lint",
+                     "--oracle", "dsl", "--json", str(out_path)]) == 1
+        err = capsys.readouterr().err
+        assert "--force" in err
+        assert out_path.read_text() == "{}"
+        assert main(["verify", "--protocol", "mesi", "--no-lint",
+                     "--oracle", "dsl", "--json", str(out_path),
+                     "--force"]) == 0
+        capsys.readouterr()
+
+    def test_verify_lint_findings_land_in_the_document(self, tmp_path,
+                                                       capsys):
+        import json
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        out_path = tmp_path / "findings.json"
+        assert main(["verify", "--lint-only", "--lint-path", str(bad),
+                     "--json", str(out_path)]) == 1
+        capsys.readouterr()
+        document = json.loads(out_path.read_text())
+        assert document["ok"] is False
+        assert document["lint"][0]["rule"] == "V101"

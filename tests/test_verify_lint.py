@@ -91,6 +91,64 @@ class TestV104StateBypass:
         assert lint_source(source, "src/repro/cache/protocols/mesi.py") == []
 
 
+class TestV105HandWrittenProtocol:
+    def test_hand_written_handler_is_flagged(self):
+        source = """
+        class MyProtocol(CoherenceProtocol):
+            def write_hit(self, cache, line, index, offset, value):
+                pass
+        """
+        assert rules_in(source) == ["V105"]
+
+    def test_handler_override_under_dsl_subclass_is_flagged(self):
+        source = """
+        class Tampered(FireflyProtocol):
+            def snoop(self, cache, line, line_address, op, data):
+                pass
+        """
+        assert rules_in(source) == ["V105"]
+
+    def test_finding_names_the_handlers(self):
+        source = ("class P(CoherenceProtocol):\n"
+                  "    def snoop(self): pass\n"
+                  "    def write_miss(self): pass\n")
+        findings = lint_source(source, "module.py")
+        assert [f.rule for f in findings] == ["V105"]
+        assert "snoop, write_miss" in findings[0].message
+
+    def test_dsl_definition_class_is_fine(self):
+        source = """
+        class FireflyProtocol(DSLProtocol):
+            definition = FIREFLY
+        """
+        assert rules_in(source) == []
+
+    def test_typing_protocol_is_not_flagged(self):
+        source = """
+        class Snoopable(Protocol):
+            def snoop(self, op): ...
+        class Other(typing.Protocol):
+            def write_hit(self): ...
+        """
+        assert rules_in(source) == []
+
+    def test_non_handler_methods_are_fine(self):
+        source = """
+        class MyProtocol(CoherenceProtocol):
+            def helper(self):
+                pass
+        """
+        assert rules_in(source) == []
+
+    def test_pragma_escape_on_the_class_line(self):
+        source = """
+        class Mutant(FireflyProtocol):  # lint: allow(V105)
+            def read_miss(self, *a):
+                pass
+        """
+        assert rules_in(source) == []
+
+
 class TestPragmas:
     def test_allow_pragma_suppresses_on_its_line(self):
         source = "import random  # lint: allow(V101)\n"
