@@ -56,3 +56,17 @@ python -m repro.cli campaign run examples/campaigns/quick.yaml \
     --report "$CAMPAIGN_TMP/report.json"
 python -m repro.cli campaign report --bench-dir . \
     --store-dir "$CAMPAIGN_TMP/store" --out "$CAMPAIGN_TMP/dashboard.html"
+
+echo "== postmortem smoke (firefly-sim postmortem) =="
+# Induce the pinned AB/BA deadlock, capture the firefly-crash/1 report
+# and render it (see docs/CAUSAL.md).  The grep pins the acceptance
+# criterion: the postmortem names the exact wait-for cycle.  The crash
+# JSON lands in ARTIFACTS_DIR when CI exports one (kept as an artifact),
+# else in the scratch dir.
+CRASH_OUT="${ARTIFACTS_DIR:-$CAMPAIGN_TMP}/crash.json"
+python -m repro.cli postmortem --scenario deadlock \
+    --json "$CRASH_OUT" --force | tee "$CAMPAIGN_TMP/postmortem.txt"
+grep -q "wait-for cycle" "$CAMPAIGN_TMP/postmortem.txt"
+grep -q "left-fork waits on lock:fork-b held by right-fork" \
+    "$CAMPAIGN_TMP/postmortem.txt"
+python -m repro.cli postmortem "$CRASH_OUT" >/dev/null

@@ -134,6 +134,7 @@ class MBus:
     __slots__ = ("sim", "memory", "words_per_line", "trace", "_resource",
                  "_snoopers", "_snoop_peers", "_interrupt_handlers",
                  "faults", "stats", "utilization", "grant_wait", "probe",
+                 "context_source",
                  "_c_ops", "_c_read_memory", "_c_read_cache",
                  "_c_write_mshared", "_c_write_not_mshared",
                  "_c_write_victim", "_c_per_op")
@@ -167,6 +168,10 @@ class MBus:
         self.grant_wait = Histogram("mbus.grant_wait")
         #: Telemetry probe; inert unless a TelemetryHub is attached.
         self.probe = NULL_PROBE
+        #: Optional ``initiator -> TraceContext`` callable (the Topaz
+        #: kernel installs one); consulted only when the probe is
+        #: active, to stamp trace/span ids onto ``bus.op`` events.
+        self.context_source = None
         # The reporting counters exist from construction (not lazily on
         # first increment), so metric collection can tell "zero events"
         # apart from "counter renamed" — see StatSet.get_windowed.  They
@@ -319,12 +324,18 @@ class MBus:
             # request at start-wait, grant at start, release at
             # start+duration — the decomposition repro.observatory
             # rebuilds transaction spans from.
+            causal = {}
+            source = self.context_source
+            if source is not None:
+                ctx = source(initiator)
+                if ctx is not None:
+                    causal = {"trace": ctx.trace_id, "span": ctx.span_id}
             probe.complete("bus.op", "bus", start, MBUS_OP_CYCLES,
                            op=op.value, address=line_address,
                            initiator=initiator, wait=start - requested,
                            shared=txn.shared_response,
                            cache_supplied=txn.supplied_by_cache,
-                           victim=is_victim)
+                           victim=is_victim, **causal)
             if start > requested:
                 probe.instant_at("bus.grant", "bus", start,
                                  wait=start - requested, initiator=initiator)

@@ -152,8 +152,12 @@ class QBus:
         self.degraded_penalty_cycles = 0
 
     def dma_write_block(self, qbus_word_address: int,
-                        values: Sequence[int]):
-        """Generator: device -> memory DMA of ``values``."""
+                        values: Sequence[int], ctx=None):
+        """Generator: device -> memory DMA of ``values``.
+
+        ``ctx`` optionally names the TraceContext this burst serves;
+        the emitted ``dma.burst`` event then carries trace/span ids.
+        """
         start = self.sim.now
         for i, value in enumerate(values):
             target = self.map.translate(qbus_word_address + i)
@@ -164,9 +168,12 @@ class QBus:
             self.probe.complete("dma.burst", "qbus", start,
                                 self.sim.now - start, direction="in",
                                 words=len(values),
-                                qbus_address=qbus_word_address)
+                                qbus_address=qbus_word_address,
+                                **({"trace": ctx.trace_id,
+                                    "span": ctx.span_id}
+                                   if ctx is not None else {}))
 
-    def dma_read_block(self, qbus_word_address: int, nwords: int):
+    def dma_read_block(self, qbus_word_address: int, nwords: int, ctx=None):
         """Generator: memory -> device DMA; returns the words read."""
         start = self.sim.now
         values = []
@@ -179,7 +186,10 @@ class QBus:
         if self.probe.active:
             self.probe.complete("dma.burst", "qbus", start,
                                 self.sim.now - start, direction="out",
-                                words=nwords, qbus_address=qbus_word_address)
+                                words=nwords, qbus_address=qbus_word_address,
+                                **({"trace": ctx.trace_id,
+                                    "span": ctx.span_id}
+                                   if ctx is not None else {}))
         return values
 
     def pio(self, register_cycles: int = 8):

@@ -1,0 +1,72 @@
+"""Trace-context identity for causal request tracing.
+
+A :class:`TraceContext` names one span of work inside one causal trace:
+``trace_id`` groups everything descended from a single root (a forked
+thread tree, an RPC exerciser run), ``span_id`` names this particular
+unit, and ``parent_id`` links back to the span that created it.  The
+triple is carried on :class:`~repro.topaz.thread.TopazThread` objects
+and stamped onto telemetry events (``sched.run``, ``bus.op``,
+``dma.burst``, ``rpc.call``) so the assembler in
+:mod:`repro.causal.assemble` can rebuild per-request trees offline.
+
+Identifiers come from :class:`ContextAllocator`, a plain deterministic
+counter.  It deliberately never touches the machine's seeded RNG
+streams: allocating a trace id must not perturb any simulated decision,
+so the same seed produces byte-identical runs whether or not tracing is
+enabled.
+
+>>> alloc = ContextAllocator()
+>>> root = alloc.root()
+>>> child = alloc.child(root)
+>>> (root.trace_id, child.trace_id, child.parent_id == root.span_id)
+(1, 1, True)
+"""
+
+from __future__ import annotations
+
+__all__ = ["TraceContext", "ContextAllocator"]
+
+
+class TraceContext:
+    """Immutable-by-convention (trace, span, parent) identity triple."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: int = 0) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext(trace={self.trace_id}, "
+                f"span={self.span_id}, parent={self.parent_id})")
+
+    def to_dict(self) -> dict:
+        return {"trace": self.trace_id, "span": self.span_id,
+                "parent": self.parent_id}
+
+
+class ContextAllocator:
+    """Deterministic trace/span id source (monotonic counters, no RNG)."""
+
+    __slots__ = ("_next_trace", "_next_span")
+
+    def __init__(self) -> None:
+        self._next_trace = 1
+        self._next_span = 1
+
+    def root(self) -> TraceContext:
+        """Start a new trace (a thread forked from host code)."""
+        trace = self._next_trace
+        self._next_trace += 1
+        span = self._next_span
+        self._next_span += 1
+        return TraceContext(trace, span, 0)
+
+    def child(self, parent: "TraceContext | None") -> TraceContext:
+        """A new span causally under ``parent`` (same trace)."""
+        if parent is None:
+            return self.root()
+        span = self._next_span
+        self._next_span += 1
+        return TraceContext(parent.trace_id, span, parent.span_id)

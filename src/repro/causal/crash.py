@@ -1,0 +1,161 @@
+"""Deterministic crash reports (schema ``firefly-crash/1``).
+
+:func:`capture_crash` snapshots everything a postmortem needs the
+instant something goes wrong — the error, the recent causal events out
+of the flight recorder, the wait-for graph over threads and waitables
+(with its cycle, if any), per-CPU run state, cache-line summaries and
+the in-flight bus operation.  Every field derives from simulation
+state only (no wall clock, no ids from unordered iteration), so the
+same seed produces a byte-identical report — pinned by a golden-digest
+test.
+
+The report is a plain JSON-safe dict; render it with
+:func:`repro.causal.postmortem.render_crash_report` or the
+``firefly-sim postmortem`` subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+CRASH_SCHEMA = "firefly-crash/1"
+"""Schema tag of every crash report produced here."""
+
+DEFAULT_RECENT_EVENTS = 64
+"""Recent causal events included in a report."""
+
+
+def find_cycle(edges: List[tuple]) -> List[Dict[str, str]]:
+    """The first wait-for cycle in ``(waiter, resource, holder)`` triples.
+
+    Follows waiter -> holder links (a waiter can hold several things
+    but waits on at most one); returns the cycle's edges in a
+    deterministic rotation (starting from its lexicographically
+    smallest waiter), or ``[]`` when the graph is acyclic.
+    """
+    by_waiter = {}
+    for waiter, resource, holder in sorted(edges):
+        if waiter not in by_waiter and holder:
+            by_waiter[waiter] = (resource, holder)
+    for start in sorted(by_waiter):
+        path = [start]
+        seen = {start}
+        node = start
+        while True:
+            nxt = by_waiter.get(node)
+            if nxt is None:
+                break
+            _, holder = nxt
+            if holder in seen:
+                cycle_nodes = path[path.index(holder):]
+                smallest = min(cycle_nodes)
+                i = cycle_nodes.index(smallest)
+                ordered = cycle_nodes[i:] + cycle_nodes[:i]
+                return [{"waiter": w, "resource": by_waiter[w][0],
+                         "holder": by_waiter[w][1]}
+                        for w in ordered]
+            seen.add(holder)
+            path.append(holder)
+            node = holder
+    return []
+
+
+def _thread_rows(kernel) -> List[Dict[str, Any]]:
+    rows = []
+    for thread in kernel.threads:
+        ctx = thread.ctx
+        rows.append({"name": thread.name, "tid": thread.tid,
+                     "state": thread.state.value,
+                     "blocked_on": thread.blocked_on,
+                     "last_cpu": thread.last_cpu,
+                     "trace": ctx.trace_id if ctx else 0,
+                     "span": ctx.span_id if ctx else 0})
+    return rows
+
+
+def _cpu_rows(kernel) -> List[Dict[str, Any]]:
+    rows = []
+    for cpu_id, thread in enumerate(kernel._current):
+        rows.append({"cpu": cpu_id,
+                     "running": thread.name if thread is not None else None,
+                     "queued_kernel_bundles":
+                         len(kernel._switch_queue[cpu_id])})
+    return rows
+
+
+def _cache_rows(machine) -> List[Dict[str, Any]]:
+    rows = []
+    for cache in machine.caches:
+        valid = sum(1 for _ in cache.valid_lines())
+        rows.append({"cache": cache.snooper_id,
+                     "valid_lines": valid,
+                     "dirty_fraction": round(cache.dirty_fraction(), 6),
+                     "occupancy": round(cache.occupancy(), 6)})
+    return rows
+
+
+def _bus_row(machine) -> Dict[str, Any]:
+    holder = machine.mbus._resource.holder
+    return {"in_flight": holder.name if holder is not None else None,
+            "queue_depth": machine.mbus.queue_depth}
+
+
+def _process_rows(sim) -> List[Dict[str, Any]]:
+    rows = []
+    for proc in sim._live:
+        if not proc.done:
+            rows.append({"name": proc.name,
+                         "blocked_on": proc._blocked_on})
+    rows.sort(key=lambda r: r["name"])
+    return rows
+
+
+def capture_crash(error: BaseException, subject=None, recorder=None,
+                  recent: int = DEFAULT_RECENT_EVENTS) -> Dict[str, Any]:
+    """Snapshot a deterministic crash report.
+
+    ``subject`` is a TopazKernel or FireflyMachine (kernel preferred —
+    it contributes the thread-level wait-for graph and run queues);
+    ``recorder`` an optional :class:`FlightRecorder` whose ring
+    supplies the recent causal events.
+    """
+    kernel = subject if hasattr(subject, "scheduler") else None
+    machine = getattr(subject, "machine", subject)
+    sim = machine.sim if machine is not None else None
+
+    # Wait-for edges: prefer what the error itself pinned (exact at
+    # raise time), fall back to live kernel / simulator state.
+    edges = [tuple(e) for e in getattr(error, "edges", ()) or ()]
+    if not edges and kernel is not None:
+        edges = kernel.wait_edges()
+    if not edges and sim is not None:
+        edges = sim._wait_edges()
+
+    report: Dict[str, Any] = {
+        "schema": CRASH_SCHEMA,
+        "time": sim.now if sim is not None else None,
+        "error": {"type": type(error).__name__, "message": str(error)},
+        "wait_for": {
+            "edges": [{"waiter": w, "resource": r, "holder": h}
+                      for w, r, h in edges],
+            "cycle": find_cycle(edges),
+        },
+    }
+    if kernel is not None:
+        report["cpus"] = _cpu_rows(kernel)
+        report["ready_queue"] = [t.name for t in kernel.scheduler._ready]
+        report["threads"] = _thread_rows(kernel)
+    if machine is not None:
+        report["caches"] = _cache_rows(machine)
+        report["bus"] = _bus_row(machine)
+    if sim is not None:
+        report["processes"] = _process_rows(sim)
+    if recorder is not None:
+        report["recent_events"] = recorder.recent(recent)
+        report["recorder"] = {"recorded": recorder.recorded,
+                              "dropped": recorder.dropped,
+                              "kept": len(recorder.ring)}
+    else:
+        report["recent_events"] = []
+        report["recorder"] = None
+    return report

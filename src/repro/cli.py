@@ -16,6 +16,13 @@ Subcommands:
 ``trace``
     Run a workload with full telemetry, write a Chrome-trace/JSONL
     file, and print the per-phase ASCII timeline.
+``postmortem``
+    Render a ``firefly-crash/1`` crash report (from a crash JSON or a
+    chaos report that captured one) as a human-readable postmortem:
+    the error, the wait-for cycle, per-CPU run state and the flight
+    recorder's causal timeline.  ``--scenario deadlock`` runs the
+    pinned AB/BA deadlock instead and captures the report live
+    (``--json`` saves it).  See docs/CAUSAL.md.
 ``verify``
     Static analysis: run the guard checker over every protocol's
     declarative DSL definition (exhaustiveness, determinism,
@@ -74,6 +81,8 @@ Examples::
     firefly-sim exerciser --processors 5 --telemetry-out run.trace.json
     firefly-sim exerciser --processors 5 --spans --divergence
     firefly-sim trace --workload exerciser --out trace.json
+    firefly-sim postmortem --scenario deadlock --json crash.json
+    firefly-sim postmortem crash.json
     firefly-sim fsm --protocol dragon
     firefly-sim verify --protocol firefly
     firefly-sim verify --all-protocols --dma
@@ -208,6 +217,26 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--measure-cycles", type=int, default=200_000)
     trace.add_argument("--sample-interval", type=int,
                        default=DEFAULT_SAMPLE_INTERVAL)
+
+    postmortem = sub.add_parser(
+        "postmortem", help="render a crash report (or run the pinned "
+                           "deadlock scenario and capture one)")
+    postmortem.add_argument("report", nargs="?", metavar="PATH",
+                            help="crash JSON (firefly-crash/1) or a "
+                                 "chaos report containing one; omit "
+                                 "when using --scenario")
+    postmortem.add_argument("--scenario", choices=("deadlock",),
+                            default=None,
+                            help="run this pinned crash scenario and "
+                                 "postmortem it live")
+    postmortem.add_argument("--seed", type=int, default=None,
+                            help="scenario seed (default: the pinned "
+                                 "seed)")
+    postmortem.add_argument("--json", metavar="PATH", default=None,
+                            help="write the captured crash report as "
+                                 "JSON (sorted keys, deterministic)")
+    postmortem.add_argument("--force", action="store_true",
+                            help="overwrite an existing --json file")
 
     bench = sub.add_parser(
         "bench", help="run the pinned benchmark suite (BENCH_<n>.json)")
@@ -434,7 +463,8 @@ def _finish_telemetry(args, hub, sampler) -> None:
     print()
     print(render_phase_timeline(hub, sampler))
     print()
-    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped) -> "
+    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped), "
+          f"{sampler.dropped} samples aged out -> "
           f"{args.telemetry_out} [{fmt}]")
 
 
@@ -629,10 +659,43 @@ def _cmd_trace(args) -> int:
     print()
     print(metrics.summary())
     print()
-    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped) -> "
+    print(f"telemetry: {hub.emitted} events ({hub.dropped} dropped), "
+          f"{sampler.dropped} samples aged out -> "
           f"{args.out} [{fmt}]")
     if fmt == "chrome":
         print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.causal import (PINNED_DEADLOCK_SEED, extract_crash,
+                              render_crash_report, run_pinned_deadlock)
+    from repro.common.errors import ConfigurationError
+
+    _guard_output(args.json, args.force, "--json")
+    if args.scenario == "deadlock":
+        seed = args.seed if args.seed is not None else PINNED_DEADLOCK_SEED
+        report = run_pinned_deadlock(seed=seed)
+    elif args.report is not None:
+        document = json.loads(Path(args.report).read_text())
+        report = extract_crash(document)
+        if report is None:
+            raise ConfigurationError(
+                f"{args.report} holds no firefly-crash/1 report "
+                f"(pass a crash JSON or a chaos report that captured "
+                f"one)")
+    else:
+        raise ConfigurationError(
+            "pass a crash JSON path or --scenario deadlock")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render_crash_report(report))
+    if args.json is not None:
+        print(f"postmortem: wrote {args.json}")
     return 0
 
 
@@ -678,9 +741,13 @@ def _cmd_bench(args) -> int:
         print(f"disabled-tracing overhead: "
               f"{(overhead['disabled_ratio'] - 1.0) * 100:+.1f}% "
               f"(budget {overhead['budget']:.0%})")
+        if "recorder_ratio" in overhead:
+            print(f"flight-recorder overhead: "
+                  f"{(overhead['recorder_ratio'] - 1.0) * 100:+.1f}% "
+                  f"(budget {overhead['recorder_budget']:.0%})")
         if not overhead["ok"]:
             overhead_failed = True
-            print("error: disabled span tracing exceeds its wall-clock "
+            print("error: observability overhead exceeds its wall-clock "
                   "budget", file=sys.stderr)
     print(f"bench: wrote {path}")
 
@@ -832,6 +899,7 @@ _COMMANDS = {
     "exerciser": _cmd_exerciser,
     "fsm": _cmd_fsm,
     "trace": _cmd_trace,
+    "postmortem": _cmd_postmortem,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,

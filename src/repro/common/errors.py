@@ -108,9 +108,15 @@ class DeadlockError(SimulationError):
     ``join:<name>``, ``resource:<name>``) so the message says not just
     *who* is stuck but *what kind of thing* each victim waits on, plus
     the simulation time at which the heap drained.
+
+    ``edges`` optionally carries the wait-for graph as
+    ``(waiter, resource, holder)`` triples (holder may be empty when
+    nobody owns the waitable, e.g. an event or condition); when present
+    the message names who waits on whom, and the postmortem tooling
+    walks the same triples to find the cycle.
     """
 
-    def __init__(self, blocked, now=None):
+    def __init__(self, blocked, now=None, edges=None):
         pairs = []
         for item in blocked:
             if isinstance(item, tuple):
@@ -121,7 +127,15 @@ class DeadlockError(SimulationError):
         detail = ", ".join(f"{name} waiting on {kind}"
                            for name, kind in pairs) or "<unknown>"
         at = f" at t={now}" if now is not None else ""
-        super().__init__(
-            f"simulation deadlock{at}; stuck processes: {detail}")
+        message = f"simulation deadlock{at}; stuck processes: {detail}"
+        self.edges = tuple(sorted((str(w), str(r), str(h))
+                                  for w, r, h in (edges or ())))
+        if self.edges:
+            wait_for = ", ".join(
+                f"{waiter} -> {resource}" + (f" (held by {holder})"
+                                             if holder else "")
+                for waiter, resource, holder in self.edges)
+            message += f"; wait-for: {wait_for}"
+        super().__init__(message)
         self.blocked = tuple(pairs)
         self.now = now

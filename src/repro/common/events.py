@@ -108,7 +108,8 @@ class Process:
     whatever the generator returned.
     """
 
-    __slots__ = ("_sim", "_gen", "name", "_done", "_result", "_joiners", "_blocked_on")
+    __slots__ = ("_sim", "_gen", "name", "_done", "_result", "_joiners",
+                 "_blocked_on", "_blocked_obj")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
         self._sim = sim
@@ -118,6 +119,11 @@ class Process:
         self._result: Any = None
         self._joiners: List["Process"] = []
         self._blocked_on: Optional[str] = None
+        # The waited-on Resource/Process, kept only for the deadlock
+        # report's wait-for edges (holder lookup).  Set together with
+        # _blocked_on in the matching branches; the label's prefix says
+        # whether it is current, so the hot branches never clear it.
+        self._blocked_obj: Any = None
 
     @property
     def done(self) -> bool:
@@ -163,15 +169,18 @@ class Process:
             # class check, mirroring the timeout branch.  The isinstance
             # fallback below keeps hypothetical subclasses working.
             self._blocked_on = waitable.resource._blocked_label
+            self._blocked_obj = waitable.resource
             waitable.resource._enqueue(waitable, self)
         elif isinstance(waitable, Event):
             self._blocked_on = f"event:{waitable.name}"
             waitable._add_waiter(self)
         elif isinstance(waitable, Process):
             self._blocked_on = f"join:{waitable.name}"
+            self._blocked_obj = waitable
             waitable._add_waiter(self)
         elif isinstance(waitable, _AcquireRequest):
             self._blocked_on = waitable.resource._blocked_label
+            self._blocked_obj = waitable.resource
             waitable.resource._enqueue(waitable, self)
         else:
             raise SimulationError(
@@ -372,7 +381,30 @@ class Simulator:
                 for p in self._live if not p.done
             )
             if blocked:
-                raise DeadlockError(blocked, now=self.now)
+                raise DeadlockError(blocked, now=self.now,
+                                    edges=self._wait_edges())
+
+    def _wait_edges(self):
+        """(waiter, resource, holder) triples over the live processes.
+
+        The holder is the owning process for resource waits and the
+        joined process for joins; event waits have no holder (anyone
+        may fire the event).
+        """
+        edges = []
+        for proc in self._live:
+            label = proc._blocked_on
+            if proc.done or not label:
+                continue
+            obj = proc._blocked_obj
+            holder = ""
+            if label.startswith("resource:") and obj is not None:
+                owner = obj.holder
+                holder = owner.name if owner is not None else ""
+            elif label.startswith("join:") and obj is not None:
+                holder = obj.name
+            edges.append((proc.name, label, holder))
+        return sorted(edges)
 
     def run_until(self, end_time: int) -> None:
         """Run events with timestamps ``<= end_time``, then set ``now`` there.

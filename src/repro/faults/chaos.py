@@ -88,6 +88,7 @@ class _EngineRun:
     out_of_band_windows: int
     span_kinds: int
     total_cycles: int
+    crash: Optional[Dict] = None
 
 
 def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
@@ -101,9 +102,16 @@ def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
     :class:`BusTransferError` on retry exhaustion) ends the window
     early and is reported, not swallowed.
     """
+    from repro.causal.crash import capture_crash
+    from repro.causal.recorder import FlightRecorder
+
     machine = getattr(subject, "machine", subject)
     sim = machine.sim
     hub, tracer = trace_spans(subject)
+    # Ride-along flight recorder: subscribes to the span tracer's hub
+    # (no probe slots touched), so an unrecovered fault yields a
+    # postmortem-ready crash report with the recent causal timeline.
+    recorder = FlightRecorder(subject, hub=hub)
     monitor = DivergenceMonitor(subject,
                                 interval=max(2_000, horizon.measure // 5))
     injector = FaultInjector(machine, plan, kernel=kernel)
@@ -121,6 +129,7 @@ def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
     violations_flagged = words_repaired = 0
     scrub_corrected = scrub_uncorrectable = 0
     data_loss = ""
+    crash = None
     next_audit = start + audit_interval if audit_interval else None
     next_scrub = start + scrub_interval if scrub_interval else None
 
@@ -143,6 +152,7 @@ def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
             sim.run_until(target)
         except (UncorrectableMemoryError, BusTransferError) as exc:
             data_loss = str(exc)
+            crash = capture_crash(exc, subject=subject, recorder=recorder)
             break
         if next_audit is not None and sim.now >= next_audit:
             _audit()
@@ -172,6 +182,7 @@ def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
     measured = sim.now - start
     metrics = (collect_metrics(machine, window_cycles=measured)
                if measured > 0 else None)
+    recorder.detach()
     tracer.close()
     return _EngineRun(
         injector=injector, metrics=metrics, measured=measured,
@@ -182,7 +193,8 @@ def _drive(subject, plan: FaultPlan, horizon: ChaosHorizon,
         out_of_band_windows=sum(
             monitor.out_of_band_counts[m]
             for m in sorted(monitor.out_of_band_counts)),
-        span_kinds=len(tracer.kind_stats), total_cycles=sim.now)
+        span_kinds=len(tracer.kind_stats), total_cycles=sim.now,
+        crash=crash)
 
 
 # ---------------------------------------------------------------------------
@@ -211,6 +223,7 @@ class ScenarioOutcome:
     out_of_band_windows: int = 0
     span_kinds: int = 0
     total_cycles: int = 0
+    crash: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -236,6 +249,7 @@ class ScenarioOutcome:
             "out_of_band_windows": self.out_of_band_windows,
             "span_kinds": self.span_kinds,
             "total_cycles": self.total_cycles,
+            "crash": self.crash,
         }
 
     def render(self) -> str:
@@ -258,6 +272,10 @@ class ScenarioOutcome:
                      f"{self.out_of_band_windows} out of band")
         if self.data_loss:
             lines.append(f"  data loss: {self.data_loss}")
+        if self.crash is not None:
+            kept = len(self.crash.get("recent_events") or ())
+            lines.append(f"  crash report captured ({kept} recent "
+                         f"event(s); render with firefly-sim postmortem)")
         if self.metrics:
             lines.append("  metrics:")
             for key in sorted(self.metrics):
@@ -279,7 +297,8 @@ def _outcome(scenario: ChaosScenario, horizon: ChaosHorizon, seed: int,
         words_repaired=run.words_repaired,
         divergence_samples=run.divergence_samples,
         out_of_band_windows=run.out_of_band_windows,
-        span_kinds=run.span_kinds, total_cycles=run.total_cycles)
+        span_kinds=run.span_kinds, total_cycles=run.total_cycles,
+        crash=run.crash)
 
 
 def _verdict(outcome: ScenarioOutcome, ok: bool, note: str) -> None:

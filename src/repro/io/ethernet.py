@@ -96,20 +96,23 @@ class EthernetController:
             else sim.resource(f"{name}.segment")
         self.stats = StatSet(name)
 
-    def transmit_from(self, qbus_word_address: int, payload_bytes: int):
+    def transmit_from(self, qbus_word_address: int, payload_bytes: int,
+                      ctx=None):
         """Generator: send one frame whose payload lies in mapped memory.
 
         The controller is held for the whole frame — PIO start, the
         DMA of the payload through the I/O cache, the wire time, and
         the completion-service overhead — because the DEQNA is
         single-buffered: frame N+1 cannot start until frame N's
-        completion has been serviced.
+        completion has been serviced.  ``ctx`` optionally carries the
+        caller's trace context onto the DMA burst events.
         """
         words = -(-payload_bytes // 4)
         yield self._controller.acquire()
         started = self.sim.now
         yield from self.qbus.pio(self.params.pio_cycles)
-        yield from self.qbus.dma_read_block(qbus_word_address, words)
+        yield from self.qbus.dma_read_block(qbus_word_address, words,
+                                            ctx=ctx)
         yield from self._hold_wire(payload_bytes)
         yield self.sim.timeout(self.params.controller_overhead_cycles)
         self.stats.incr("controller_cycles", self.sim.now - started)
@@ -118,7 +121,7 @@ class EthernetController:
         self.stats.incr("tx_payload_bytes", payload_bytes)
 
     def receive_into(self, qbus_word_address: int, payload_bytes: int,
-                     values=None):
+                     values=None, ctx=None):
         """Generator: one inbound frame landing in mapped memory."""
         words = -(-payload_bytes // 4)
         if values is None:
@@ -126,7 +129,8 @@ class EthernetController:
         yield self._controller.acquire()
         started = self.sim.now
         yield from self._hold_wire(payload_bytes)
-        yield from self.qbus.dma_write_block(qbus_word_address, values)
+        yield from self.qbus.dma_write_block(qbus_word_address, values,
+                                             ctx=ctx)
         yield self.sim.timeout(self.params.controller_overhead_cycles)
         self.stats.incr("controller_cycles", self.sim.now - started)
         self._controller.release(self._controller.holder)

@@ -359,6 +359,75 @@ def _section_chaos(campaigns: Sequence[Tuple[str, List[Dict]]]) -> str:
             + "".join(rows) + "</table>")
 
 
+def _section_observability(bench_docs: Sequence[Tuple[str, Dict]],
+                           campaigns: Sequence[Tuple[str, List[Dict]]]
+                           ) -> str:
+    """Observability health: overhead gates and ring-drop counters.
+
+    Per BENCH file, the disabled-tracing and flight-recorder wall-clock
+    ratios against their budgets; per chaos trial that captured a crash
+    report, the recorder's ring counters (recorded / kept / aged out) —
+    the bounded buffers' ``dropped`` counters made visible instead of
+    silently overwriting.
+    """
+    parts = []
+    rows = []
+    for file_name, doc in bench_docs:
+        overhead = doc.get("overhead")
+        if not isinstance(overhead, dict):
+            continue
+
+        def _ratio_cell(ratio, budget):
+            if ratio is None:
+                return "<td>—</td><td></td>"
+            chip = ("<span class='chip good'>OK</span>"
+                    if ratio <= 1.0 + (budget or 0)
+                    else "<span class='chip bad'>over</span>")
+            return f"<td>{(ratio - 1.0) * 100:+.1f}%</td><td>{chip}</td>"
+
+        rows.append(
+            f"<tr><td class='mono'>{_esc(file_name)}</td>"
+            + _ratio_cell(overhead.get("disabled_ratio"),
+                          overhead.get("budget"))
+            + _ratio_cell(overhead.get("recorder_ratio"),
+                          overhead.get("recorder_budget"))
+            + "</tr>")
+    if rows:
+        parts.append(
+            "<p class='sub'>wall-clock cost of the probe layer: "
+            "disabled tracing and the always-on flight recorder, each "
+            "gated at its budget</p>"
+            "<table><tr><th>BENCH file</th><th>disabled</th><th></th>"
+            "<th>recorder</th><th></th></tr>" + "".join(rows)
+            + "</table>")
+
+    drop_rows = []
+    for name, ledger_rows in campaigns:
+        for row in ledger_rows:
+            crash = (row.get("result") or {}).get("crash") \
+                if isinstance(row.get("result"), dict) else None
+            if not crash:
+                continue
+            counters = crash.get("recorder") or {}
+            drop_rows.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f"<td>{_esc(row.get('label', '?'))}</td>"
+                f"<td>{counters.get('recorded', '—')}</td>"
+                f"<td>{counters.get('kept', '—')}</td>"
+                f"<td>{counters.get('dropped', '—')}</td></tr>")
+    if drop_rows:
+        parts.append(
+            "<h3>captured crash reports</h3>"
+            "<p class='sub'>flight-recorder ring counters at capture "
+            "time (render with <span class='mono'>firefly-sim "
+            "postmortem</span>)</p>"
+            "<table><tr><th>campaign</th><th>trial</th>"
+            "<th>recorded</th><th>kept</th><th>aged out</th></tr>"
+            + "".join(drop_rows) + "</table>")
+    return "".join(parts) or ("<p class='note'>no overhead blocks or "
+                              "crash reports yet</p>")
+
+
 def _section_campaigns(campaigns: Sequence[Tuple[str, List[Dict]]]) -> str:
     if not campaigns:
         return "<p class='note'>no campaign ledgers in the store</p>"
@@ -422,6 +491,8 @@ def render_dashboard(bench_docs: Sequence[Tuple[str, Dict]],
         _section_residuals(bench_docs, campaigns),
         "<h2>Chaos recovery ledger</h2>",
         _section_chaos(campaigns),
+        "<h2>Observability health</h2>",
+        _section_observability(bench_docs, campaigns),
         "<h2>Campaigns</h2>",
         _section_campaigns(campaigns),
     ]

@@ -19,7 +19,8 @@ and streamable into pandas/jq.
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Union
+from bisect import bisect_left
+from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.types import SECONDS_PER_CYCLE
 from repro.telemetry.probe import COMPLETE, INSTANT, TelemetryHub
@@ -29,6 +30,9 @@ MICROSECONDS_PER_CYCLE = SECONDS_PER_CYCLE * 1e6
 """Chrome-trace ``ts`` units per simulator cycle (0.1 µs per cycle)."""
 
 _PID = 0
+
+_CAUSAL_SOURCES = ("causal.fork", "causal.wake")
+"""Instants that start a flow arrow to the woken span's next dispatch."""
 
 
 def _flatten_series(samplers: Sequence[Union[Sampler, Series]]) -> List[Series]:
@@ -41,35 +45,104 @@ def _flatten_series(samplers: Sequence[Union[Sampler, Series]]) -> List[Series]:
     return series
 
 
+def _assign_track_ids(tracks: Iterable[str],
+                      process_name: str) -> Tuple[Dict[str, Tuple[int, int]],
+                                                  List[Dict[str, Any]]]:
+    """Map tracks to (pid, tid) pairs plus the metadata events.
+
+    Dotted tracks (``m1.cpu0``) group under a per-prefix process so a
+    multi-machine hub renders one Chrome process per machine; plain
+    tracks live in the base process (pid 0).
+    """
+    pids: Dict[str, int] = {"": _PID}
+    next_tid: Dict[int, int] = {}
+    ids: Dict[str, Tuple[int, int]] = {}
+    meta: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": process_name},
+    }]
+    for track in tracks:
+        prefix, _, local = track.rpartition(".")
+        if prefix not in pids:
+            pid = pids[prefix] = len(pids)
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": f"{process_name}:{prefix}"}})
+        pid = pids[prefix]
+        tid = next_tid.get(pid, 0)
+        next_tid[pid] = tid + 1
+        ids[track] = (pid, tid)
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": local or track}})
+        meta.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"sort_index": tid}})
+    return ids, meta
+
+
+def _flow_events(hub: TelemetryHub,
+                 ids: Dict[str, Tuple[int, int]]) -> List[Dict[str, Any]]:
+    """Chrome flow arrows (``ph: s``/``f``) for the causal links.
+
+    Each ``causal.fork``/``causal.wake`` instant starts an arrow that
+    ends at the woken span's first ``sched.run`` dispatch at or after
+    the wake; arrows with no subsequent dispatch are dropped rather
+    than left dangling.
+    """
+    dispatches: Dict[int, List[Tuple[int, Any]]] = {}
+    for event in hub.events:
+        if event.name == "sched.run":
+            span = dict(event.args).get("span")
+            if span:
+                dispatches.setdefault(span, []).append((event.time, event))
+
+    flows: List[Dict[str, Any]] = []
+    flow_id = 0
+    for event in hub.events:
+        if event.name not in _CAUSAL_SOURCES:
+            continue
+        span = dict(event.args).get("span")
+        runs = dispatches.get(span)
+        if not runs:
+            continue
+        i = bisect_left(runs, (event.time,))
+        if i == len(runs):
+            continue
+        run_time, run = runs[i]
+        flow_id += 1
+        src_pid, src_tid = ids[event.track]
+        dst_pid, dst_tid = ids[run.track]
+        common = {"name": event.name, "cat": "causal", "id": flow_id}
+        flows.append({**common, "ph": "s",
+                      "ts": event.time * MICROSECONDS_PER_CYCLE,
+                      "pid": src_pid, "tid": src_tid})
+        flows.append({**common, "ph": "f", "bp": "e",
+                      "ts": run_time * MICROSECONDS_PER_CYCLE,
+                      "pid": dst_pid, "tid": dst_tid})
+    return flows
+
+
 def chrome_trace(hub: TelemetryHub,
                  samplers: Sequence[Union[Sampler, Series]] = (),
                  process_name: str = "firefly-sim") -> Dict[str, Any]:
     """Build a ``chrome://tracing`` JSON object from a hub + samplers.
 
-    Tracks are assigned thread ids in first-appearance order and named
-    via metadata events; ``X`` (complete) events carry their duration,
-    instants render as arrows, and sampler series become counters.
+    Tracks are assigned (pid, tid) pairs in first-appearance order —
+    dotted tracks group into per-prefix processes — and named via
+    metadata events; ``X`` (complete) events carry their duration,
+    instants render as marks, causal fork/wake links become flow
+    arrows, and sampler series become counters.
     """
-    events: List[Dict[str, Any]] = [{
-        "name": "process_name", "ph": "M", "pid": _PID,
-        "args": {"name": process_name},
-    }]
-    tids: Dict[str, int] = {}
-    for track in hub.tracks():
-        tid = tids[track] = len(tids)
-        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
-                       "tid": tid, "args": {"name": track}})
-        events.append({"name": "thread_sort_index", "ph": "M", "pid": _PID,
-                       "tid": tid, "args": {"sort_index": tid}})
+    series = _flatten_series(samplers)
+    ids, events = _assign_track_ids(hub.tracks(), process_name)
 
     for event in hub.events:
+        pid, tid = ids[event.track]
         record: Dict[str, Any] = {
             "name": event.name,
             "cat": event.name.split(".", 1)[0],
             "ph": event.phase,
             "ts": event.time * MICROSECONDS_PER_CYCLE,
-            "pid": _PID,
-            "tid": tids[event.track],
+            "pid": pid,
+            "tid": tid,
             "args": dict(event.args),
         }
         if event.phase == COMPLETE:
@@ -78,10 +151,12 @@ def chrome_trace(hub: TelemetryHub,
             record["s"] = "t"  # thread-scoped instant
         events.append(record)
 
-    for series in _flatten_series(samplers):
-        for time, value in series.samples():
+    events.extend(_flow_events(hub, ids))
+
+    for item in series:
+        for time, value in item.samples():
             events.append({
-                "name": series.name, "cat": "sample", "ph": "C",
+                "name": item.name, "cat": "sample", "ph": "C",
                 "ts": time * MICROSECONDS_PER_CYCLE, "pid": _PID,
                 "args": {"value": value},
             })
@@ -92,6 +167,7 @@ def chrome_trace(hub: TelemetryHub,
         "otherData": {
             "emitted": hub.emitted,
             "dropped": hub.dropped,
+            "samples_dropped": sum(s.dropped for s in series),
             "cycle_ns": SECONDS_PER_CYCLE * 1e9,
         },
     }
@@ -108,16 +184,18 @@ def jsonl_records(hub: TelemetryHub,
                   samplers: Sequence[Union[Sampler, Series]] = ()
                   ) -> Iterable[Dict[str, Any]]:
     """Yield the JSONL records: meta header, events, then samples."""
+    series = _flatten_series(samplers)
     yield {"type": "meta", "format": "firefly-telemetry", "version": 1,
            "cycle_ns": SECONDS_PER_CYCLE * 1e9, "emitted": hub.emitted,
-           "dropped": hub.dropped}
+           "dropped": hub.dropped,
+           "samples_dropped": sum(s.dropped for s in series)}
     for event in hub.events:
         record = event.to_dict()
         record["type"] = "event"
         yield record
-    for series in _flatten_series(samplers):
-        for time, value in series.samples():
-            yield {"type": "sample", "series": series.name,
+    for item in series:
+        for time, value in item.samples():
+            yield {"type": "sample", "series": item.name,
                    "time": time, "value": value}
 
 

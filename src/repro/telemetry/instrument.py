@@ -19,29 +19,37 @@ DEFAULT_SAMPLE_INTERVAL = 2_000
 """Cycles between time-series samples (200 µs of simulated time)."""
 
 
-def attach_machine(hub: TelemetryHub, machine) -> TelemetryHub:
-    """Wire live probes into a machine's bus, caches, and QBus."""
-    machine.probe = hub.probe("machine")
-    machine.mbus.probe = hub.probe("bus")
+def attach_machine(hub: TelemetryHub, machine,
+                   track_prefix: str = "") -> TelemetryHub:
+    """Wire live probes into a machine's bus, caches, and QBus.
+
+    ``track_prefix`` (e.g. ``"m1."``) keeps several machines on one
+    hub apart: exporters group dotted tracks into per-machine
+    processes.
+    """
+    machine.probe = hub.probe("machine", track_prefix)
+    machine.mbus.probe = hub.probe("bus", track_prefix)
     for cache in machine.caches:
-        cache.probe = hub.probe("cache")
+        cache.probe = hub.probe("cache", track_prefix)
     if machine.qbus is not None:
-        machine.qbus.probe = hub.probe("dma")
+        machine.qbus.probe = hub.probe("dma", track_prefix)
     return hub
 
 
-def attach_kernel(hub: TelemetryHub, kernel) -> TelemetryHub:
+def attach_kernel(hub: TelemetryHub, kernel,
+                  track_prefix: str = "") -> TelemetryHub:
     """Wire probes into a Topaz kernel and its underlying machine."""
-    attach_machine(hub, kernel.machine)
-    probe = hub.probe("sched")
+    attach_machine(hub, kernel.machine, track_prefix)
+    probe = hub.probe("sched", track_prefix)
     kernel.probe = probe
     kernel.scheduler.probe = probe
     return hub
 
 
-def attach_rpc(hub: TelemetryHub, transport) -> TelemetryHub:
+def attach_rpc(hub: TelemetryHub, transport,
+               track_prefix: str = "") -> TelemetryHub:
     """Wire a probe into an RPC transport (call + turnaround spans)."""
-    transport.probe = hub.probe("rpc")
+    transport.probe = hub.probe("rpc", track_prefix)
     return hub
 
 

@@ -94,27 +94,35 @@ class Probe:
     it so the disabled path allocates nothing.
     """
 
-    __slots__ = ("category", "hub", "active")
+    __slots__ = ("category", "hub", "active", "track_prefix")
 
-    def __init__(self, category: str, hub: "TelemetryHub") -> None:
+    def __init__(self, category: str, hub: "TelemetryHub",
+                 track_prefix: str = "") -> None:
         self.category = category
         self.hub = hub
-        self.active = hub.enabled
+        self.active = hub.probe_active(category)
+        self.track_prefix = track_prefix
 
     def instant(self, name: str, track: str, **args) -> None:
         """Emit a point event stamped at the hub's current time."""
         hub = self.hub
+        if self.track_prefix:
+            track = self.track_prefix + track
         hub.record(TelemetryEvent(name, hub.now(), track, INSTANT, 0,
                                   tuple(args.items())))
 
     def instant_at(self, name: str, track: str, time: int, **args) -> None:
         """Emit a point event at an explicit (earlier) timestamp."""
+        if self.track_prefix:
+            track = self.track_prefix + track
         self.hub.record(TelemetryEvent(name, time, track, INSTANT, 0,
                                        tuple(args.items())))
 
     def complete(self, name: str, track: str, start: int, duration: int,
                  **args) -> None:
         """Emit a duration event covering ``[start, start+duration)``."""
+        if self.track_prefix:
+            track = self.track_prefix + track
         self.hub.record(TelemetryEvent(name, start, track, COMPLETE,
                                        duration, tuple(args.items())))
 
@@ -142,18 +150,31 @@ class TelemetryHub:
         self.emitted = 0
         self.dropped = 0
         self._enabled = True
-        self._probes: Dict[str, Probe] = {}
+        self._categories: Optional[frozenset] = None
+        self._probes: Dict[Tuple[str, str], Probe] = {}
         self._subscribers: List[Tuple[str, Subscriber]] = []
 
     # -- registry ------------------------------------------------------
 
-    def probe(self, category: str) -> Probe:
-        """Return (creating if needed) the probe for ``category``."""
-        probe = self._probes.get(category)
+    def probe(self, category: str, track_prefix: str = "") -> Probe:
+        """Return (creating if needed) the probe for ``category``.
+
+        ``track_prefix`` is prepended to every track the probe emits on
+        (e.g. ``"m1."`` turns ``cpu0`` into ``m1.cpu0``), letting one hub
+        collect several machines onto disjoint timeline rows.
+        """
+        key = (category, track_prefix)
+        probe = self._probes.get(key)
         if probe is None:
-            probe = Probe(category, self)
-            self._probes[category] = probe
+            probe = Probe(category, self, track_prefix)
+            self._probes[key] = probe
         return probe
+
+    def probe_active(self, category: str) -> bool:
+        """Whether a probe of ``category`` should currently be live."""
+        if not self._enabled:
+            return False
+        return self._categories is None or category in self._categories
 
     @property
     def enabled(self) -> bool:
@@ -163,8 +184,22 @@ class TelemetryHub:
     @enabled.setter
     def enabled(self, value: bool) -> None:
         self._enabled = bool(value)
-        for probe in self._probes.values():
-            probe.active = self._enabled
+        self._refresh_probes()
+
+    def enable_only(self, categories) -> None:
+        """Restrict live probes to ``categories`` (None lifts the filter).
+
+        The filter composes with ``enabled`` and applies to probes handed
+        out later too — the flight recorder uses it to keep hot-path
+        categories (``bus``, ``cache``) dark while recording scheduler
+        and RPC events.
+        """
+        self._categories = None if categories is None else frozenset(categories)
+        self._refresh_probes()
+
+    def _refresh_probes(self) -> None:
+        for (category, _prefix), probe in self._probes.items():
+            probe.active = self.probe_active(category)
 
     # -- event flow ----------------------------------------------------
 

@@ -137,6 +137,16 @@ class Sampler:
         """Every registered series, in registration order."""
         return list(self._series.values())
 
+    @property
+    def dropped(self) -> int:
+        """Total samples evicted across all series by the ring bounds.
+
+        Ring buffers overwrite silently on wrap; this counter makes the
+        loss visible so ``firefly-sim trace`` and the dashboard can say
+        how much history the retained curves are missing.
+        """
+        return sum(series.dropped for series in self._series.values())
+
     # -- sampling ------------------------------------------------------
 
     def start(self) -> None:

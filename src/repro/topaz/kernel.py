@@ -29,7 +29,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.causal.context import ContextAllocator, TraceContext
+from repro.common.errors import (ConfigurationError, DeadlockError,
+                                 SimulationError)
 from repro.common.events import Event
 from repro.common.stats import StatSet
 from repro.common.types import AccessKind, MemRef
@@ -125,6 +127,13 @@ class TopazKernel:
         self._next_tid = 0
         self._token = 1 << 50
 
+        #: Deterministic trace/span id source (plain counters — never
+        #: the machine's seeded RNG, so tracing cannot perturb a run).
+        self.causal = ContextAllocator()
+        self._cpu_ctx: List[Optional[TraceContext]] = [None] * n
+        self.mutexes: List[Mutex] = []
+        self.conditions: List[Condition] = []
+
         # Shared-heap allocator (scheduler data, TCBs, sync words).
         shared = self.machine.shared_region
         self._shared_cursor = shared.base_word
@@ -150,6 +159,12 @@ class TopazKernel:
         for cpu_id in range(n):
             self.machine.mbus.register_interrupt_handler(
                 cpu_id, self._ipi_received)
+
+        # Lets the bus stamp trace/span onto bus.op events: the cache
+        # initiator id equals the CPU id, and this kernel knows which
+        # thread context each CPU is running.  Only consulted when the
+        # bus probe is active.
+        self.machine.mbus.context_source = self._context_for_initiator
 
         self.address_spaces: List[AddressSpace] = []
         self._default_space = self._create_default_spaces()
@@ -226,12 +241,16 @@ class TopazKernel:
     def mutex(self, name: str = "") -> Mutex:
         """Allocate a mutex backed by one shared word."""
         address = self.alloc_shared(1, f"mutex {name or '?'}")
-        return Mutex(address, name or f"mutex@{address:#x}")
+        mutex = Mutex(address, name or f"mutex@{address:#x}")
+        self.mutexes.append(mutex)
+        return mutex
 
     def condition(self, name: str = "") -> Condition:
         """Allocate a condition variable backed by one shared word."""
         address = self.alloc_shared(1, f"condition {name or '?'}")
-        return Condition(address, name or f"cond@{address:#x}")
+        condition = Condition(address, name or f"cond@{address:#x}")
+        self.conditions.append(condition)
+        return condition
 
     def fork(self, fn, *args, name: str = "",
              space: Optional[AddressSpace] = None) -> TopazThread:
@@ -241,7 +260,8 @@ class TopazKernel:
         return thread
 
     def _create_thread(self, fn, args: Tuple, name: str,
-                       space: Optional[AddressSpace]) -> TopazThread:
+                       space: Optional[AddressSpace],
+                       parent: Optional[TopazThread] = None) -> TopazThread:
         tid = self._next_tid
         self._next_tid += 1
         space = space or self._default_space
@@ -273,6 +293,10 @@ class TopazKernel:
             sweep_base=sweep_base, sweep_words=sweep_words,
             base_cycles_per_instruction=params.thread_base_cycles)
         thread = TopazThread(tid, name, fn, args, footprint, tcb, space)
+        # Host-forked threads root a new trace; ops.Fork children join
+        # their parent's trace one span down.
+        thread.ctx = (self.causal.child(parent.ctx) if parent is not None
+                      else self.causal.root())
         self.threads.append(thread)
         self.stats.incr("threads_created")
         return thread
@@ -333,6 +357,7 @@ class TopazKernel:
                          and previous_cpu != cpu_id)
         thread.note_dispatch(cpu_id)
         self._current[cpu_id] = thread
+        self._cpu_ctx[cpu_id] = thread.ctx
         self._run_since[cpu_id] = self.sim.now
         if self.params.time_slice_instructions is not None:
             self._slice_left[cpu_id] = self.params.time_slice_instructions
@@ -356,9 +381,13 @@ class TopazKernel:
         start = self._run_since[cpu_id]
         self._run_since[cpu_id] = None
         if self.probe.active and start is not None:
+            ctx = thread.ctx
             self.probe.complete("sched.run", self._cpu_tracks[cpu_id],
                                 start, self.sim.now - start,
-                                thread=thread.name, reason=reason)
+                                thread=thread.name, tid=thread.tid,
+                                trace=ctx.trace_id if ctx else 0,
+                                span=ctx.span_id if ctx else 0,
+                                reason=reason)
 
     def _context_switch_bundles(self, cpu_id: int,
                                 incoming: TopazThread) -> List[InstructionBundle]:
@@ -444,8 +473,16 @@ class TopazKernel:
             self._do_signal(thread, op.condition, broadcast=True)
             return True
         if isinstance(op, ops.Fork):
-            child = self._create_thread(op.fn, op.args, op.name, thread.space)
+            child = self._create_thread(op.fn, op.args, op.name, thread.space,
+                                        parent=thread)
             self.stats.incr("forks")
+            if self.probe.active:
+                ctx = child.ctx
+                self.probe.instant("causal.fork", self._cpu_tracks[cpu_id],
+                                   parent=thread.name, child=child.name,
+                                   tid=child.tid, trace=ctx.trace_id,
+                                   span=ctx.span_id,
+                                   parent_span=ctx.parent_id)
             # Touch the child's TCB: thread creation is cheap but real.
             thread.pending.append(self._op_bundle(
                 thread, [MemRef(child.tcb_address, AccessKind.DATA_WRITE)],
@@ -462,6 +499,9 @@ class TopazKernel:
             target.joiners.append(thread)
             self._block(cpu_id, thread, f"join:{target.name}")
             return False
+        if isinstance(op, ops.CurrentThread):
+            thread.inbox = thread
+            return True
         if isinstance(op, ops.YieldCpu):
             self.stats.incr("yields")
             self._note_offcpu(cpu_id, thread, "yield")
@@ -487,6 +527,7 @@ class TopazKernel:
         """
         result = yield from gen
         thread.inbox = result
+        wake_cause = thread.blocked_on or "device"
         if self.params.interrupt_service_instructions > 0:
             self.stats.incr("device_interrupts")
             self._switch_queue[0].extend(
@@ -498,7 +539,7 @@ class TopazKernel:
             if event is not None and not event.fired:
                 self._idle_events[0] = None
                 event.succeed()
-        self._make_ready(thread)
+        self._make_ready(thread, cause=wake_cause)
 
     def _interrupt_bundles(self, thread: TopazThread):
         """The interrupt service routine's instruction stream."""
@@ -546,7 +587,8 @@ class TopazKernel:
         thread.pending.append(self._op_bundle(
             thread, [MemRef(mutex.address, AccessKind.DATA_WRITE)], (value,)))
         if successor is not None:
-            self._make_ready(successor)
+            self._make_ready(successor, cause=f"unlock:{mutex.name}",
+                             waker=thread)
 
     def _do_wait(self, cpu_id: int, thread: TopazThread,
                  condition: Condition, mutex: Mutex) -> bool:
@@ -559,7 +601,8 @@ class TopazKernel:
              MemRef(mutex.address, AccessKind.DATA_WRITE)],
             (1 if successor is not None else 0,)))
         if successor is not None:
-            self._make_ready(successor)
+            self._make_ready(successor, cause=f"unlock:{mutex.name}",
+                             waker=thread)
         condition.add_waiter(thread)
         thread.wait_mutex = mutex
         self._block(cpu_id, thread, f"wait:{condition.name}")
@@ -574,9 +617,12 @@ class TopazKernel:
             thread, [MemRef(condition.address, AccessKind.DATA_WRITE)],
             (condition.sequence,)))
         for waiter in woken:
-            self._wake_from_wait(waiter)
+            self._wake_from_wait(waiter, signaller=thread,
+                                 condition=condition)
 
-    def _wake_from_wait(self, waiter: TopazThread) -> None:
+    def _wake_from_wait(self, waiter: TopazThread,
+                        signaller: Optional[TopazThread] = None,
+                        condition: Optional[Condition] = None) -> None:
         """Mesa semantics: a signalled waiter re-acquires its mutex."""
         mutex: Mutex = getattr(waiter, "wait_mutex")
         waiter.wait_mutex = None
@@ -585,7 +631,8 @@ class TopazKernel:
             waiter.blocked_on = f"lock:{mutex.name}"
         else:
             mutex.acquire_by(waiter)
-            self._make_ready(waiter)
+            cause = f"signal:{condition.name}" if condition else "signal"
+            self._make_ready(waiter, cause=cause, waker=signaller)
 
     def _block(self, cpu_id: int, thread: TopazThread, why: str) -> None:
         thread.state = ThreadState.BLOCKED
@@ -603,15 +650,38 @@ class TopazKernel:
         while thread.joiners:
             joiner = thread.joiners.popleft()
             joiner.inbox = result
-            self._make_ready(joiner)
+            self._make_ready(joiner, cause=f"join:{thread.name}",
+                             waker=thread)
 
-    def _make_ready(self, thread: TopazThread) -> None:
+    def _make_ready(self, thread: TopazThread,
+                    cause: Optional[str] = None,
+                    waker: Optional[TopazThread] = None) -> None:
+        if cause is not None and self.probe.active:
+            ctx = thread.ctx
+            waker_ctx = waker.ctx if waker is not None else None
+            self.probe.instant("causal.wake", "sched",
+                               thread=thread.name, tid=thread.tid,
+                               trace=ctx.trace_id if ctx else 0,
+                               span=ctx.span_id if ctx else 0,
+                               waker_span=(waker_ctx.span_id
+                                           if waker_ctx else 0),
+                               cause=cause)
         self.scheduler.enqueue(thread)
         self.stats.incr("wakeups")
         self._kick_idle_cpu(preferred=thread.last_cpu)
 
     def _ipi_received(self, sender: int) -> None:
         self.stats.incr("ipis_received")
+
+    def _context_for_initiator(self, initiator: int) -> Optional[TraceContext]:
+        """The trace context of the thread running on ``initiator``.
+
+        Cache initiator ids equal CPU ids; DMA and other non-CPU
+        initiators fall outside the range and carry no context.
+        """
+        if 0 <= initiator < len(self._cpu_ctx):
+            return self._cpu_ctx[initiator]
+        return None
 
     def offline_cpu(self, cpu_id: int):
         """Fail a CPU board under Topaz; its thread survives.
@@ -673,19 +743,69 @@ class TopazKernel:
                             slice_cycles: int = 50_000) -> int:
         """Run until every thread is DONE; return the finish time.
 
-        Raises :class:`SimulationError` if the horizon passes first
-        (usually a deadlocked program).
+        Raises :class:`DeadlockError` as soon as a slice ends with
+        every live thread blocked on a lock, condition or join (nothing
+        left that could wake them), and :class:`SimulationError` if the
+        horizon passes first (livelock, or simply too small a budget).
         """
         self.machine.start()
         deadline = self.sim.now + max_cycles
         while self.sim.now < deadline:
             if all(t.done for t in self.threads):
                 return self.sim.now
+            if self._thread_deadlock():
+                blocked = sorted((t.name, t.blocked_on or "?")
+                                 for t in self.threads if not t.done)
+                raise DeadlockError(blocked, now=self.sim.now,
+                                    edges=self.wait_edges())
             self.sim.run_until(min(self.sim.now + slice_cycles, deadline))
         stuck = [f"{t.name}({t.blocked_on})" for t in self.threads
                  if not t.done]
         raise SimulationError(
             f"threads still live at horizon: {', '.join(stuck) or 'none?'}")
+
+    def _thread_deadlock(self) -> bool:
+        """True when no live thread can ever run again.
+
+        Every live thread must be blocked on a lock/condition/join
+        (device waits resolve externally), with nothing on a CPU, no
+        ready work, and no queued kernel-mode instructions.
+        """
+        live = [t for t in self.threads if not t.done]
+        if not live or self.scheduler.ready_count > 0:
+            return False
+        if any(t is not None for t in self._current):
+            return False
+        if any(self._switch_queue):
+            return False
+        for thread in live:
+            why = thread.blocked_on
+            if why is None or not why.startswith(("lock:", "wait:", "join:")):
+                return False
+        return True
+
+    def wait_edges(self) -> List[Tuple[str, str, str]]:
+        """(waiter, resource, holder) for every blocked thread.
+
+        The holder is the mutex owner for ``lock:`` waits, the awaited
+        thread for ``join:`` waits, and empty for condition waits
+        (anyone could signal).  Sorted for deterministic reports.
+        """
+        mutex_by_name = {m.name: m for m in self.mutexes}
+        edges = []
+        for thread in self.threads:
+            why = thread.blocked_on
+            if thread.done or not why:
+                continue
+            holder = ""
+            if why.startswith("lock:"):
+                mutex = mutex_by_name.get(why[5:])
+                if mutex is not None and mutex.owner is not None:
+                    holder = mutex.owner.name
+            elif why.startswith("join:"):
+                holder = why[5:]
+            edges.append((thread.name, why, holder))
+        return sorted(edges)
 
     @property
     def total_migrations(self) -> int:

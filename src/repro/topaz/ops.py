@@ -139,6 +139,19 @@ class YieldCpu:
     and reschedule themselves')."""
 
 
+@dataclass(frozen=True)
+class CurrentThread:
+    """Yield the running :class:`~repro.topaz.thread.TopazThread` back
+    into the generator.
+
+    Costs zero simulated time and no memory traffic — library code
+    (e.g. the RPC runtime) uses it to read the caller's identity and
+    trace context without changing any timing::
+
+        me = yield CurrentThread()
+    """
+
+
 class DeviceCall:
     """Block this thread on a device operation (a kernel-process
     generator), e.g. a disk transfer or an Ethernet frame.

@@ -85,15 +85,23 @@ class RpcTransport:
 
     # -- inter-machine calls ----------------------------------------------
 
-    def call(self):
-        """Topaz program fragment: one bulk-data call (use ``yield from``)."""
+    def call(self, cls: str = "rpc"):
+        """Topaz program fragment: one bulk-data call (use ``yield from``).
+
+        ``cls`` labels the request class for the causal assembler's
+        per-class latency percentiles (e.g. ``"bulk"`` vs ``"ping"``).
+        """
         p = self.params
         call_start = self.kernel.sim.now
+        # Identity read: zero simulated cost, lets the call carry its
+        # caller's trace context onto every event it causes.
+        caller = yield ops.CurrentThread()
+        ctx = self.kernel.causal.child(caller.ctx)
         yield ops.Compute(p.marshal_instructions)
         for packet in range(p.packets_per_call):
             yield ops.DeviceCall(
                 self.ethernet.transmit_from(self.buffer_qbus_address,
-                                            p.payload_bytes),
+                                            p.payload_bytes, ctx=ctx),
                 label="rpc-tx")
             # Goodput is accounted per delivered packet (matching a
             # wire-side measurement, and avoiding call-granularity
@@ -104,10 +112,11 @@ class RpcTransport:
                              label="rpc-server")
         if self.probe.active:
             self.probe.complete("rpc.turnaround", "rpc", turnaround_start,
-                                self.kernel.sim.now - turnaround_start)
+                                self.kernel.sim.now - turnaround_start,
+                                trace=ctx.trace_id, span=ctx.span_id)
         yield ops.DeviceCall(
             self.ethernet.receive_into(self.buffer_qbus_address,
-                                       p.reply_bytes),
+                                       p.reply_bytes, ctx=ctx),
             label="rpc-rx")
         yield ops.Compute(p.unmarshal_instructions)
         self.stats.incr("calls")
@@ -115,7 +124,10 @@ class RpcTransport:
             self.probe.complete("rpc.call", "rpc", call_start,
                                 self.kernel.sim.now - call_start,
                                 bits=p.data_bits_per_call,
-                                packets=p.packets_per_call)
+                                packets=p.packets_per_call,
+                                thread=caller.name, tid=caller.tid,
+                                trace=ctx.trace_id, span=ctx.span_id,
+                                parent_span=ctx.parent_id, cls=cls)
 
     def client_program(self, calls: int):
         """A thread body performing ``calls`` back-to-back calls."""
@@ -136,12 +148,21 @@ class RpcTransport:
         the forced reschedule pair, modelled by two yields around the
         copy work.
         """
+        start = self.kernel.sim.now
+        caller = yield ops.CurrentThread()
         copy_instructions = max(4, argument_words // 2)
         yield ops.Compute(copy_instructions)
         yield ops.YieldCpu()              # into the server's space
         yield ops.Compute(copy_instructions)
         yield ops.YieldCpu()              # back to the caller
         self.stats.incr("local_calls")
+        if self.probe.active:
+            ctx = caller.ctx
+            self.probe.complete("rpc.local", "rpc", start,
+                                self.kernel.sim.now - start,
+                                thread=caller.name, tid=caller.tid,
+                                trace=ctx.trace_id if ctx else 0,
+                                span=ctx.span_id if ctx else 0)
 
     # -- measurement ---------------------------------------------------------------
 

@@ -48,7 +48,10 @@ class Scheduler:
         self._ready.append(thread)
         self.enqueues += 1
         if self.probe.active:
+            ctx = thread.ctx
             self.probe.instant("sched.ready", "sched", thread=thread.name,
+                               tid=thread.tid,
+                               span=ctx.span_id if ctx else 0,
                                depth=len(self._ready))
 
     def pick(self, cpu_id: int) -> Optional[TopazThread]:

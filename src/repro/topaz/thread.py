@@ -185,6 +185,7 @@ class TopazThread:
         self.result: Any = None
         self.joiners: Deque["TopazThread"] = deque()
         self.wait_mutex = None  # set while blocked in Condition.Wait
+        self.ctx = None  # TraceContext, assigned by the kernel at creation
 
         # Execution-expansion state, driven by the kernel:
         self.compute_remaining = 0

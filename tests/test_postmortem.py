@@ -1,0 +1,146 @@
+"""Postmortems: the pinned deadlock, crash reports and the CLI.
+
+The headline assertion is the golden digest: `run_pinned_deadlock()`
+is fully deterministic (simulated time only, counter-allocated ids,
+sorted-key JSON), so the same seed must produce a byte-identical
+firefly-crash/1 report forever.  If an intentional change to the
+kernel, scheduler or crash schema moves the digest, re-pin it here
+and in docs/CAUSAL.md in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.causal import (PINNED_DEADLOCK_SEED, capture_crash,
+                          extract_crash, find_cycle, render_crash_report,
+                          report_digest, run_pinned_deadlock)
+from repro.cli import main
+
+pytestmark = pytest.mark.causal
+
+PINNED_DIGEST = "3979a83b9eadd4da"
+
+
+# ---------------------------------------------------------------------------
+# cycle finding
+
+
+class TestFindCycle:
+    def test_simple_cycle(self):
+        edges = [("a", "lock:x", "b"), ("b", "lock:y", "a")]
+        cycle = find_cycle(edges)
+        assert [e["waiter"] for e in cycle] == ["a", "b"]
+        assert cycle[0] == {"waiter": "a", "resource": "lock:x",
+                            "holder": "b"}
+
+    def test_acyclic_graph_is_empty(self):
+        edges = [("a", "lock:x", "b"), ("b", "lock:y", "c")]
+        assert find_cycle(edges) == []
+
+    def test_rotation_is_deterministic(self):
+        # Same cycle listed from different starting points: the result
+        # always starts at the lexicographically smallest waiter.
+        forward = [("b", "r1", "c"), ("c", "r2", "a"), ("a", "r3", "b")]
+        shuffled = list(reversed(forward))
+        assert find_cycle(forward) == find_cycle(shuffled)
+        assert find_cycle(forward)[0]["waiter"] == "a"
+
+    def test_waiter_without_holder_is_ignored(self):
+        assert find_cycle([("a", "event:strobe", "")]) == []
+
+
+# ---------------------------------------------------------------------------
+# the pinned scenario
+
+
+class TestPinnedDeadlock:
+    def test_report_is_deterministic_and_pinned(self):
+        first = run_pinned_deadlock()
+        second = run_pinned_deadlock()
+        assert first == second
+        assert report_digest(first) == PINNED_DIGEST
+
+    def test_report_shape(self):
+        report = run_pinned_deadlock()
+        assert report["schema"] == "firefly-crash/1"
+        assert report["error"]["type"] == "DeadlockError"
+        cycle = report["wait_for"]["cycle"]
+        assert {e["waiter"] for e in cycle} == {"left-fork", "right-fork"}
+        assert report["recorder"]["recorded"] > 0
+        names = {event["name"] for event in report["recent_events"]}
+        assert any(name.startswith("sched.") for name in names)
+
+    def test_other_seed_differs(self):
+        other = run_pinned_deadlock(seed=PINNED_DEADLOCK_SEED + 1)
+        assert report_digest(other) != PINNED_DIGEST
+
+    def test_render_names_the_cycle(self):
+        text = render_crash_report(run_pinned_deadlock())
+        assert "wait-for cycle (2 threads):" in text
+        assert "left-fork waits on lock:fork-b held by right-fork" in text
+        assert "right-fork waits on lock:fork-a held by left-fork" in text
+        assert f"report digest: {PINNED_DIGEST}" in text
+
+
+# ---------------------------------------------------------------------------
+# crash capture / extraction plumbing
+
+
+class TestCaptureAndExtract:
+    def test_capture_without_subject_still_reports_error(self):
+        report = capture_crash(ValueError("boom"))
+        assert report["error"] == {"type": "ValueError",
+                                   "message": "boom"}
+        assert report["schema"] == "firefly-crash/1"
+
+    def test_extract_bare_report(self):
+        report = run_pinned_deadlock()
+        assert extract_crash(report) is report
+
+    def test_extract_from_chaos_document(self):
+        report = run_pinned_deadlock()
+        wrapper = {"scenarios": [{"name": "ok", "crash": None},
+                                 {"name": "bad", "crash": report}]}
+        assert extract_crash(wrapper) == report
+
+    def test_extract_missing_returns_none(self):
+        assert extract_crash({"scenarios": [{"crash": None}]}) is None
+        assert extract_crash({"unrelated": 1}) is None
+
+
+# ---------------------------------------------------------------------------
+# the CLI subcommand
+
+
+class TestPostmortemCli:
+    def test_scenario_writes_json_and_renders(self, tmp_path, capsys):
+        out = tmp_path / "crash.json"
+        rc = main(["postmortem", "--scenario", "deadlock",
+                   "--json", str(out)])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "wait-for cycle" in captured
+        assert "left-fork" in captured and "right-fork" in captured
+        assert f"report digest: {PINNED_DIGEST}" in captured
+        report = json.loads(out.read_text())
+        assert report_digest(report) == PINNED_DIGEST
+
+    def test_render_from_file(self, tmp_path, capsys):
+        path = tmp_path / "crash.json"
+        path.write_text(json.dumps(run_pinned_deadlock()))
+        rc = main(["postmortem", str(path)])
+        assert rc == 0
+        assert "wait-for cycle" in capsys.readouterr().out
+
+    def test_no_input_is_an_error(self, capsys):
+        rc = main(["postmortem"])
+        assert rc != 0
+
+    def test_file_without_crash_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.json"
+        path.write_text(json.dumps({"scenarios": [{"crash": None}]}))
+        rc = main(["postmortem", str(path)])
+        assert rc != 0
