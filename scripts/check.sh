@@ -44,13 +44,27 @@ echo "== chaos smoke (firefly-sim chaos) =="
 python -m repro.cli chaos --quick --scenario bus-parity \
     --scenario cpu-offline
 
+echo "== serve smoke + SLO gate (firefly-sim serve --jobs 2) =="
+# One quick open-loop serving scenario under the resilience layer: the
+# SLO gate exits nonzero on a p99 or success-rate breach (see
+# docs/SERVING.md).  Run twice at different job counts and require
+# byte-identical reports — the serving layer's determinism contract.
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$BENCH_TMP" "$SERVE_TMP"' EXIT
+SERVE_OUT="${ARTIFACTS_DIR:-$SERVE_TMP}/serve.json"
+python -m repro.cli serve --quick --scenario steady-poisson \
+    --jobs 2 --json "$SERVE_OUT" --force
+python -m repro.cli serve --quick --scenario steady-poisson \
+    --jobs 1 --json "$SERVE_TMP/serve-j1.json" --force >/dev/null
+cmp "$SERVE_OUT" "$SERVE_TMP/serve-j1.json"
+
 echo "== campaign smoke (firefly-sim campaign run + report) =="
 # The quick example campaign through the resumable ledger into a
 # scratch store (golden digests included — drift exits nonzero), then
 # the HTML dashboard over the committed BENCH trajectory plus that
 # ledger (see docs/CAMPAIGNS.md).
 CAMPAIGN_TMP=$(mktemp -d)
-trap 'rm -rf "$BENCH_TMP" "$CAMPAIGN_TMP"' EXIT
+trap 'rm -rf "$BENCH_TMP" "$SERVE_TMP" "$CAMPAIGN_TMP"' EXIT
 python -m repro.cli campaign run examples/campaigns/quick.yaml \
     --jobs 2 --store-dir "$CAMPAIGN_TMP/store" \
     --report "$CAMPAIGN_TMP/report.json"

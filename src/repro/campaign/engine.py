@@ -70,6 +70,12 @@ def campaign_trial(spec: Tuple[str, str, int, Dict]):
         outcome = chaos_scenario((params["scenario"], params["quick"],
                                   seed))
         return outcome.to_dict()
+    if kind == "serve":
+        from repro.observatory.runner import serve_scenario
+
+        outcome = serve_scenario((params["scenario"], params["quick"],
+                                  seed))
+        return outcome.to_dict()
     if kind == "probe":
         return _probe_trial(seed, params)
     raise ConfigurationError(f"unknown trial kind {kind!r}")

@@ -23,6 +23,9 @@ into ad-hoc CLI loops.  Top level::
       - kind: chaos              # seeded fault-injection scenarios
         scenarios: [bus-parity]
         quick: true
+      - kind: serve              # resilient-serving SLO scenarios
+        scenarios: [steady-poisson]
+        quick: true
     golden:                      # optional pinned metric digests
       sweep/np1/firefly/microvax/s1987: sha256:0123456789abcdef
 
@@ -53,7 +56,7 @@ from repro.common.provenance import content_hash
 CAMPAIGN_SCHEMA = "firefly-campaign/1"
 
 #: The trial kinds a matrix group may declare.
-TRIAL_KINDS = ("sweep", "bench", "chaos", "probe")
+TRIAL_KINDS = ("sweep", "bench", "chaos", "serve", "probe")
 
 _COMMON_KEYS = {"kind", "seeds", "exclude"}
 _GROUP_KEYS = {
@@ -61,6 +64,7 @@ _GROUP_KEYS = {
                              "warmup", "measure"},
     "bench": _COMMON_KEYS | {"scenarios", "quick"},
     "chaos": _COMMON_KEYS | {"scenarios", "quick"},
+    "serve": _COMMON_KEYS | {"scenarios", "quick"},
     "probe": _COMMON_KEYS | {"name", "offset", "fail_env", "spin"},
 }
 
@@ -247,7 +251,8 @@ def _validate_group(group, where: str) -> Dict:
         validated["seeds"] = _validate_seeds(group["seeds"],
                                              f"{where}: seeds")
     validator = {"sweep": _validate_sweep, "bench": _validate_bench,
-                 "chaos": _validate_chaos, "probe": _validate_probe}[kind]
+                 "chaos": _validate_chaos, "serve": _validate_serve,
+                 "probe": _validate_probe}[kind]
     validated.update(validator(group, where))
     validated["exclude"] = _validate_exclude(group.get("exclude", []),
                                              validated, where)
@@ -316,6 +321,12 @@ def _validate_chaos(group: Dict, where: str) -> Dict:
     return _validate_scenarios(group, where, chaos_scenario_names())
 
 
+def _validate_serve(group: Dict, where: str) -> Dict:
+    from repro.serving.engine import serve_scenario_names
+
+    return _validate_scenarios(group, where, serve_scenario_names())
+
+
 def _validate_probe(group: Dict, where: str) -> Dict:
     name = group.get("name", "probe")
     if not isinstance(name, str) or not name:
@@ -365,7 +376,7 @@ def _axis_names(group: Dict) -> List[str]:
     """The parameter names that expand for this group, seeds excluded."""
     return {"sweep": ["processors", "protocol"],
             "bench": ["scenarios"], "chaos": ["scenarios"],
-            "probe": []}[group["kind"]]
+            "serve": ["scenarios"], "probe": []}[group["kind"]]
 
 
 def _excluded(entry_params: Dict, excludes: Sequence[Dict]) -> bool:
@@ -397,7 +408,7 @@ def _expand_group(group: Dict, default_seeds: Sequence[int]
                     label = (f"sweep/np{processors}/{protocol}/"
                              f"{group['generation']}/s{seed}")
                     out.append((label, seed, params))
-    elif kind in ("bench", "chaos"):
+    elif kind in ("bench", "chaos", "serve"):
         mode = "quick" if group["quick"] else "full"
         for scenario in group["scenarios"]:
             for seed in seeds:

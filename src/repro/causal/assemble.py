@@ -4,7 +4,7 @@ The :class:`RequestTracer` subscribes to a live
 :class:`~repro.telemetry.probe.TelemetryHub` and rebuilds, per request,
 *where the time went*.  A request is one ``rpc.call`` span (or any
 COMPLETE event carrying ``tid``/``trace``/``span`` args and a ``cls``
-label); its turnaround is attributed into five segments that **sum
+label); its turnaround is attributed into seven segments that **sum
 exactly** to the measured latency — the same exact-sum discipline as
 the observatory's CacheSpans:
 
@@ -20,6 +20,13 @@ the observatory's CacheSpans:
     plus blocked-on-device time before the wakeup's ready mark.
 ``blocked_on_lock``
     Blocked on a mutex / condition / join, before the ready mark.
+``backoff``
+    Deliberately sleeping between retry attempts (the serving layer's
+    jittered exponential backoff — blocked on ``device:backoff``).
+``hedge_wait``
+    A hedged request's rendezvous wait: the requester parked on the
+    serving layer's hedge condition (``wait:hedge``) while its racer
+    attempts run.
 
 The decomposition is evidence-driven, from four event families:
 
@@ -49,7 +56,7 @@ from repro.common.stats import Histogram
 from repro.telemetry.probe import TelemetryEvent, TelemetryHub
 
 SEGMENTS = ("run", "sched_wait", "bus_arb_wait", "transfer",
-            "blocked_on_lock")
+            "blocked_on_lock", "backoff", "hedge_wait")
 """Latency segment names, in render order; they sum to the turnaround."""
 
 REQUEST_BOUNDS = tuple(int(round(1000 * 1.5 ** i)) for i in range(36))
@@ -58,6 +65,10 @@ REQUEST_BOUNDS = tuple(int(round(1000 * 1.5 ** i)) for i in range(36))
 
 _BLOCK_LOCK_PREFIXES = ("lock:", "wait:", "join:")
 _BLOCK_DEVICE_PREFIX = "device:"
+# The serving layer's resilience waits get their own segments so a
+# retried/hedged call's tail is visible as policy time, not bus time.
+_BACKOFF_REASON = "device:backoff"
+_HEDGE_REASON = "wait:hedge"
 
 _MAX_BUS_OPS_PER_CPU = 100_000
 _MAX_SLICES_PER_TID = 100_000
@@ -269,8 +280,10 @@ class RequestTracer:
         Preempt/yield gaps are pure scheduler wait.  Block gaps split
         at the thread's first ready mark inside the gap: before it the
         thread was genuinely blocked (on a device -> ``transfer``, on a
-        lock/condition/join -> ``blocked_on_lock``), after it the
-        thread was runnable but queued (``sched_wait``).
+        lock/condition/join -> ``blocked_on_lock``, on the serving
+        layer's retry sleep -> ``backoff``, on its hedge rendezvous ->
+        ``hedge_wait``), after it the thread was runnable but queued
+        (``sched_wait``).
         """
         seg = record.segments
         length = g1 - g0
@@ -279,7 +292,11 @@ class RequestTracer:
         if reason in ("preempt", "yield", "cpu-offline", "exit", ""):
             seg["sched_wait"] += length
             return
-        if reason.startswith(_BLOCK_DEVICE_PREFIX):
+        if reason == _BACKOFF_REASON:
+            blocked_kind = "backoff"
+        elif reason == _HEDGE_REASON:
+            blocked_kind = "hedge_wait"
+        elif reason.startswith(_BLOCK_DEVICE_PREFIX):
             blocked_kind = "transfer"
         elif reason.startswith(_BLOCK_LOCK_PREFIXES):
             blocked_kind = "blocked_on_lock"

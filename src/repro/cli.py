@@ -45,6 +45,15 @@ Subcommands:
     latency, recovery time and degradation vs a fault-free twin.
     Identical seeds produce byte-identical reports; exits non-zero if
     any scenario's recovery story fails.  See docs/FAULTS.md.
+``serve``
+    Run the resilient-serving SLO campaigns: open-loop client tiers
+    firing Poisson/bursty/diurnal arrivals at RPC server pools through
+    the resilience layer (deadlines, retries, circuit breakers, load
+    shedding, hedging), reporting per-class p50/p95/p99 latency plus
+    shed/retry/hedge counts, with the latency-under-chaos scenario
+    composing fault injection and reporting degradation vs a
+    fault-free twin.  Exits non-zero if any scenario violates its SLO
+    gates.  See docs/SERVING.md.
 ``sweep``
     Run a (processor-count x seed) grid of machine runs and print (or
     write as JSON) the purely simulated metrics.  The document is
@@ -60,8 +69,8 @@ Subcommands:
     ``gc`` compacts a ledger to the rows the current spec and git
     revision can still use.
 
-``bench``, ``chaos``, ``sweep`` and ``campaign run`` accept ``--jobs
-N`` to fan their seeded trials out over worker processes (see
+``bench``, ``chaos``, ``serve``, ``sweep`` and ``campaign run`` accept
+``--jobs N`` to fan their seeded trials out over worker processes (see
 :mod:`repro.observatory.runner`); parallelism changes wall-clock
 timing fields only, never a simulated bit.
 
@@ -93,6 +102,9 @@ Examples::
     firefly-sim chaos --quick
     firefly-sim chaos --seed 2024 --scenario snoop-storm --json report.json
     firefly-sim chaos --quick --jobs 4
+    firefly-sim serve --quick
+    firefly-sim serve --scenario latency-under-chaos --json serve.json
+    firefly-sim serve --quick --jobs 2
     firefly-sim sweep --processors 1,3,5,7 --seeds 1987 --jobs 4
     firefly-sim campaign run examples/campaigns/quick.yaml --jobs 2
     firefly-sim campaign resume examples/campaigns/full.yaml
@@ -287,6 +299,27 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--force", action="store_true",
                        help="overwrite an existing --json file")
     chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for scenario fan-out; the "
+                            "report is byte-identical at any job count "
+                            "(default 1)")
+
+    serve = sub.add_parser(
+        "serve", help="run the resilient-serving SLO campaigns")
+    serve.add_argument("--seed", type=int, default=1987,
+                       help="workload seed (default 1987); the same "
+                            "seed reproduces the same arrival timeline")
+    serve.add_argument("--quick", action="store_true",
+                       help="short horizons (CI smoke mode)")
+    serve.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable)")
+    serve.add_argument("--list", action="store_true",
+                       help="list the pinned scenarios and exit")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the serve report as JSON")
+    serve.add_argument("--force", action="store_true",
+                       help="overwrite an existing --json file")
+    serve.add_argument("--jobs", type=int, default=1,
                        help="worker processes for scenario fan-out; the "
                             "report is byte-identical at any job count "
                             "(default 1)")
@@ -785,6 +818,26 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import SERVE_SCENARIOS, run_serve_campaign
+
+    if args.list:
+        for scenario in SERVE_SCENARIOS:
+            print(f"{scenario.name:<20} {scenario.description}")
+        return 0
+    _guard_output(args.json, args.force, "--json")
+    report = run_serve_campaign(seed=args.seed, quick=args.quick,
+                                scenarios=args.scenario, jobs=args.jobs)
+    print(report.render())
+    if args.json is not None:
+        import json
+        from pathlib import Path
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"serve: wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def _parse_int_list(text: str, flag: str) -> List[int]:
     from repro.common.errors import ConfigurationError
     try:
@@ -903,6 +956,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "campaign": _cmd_campaign,
 }

@@ -38,6 +38,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     ScheduledFault,
+    spec,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "ScheduledFault",
     "chaos_scenario_names",
     "run_campaign",
+    "spec",
 ]

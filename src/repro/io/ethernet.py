@@ -96,6 +96,13 @@ class EthernetController:
             else sim.resource(f"{name}.segment")
         self.stats = StatSet(name)
 
+    def _require_payload(self, method: str, payload_bytes: int) -> None:
+        """Reject empty transfers eagerly, before any DMA is issued."""
+        if payload_bytes <= 0:
+            raise ValueError(
+                f"EthernetController.{method}: payload_bytes must be "
+                f"positive, got {payload_bytes!r}")
+
     def transmit_from(self, qbus_word_address: int, payload_bytes: int,
                       ctx=None):
         """Generator: send one frame whose payload lies in mapped memory.
@@ -107,6 +114,11 @@ class EthernetController:
         completion has been serviced.  ``ctx`` optionally carries the
         caller's trace context onto the DMA burst events.
         """
+        self._require_payload("transmit_from", payload_bytes)
+        return self._transmit_from(qbus_word_address, payload_bytes, ctx)
+
+    def _transmit_from(self, qbus_word_address: int, payload_bytes: int,
+                       ctx):
         words = -(-payload_bytes // 4)
         yield self._controller.acquire()
         started = self.sim.now
@@ -123,6 +135,12 @@ class EthernetController:
     def receive_into(self, qbus_word_address: int, payload_bytes: int,
                      values=None, ctx=None):
         """Generator: one inbound frame landing in mapped memory."""
+        self._require_payload("receive_into", payload_bytes)
+        return self._receive_into(qbus_word_address, payload_bytes,
+                                  values, ctx)
+
+    def _receive_into(self, qbus_word_address: int, payload_bytes: int,
+                      values, ctx):
         words = -(-payload_bytes // 4)
         if values is None:
             values = [0] * words
@@ -146,6 +164,12 @@ class EthernetController:
         tenure — DMA into memory plus completion service — otherwise
         each frame would be charged the cable twice.
         """
+        self._require_payload("receive_delivered_into", payload_bytes)
+        return self._receive_delivered_into(qbus_word_address,
+                                            payload_bytes, values)
+
+    def _receive_delivered_into(self, qbus_word_address: int,
+                                payload_bytes: int, values):
         words = -(-payload_bytes // 4)
         if values is None:
             values = [0] * words

@@ -196,6 +196,42 @@ def _chaos_smoke_runner(scenario: Scenario, horizon: Horizon,
     return report.total_cycles, metrics
 
 
+def _serve_smoke_runner(scenario: Scenario, horizon: Horizon,
+                        seed: int) -> Tuple[int, Dict]:
+    """A two-scenario serving campaign, timed like any other benchmark.
+
+    Keeps the resilience layer on the continuous-benchmark radar: a
+    regression in the serving path (retry bookkeeping, breaker checks,
+    hedge forking) shows up as a throughput drop here before anyone
+    runs the full ``firefly-sim serve`` suite.  Horizons are owned by
+    the serve scenarios themselves; this runner only picks quick vs
+    full.
+
+    Imported lazily: ``repro.serving.engine`` imports observatory
+    modules, so a module-level import would be circular.
+    """
+    from repro.serving.engine import run_serve_campaign
+
+    report = run_serve_campaign(
+        seed=seed, quick=horizon is scenario.quick,
+        scenarios=["steady-poisson", "latency-under-chaos"])
+    totals = report.totals()
+    metrics: Dict = {
+        "scenarios_ok": sum(1 for o in report.outcomes if o.ok),
+        "scenarios_run": len(report.outcomes),
+        "calls": totals["calls"],
+        "calls_ok": totals["ok"],
+        "shed": totals["shed"],
+        "retries": totals["retries"],
+    }
+    for outcome in report.outcomes:
+        prefix = outcome.name.replace("-", "_")
+        for key, value in outcome.degradation.items():
+            metrics[f"{prefix}.degradation.{key}"] = value
+    cycles = sum(outcome.total_cycles for outcome in report.outcomes)
+    return cycles, metrics
+
+
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("exerciser-1cpu",
              "Threads exerciser, 1 CPU x 8 threads (Table 2 left column)",
@@ -217,6 +253,11 @@ SCENARIOS: Tuple[Scenario, ...] = (
              "fault-injection campaign: bus parity + CPU offline recovery",
              full=Horizon(10_000, 90_000), quick=Horizon(5_000, 45_000),
              runner=_chaos_smoke_runner),
+    Scenario("serve-smoke",
+             "resilient serving: steady Poisson + latency under chaos",
+             full=Horizon(150_000, 1_200_000),
+             quick=Horizon(60_000, 400_000),
+             runner=_serve_smoke_runner),
 )
 
 

@@ -195,6 +195,20 @@ def chaos_scenario(spec: Tuple[str, bool, int]):
     return scenario.runner(scenario, horizon, seed)
 
 
+def serve_scenario(spec: Tuple[str, bool, int]):
+    """One serving scenario: ``(scenario_name, quick, seed)``.
+
+    Returns the :class:`~repro.serving.engine.ServeOutcome` — plain
+    dataclasses and dicts, so it crosses the process boundary intact.
+    """
+    from repro.serving import engine
+
+    name, quick, seed = spec
+    scenario = next(s for s in engine.SERVE_SCENARIOS if s.name == name)
+    horizon = scenario.horizon(quick)
+    return scenario.runner(scenario, horizon, seed)
+
+
 def sweep_point(spec: Tuple[int, str, str, int, int, int]) -> Dict:
     """One sweep grid point:
     ``(processors, protocol, generation, seed, warmup, measure)``.
@@ -272,5 +286,10 @@ def describe_bench_spec(spec) -> str:
 
 
 def describe_chaos_spec(spec) -> str:
+    name, _quick, seed = spec
+    return f"({name}, seed {seed})"
+
+
+def describe_serve_spec(spec) -> str:
     name, _quick, seed = spec
     return f"({name}, seed {seed})"

@@ -1,0 +1,515 @@
+"""Resilience policies wrapped around the Topaz RPC transport.
+
+The Firefly's RPC layer (paper §4.1, §6) assumes every call completes;
+real serving systems in front of it need the four classic defences —
+deadlines, retries, circuit breakers, and load shedding — plus hedging
+for the tail.  :class:`ResilientTransport` adds exactly those, as a
+wrapper: the underlying :class:`~repro.topaz.rpc.RpcTransport` is
+untouched, and an **unarmed** wrapper delegates straight through,
+yielding the identical op sequence as a bare transport (the
+equivalence test in ``tests/test_serving.py`` pins this).
+
+Determinism rules of the house apply:
+
+- Retry jitter draws only from the dedicated ``"serving"`` RNG stream
+  (created only when the wrapper is armed), so arming the layer never
+  perturbs any other stream and a given seed replays byte-identically.
+- Every policy decision is emitted through the probe layer
+  (``serve.retry``, ``serve.shed``, ``serve.hedge``, ``serve.breaker``,
+  ``serve.late``) and the resilience waits carry dedicated block
+  reasons (``device:backoff``, ``wait:hedge``) so the causal assembler
+  attributes them as their own turnaround segments — still summing
+  exactly (see ``repro.causal.assemble``).
+- Deadlines are absolute sim times carried on the thread
+  (``TopazThread.deadline``); ``ops.Fork`` children inherit them, so a
+  nested call started inside a deadlined request can never be granted
+  more budget than its parent has left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import StatSet
+from repro.telemetry.probe import NULL_PROBE
+from repro.topaz import ops
+
+
+def _sleep(sim, cycles: int):
+    """Device-call body: a pure timer (the backoff / hedge-delay wait)."""
+    yield sim.timeout(cycles)
+
+
+@dataclass(frozen=True)
+class ResilienceParams:
+    """Policy knobs for one :class:`ResilientTransport`.
+
+    All cycle counts are simulator cycles (100 ns each).  A value of 0
+    disables the corresponding policy, so the all-defaults instance is
+    a plain pass-through even when armed.
+    """
+
+    #: An attempt slower than this is treated as failed (the client
+    #: gave up on the reply); 0 disables lateness detection.
+    attempt_timeout_cycles: int = 0
+    #: Total attempts per call (1 = no retries).
+    max_attempts: int = 1
+    #: First retry backoff; doubles (times ``backoff_multiplier``) per
+    #: subsequent retry, with multiplicative jitter on top.
+    backoff_base_cycles: int = 2_000
+    backoff_multiplier: float = 2.0
+    #: Jitter fraction: the drawn wait is uniform in
+    #: ``[base, base * (1 + jitter)]``.
+    backoff_jitter: float = 0.5
+    #: Per-call budget, measured from call start; 0 = none.  Combined
+    #: (min) with any deadline inherited from the calling thread.
+    deadline_cycles: int = 0
+    #: Issue a second, racing attempt if the first has not completed
+    #: after this many cycles; 0 disables hedging.  When enabled the
+    #: hedged race replaces the serial retry loop.
+    hedge_after_cycles: int = 0
+    #: Admission control: calls admitted while this many are already in
+    #: flight are shed; 0 = unlimited.
+    max_in_flight: int = 0
+    #: Admission control: calls arriving while the kernel run queue is
+    #: at least this deep are shed; 0 disables the check.
+    shed_ready_depth: int = 0
+    #: Circuit breaker: consecutive failures on one server that trip
+    #: its breaker open; 0 disables breakers.
+    breaker_failure_threshold: int = 0
+    #: How long a tripped breaker stays open before probing.
+    breaker_open_cycles: int = 50_000
+    #: Probes allowed through a half-open breaker.
+    breaker_half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        positive = ("max_attempts", "backoff_base_cycles",
+                    "breaker_open_cycles", "breaker_half_open_probes")
+        for field in positive:
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"ResilienceParams.{field} must be positive, "
+                    f"got {value!r}")
+        non_negative = ("attempt_timeout_cycles", "deadline_cycles",
+                        "hedge_after_cycles", "max_in_flight",
+                        "shed_ready_depth", "breaker_failure_threshold",
+                        "backoff_jitter")
+        for field in non_negative:
+            value = getattr(self, field)
+            if value < 0:
+                raise ConfigurationError(
+                    f"ResilienceParams.{field} must be >= 0, "
+                    f"got {value!r}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"ResilienceParams.backoff_multiplier must be >= 1.0, "
+                f"got {self.backoff_multiplier!r}")
+
+
+class CircuitBreaker:
+    """Per-server closed / open / half-open breaker.
+
+    Pure bookkeeping over sim time — the owner calls :meth:`allow`
+    before an attempt and :meth:`record` after, and emits telemetry
+    for any ``(old, new)`` state transition the calls return.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    __slots__ = ("name", "threshold", "open_cycles", "half_open_probes",
+                 "state", "failures", "opened_at", "probes", "trips")
+
+    def __init__(self, name: str, threshold: int, open_cycles: int,
+                 half_open_probes: int) -> None:
+        self.name = name
+        self.threshold = threshold
+        self.open_cycles = open_cycles
+        self.half_open_probes = half_open_probes
+        self.state = self.CLOSED
+        self.failures = 0          # consecutive, while closed
+        self.opened_at = 0
+        self.probes = 0            # in-flight half-open probes
+        self.trips = 0
+
+    def allow(self, now: int) -> Optional[tuple]:
+        """May an attempt go to this server now?
+
+        Returns ``None`` if refused, else a (possibly empty) tuple of
+        ``(old, new)`` state transitions taken.
+        """
+        if self.state == self.CLOSED:
+            return ()
+        if self.state == self.OPEN:
+            if now - self.opened_at < self.open_cycles:
+                return None
+            self.state = self.HALF_OPEN
+            self.probes = 0
+            return ((self.OPEN, self.HALF_OPEN),)
+        # Half-open: a bounded number of probes may be in flight.
+        if self.probes >= self.half_open_probes:
+            return None
+        return ()
+
+    def note_attempt(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self.probes += 1
+
+    def record(self, ok: bool, now: int) -> Optional[tuple]:
+        """Account one attempt result; returns transitions taken."""
+        if ok:
+            if self.state == self.CLOSED:
+                self.failures = 0
+                return ()
+            # A successful half-open probe closes the breaker.
+            old = self.state
+            self.state = self.CLOSED
+            self.failures = 0
+            return ((old, self.CLOSED),)
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = now
+            self.trips += 1
+            return ((self.HALF_OPEN, self.OPEN),)
+        if self.state == self.CLOSED:
+            self.failures += 1
+            if self.failures >= self.threshold:
+                self.state = self.OPEN
+                self.opened_at = now
+                self.trips += 1
+                return ((self.CLOSED, self.OPEN),)
+        return ()
+
+
+class CallOutcome:
+    """What one resilient call experienced, returned to the caller."""
+
+    __slots__ = ("status", "attempts", "retries", "hedged", "server",
+                 "shed_reason", "start", "end")
+
+    def __init__(self, status: str, attempts: int = 0, retries: int = 0,
+                 hedged: bool = False, server: int = -1,
+                 shed_reason: str = "", start: int = 0, end: int = 0) -> None:
+        self.status = status          # "ok" | "shed" | "deadline"
+        self.attempts = attempts
+        self.retries = retries
+        self.hedged = hedged
+        self.server = server
+        self.shed_reason = shed_reason
+        self.start = start
+        self.end = end
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency(self) -> int:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"status": self.status, "attempts": self.attempts,
+                "retries": self.retries, "hedged": self.hedged,
+                "server": self.server, "shed_reason": self.shed_reason,
+                "latency": self.latency}
+
+
+class ResilientTransport:
+    """Deadlines, retries, breakers, shedding and hedging over a pool.
+
+    ``transports`` is the server pool: one
+    :class:`~repro.topaz.rpc.RpcTransport` per remote server (they may
+    share the controller — the pool then models distinct machines
+    behind one wire).  ``armed=False`` constructs a wrapper that is
+    *provably inert*: no RNG stream, no sync-object allocation, and
+    :meth:`call` delegates to the first transport with an identical op
+    sequence.
+    """
+
+    def __init__(self, kernel, transports,
+                 params: Optional[ResilienceParams] = None,
+                 armed: bool = True, stream_name: str = "serving") -> None:
+        if not transports:
+            raise ConfigurationError("ResilientTransport needs at least "
+                                     "one underlying transport")
+        self.kernel = kernel
+        self.transports = list(transports)
+        self.params = params or ResilienceParams()
+        self.armed = armed
+        self.stats = StatSet("serving")
+        self.probe = NULL_PROBE
+        self.breakers: List[Optional[CircuitBreaker]] = []
+        self._rng = None
+        self._in_flight = 0
+        self._pick = 0
+        self._hedge_mutex = None
+        self._hedge_cond = None
+        self._hedge_seq = 0
+        if armed:
+            p = self.params
+            # The dedicated stream: retry jitter must never perturb any
+            # other consumer of the machine's seed.
+            self._rng = kernel.machine.streams.stream(stream_name)
+            if p.breaker_failure_threshold > 0:
+                self.breakers = [
+                    CircuitBreaker(f"server{i}",
+                                   p.breaker_failure_threshold,
+                                   p.breaker_open_cycles,
+                                   p.breaker_half_open_probes)
+                    for i in range(len(self.transports))]
+            if p.hedge_after_cycles > 0:
+                # One shared rendezvous for all hedged calls: per-call
+                # sync objects would bleed the shared-region allocator.
+                # The condition is named "hedge" so the requester's
+                # block reason is exactly ``wait:hedge`` — the causal
+                # assembler's hedge_wait segment.
+                self._hedge_mutex = kernel.mutex("hedge-mutex")
+                self._hedge_cond = kernel.condition("hedge")
+
+    # -- the call --------------------------------------------------------
+
+    def call(self, cls: str = "rpc"):
+        """Topaz program fragment: one resilient call (``yield from``).
+
+        Returns a :class:`CallOutcome`; shed and deadline-exhausted
+        calls return (never raise) so the caller always learns the
+        fate of its request.
+        """
+        if not self.armed:
+            result = yield from self.transports[0].call(cls=cls)
+            return result
+        outcome = yield from self._resilient_call(cls)
+        return outcome
+
+    def _resilient_call(self, cls: str):
+        p = self.params
+        sim = self.kernel.sim
+        start = sim.now
+        caller = yield ops.CurrentThread()
+        ctx = self.kernel.causal.child(caller.ctx)
+
+        # Admission control: shed before any work is queued.
+        if p.shed_ready_depth > 0:
+            depth = self.kernel.scheduler.ready_count
+            if depth >= p.shed_ready_depth:
+                return self._shed(cls, "ready-depth", depth, start)
+        if p.max_in_flight > 0 and self._in_flight >= p.max_in_flight:
+            return self._shed(cls, "in-flight", self._in_flight, start)
+
+        # Deadline: own budget combined with any inherited one.
+        deadline = start + p.deadline_cycles if p.deadline_cycles else None
+        if caller.deadline is not None:
+            deadline = (caller.deadline if deadline is None
+                        else min(deadline, caller.deadline))
+        saved = caller.deadline
+        caller.deadline = deadline
+        self._in_flight += 1
+        try:
+            if p.hedge_after_cycles > 0:
+                outcome = yield from self._hedged_call(cls, caller, deadline)
+            else:
+                outcome = yield from self._serial_call(cls, deadline)
+        finally:
+            self._in_flight -= 1
+            caller.deadline = saved
+        outcome.start = start
+        outcome.end = sim.now
+
+        self.stats.incr("calls")
+        self.stats.incr("ok" if outcome.ok else f"failed.{outcome.status}")
+        if self.probe.active:
+            # The outer request span: named rpc.call so the causal
+            # assembler treats the whole resilient call — attempts,
+            # backoffs, hedge waits — as one request.
+            self.probe.complete("rpc.call", "serve", start, sim.now - start,
+                                thread=caller.name, tid=caller.tid,
+                                trace=ctx.trace_id, span=ctx.span_id,
+                                parent_span=ctx.parent_id, cls=cls,
+                                status=outcome.status,
+                                attempts=outcome.attempts)
+        return outcome
+
+    def _shed(self, cls: str, reason: str, depth: int,
+              start: int) -> CallOutcome:
+        self.stats.incr("shed")
+        self.stats.incr(f"shed.{reason}")
+        if self.probe.active:
+            self.probe.instant("serve.shed", "serve", cls=cls,
+                               reason=reason, depth=depth)
+        return CallOutcome("shed", shed_reason=reason,
+                           start=start, end=start)
+
+    # -- serial attempts with backoff ------------------------------------
+
+    def _serial_call(self, cls: str, deadline: Optional[int]):
+        p = self.params
+        sim = self.kernel.sim
+        attempts = retries = 0
+        backoff = p.backoff_base_cycles
+        while True:
+            if deadline is not None and sim.now >= deadline:
+                return CallOutcome("deadline", attempts, retries)
+            idx = self._pick_server(sim.now)
+            if idx is None:
+                return self._shed(cls, "breaker-open",
+                                  len(self.transports), sim.now)
+            breaker = self.breakers[idx] if self.breakers else None
+            if breaker is not None:
+                breaker.note_attempt()
+            attempts += 1
+            t0 = sim.now
+            yield from self.transports[idx].call(cls=cls)
+            elapsed = sim.now - t0
+            late = (p.attempt_timeout_cycles > 0
+                    and elapsed > p.attempt_timeout_cycles)
+            self._record_attempt(idx, not late)
+            if not late:
+                return CallOutcome("ok", attempts, retries, server=idx)
+            self.stats.incr("late_attempts")
+            if self.probe.active:
+                self.probe.instant("serve.late", "serve", cls=cls,
+                                   server=idx, elapsed=elapsed)
+            if attempts >= p.max_attempts:
+                return CallOutcome("deadline", attempts, retries,
+                                   server=idx)
+            wait = backoff + int(backoff * p.backoff_jitter
+                                 * self._rng.random())
+            if deadline is not None:
+                left = deadline - sim.now
+                if left <= 0:
+                    return CallOutcome("deadline", attempts, retries,
+                                       server=idx)
+                wait = min(wait, left)
+            retries += 1
+            self.stats.incr("retries")
+            if self.probe.active:
+                self.probe.instant("serve.retry", "serve", cls=cls,
+                                   attempt=attempts, backoff=wait,
+                                   server=idx)
+            if wait > 0:
+                yield ops.DeviceCall(_sleep(sim, wait), label="backoff")
+            backoff = int(backoff * p.backoff_multiplier)
+
+    # -- hedged attempts -------------------------------------------------
+
+    def _hedged_call(self, cls: str, caller, deadline: Optional[int]):
+        """Race a primary attempt against a delayed hedge.
+
+        Two forked racer threads share one rendezvous (the transport's
+        hedge mutex/condition); the requester parks on ``wait:hedge``
+        until the first racer finishes.  The loser completes in the
+        background — its cost is the hedging waste, visible in the
+        underlying transport stats.
+        """
+        sim = self.kernel.sim
+        primary = self._pick_server(sim.now)
+        if primary is None:
+            return self._shed(cls, "breaker-open",
+                              len(self.transports), sim.now)
+        state = {"done": False, "winner": -1, "hedged": False}
+        seq = self._hedge_seq
+        self._hedge_seq += 1
+        yield ops.Fork(self._primary_racer, state, primary, cls,
+                       name=f"hedge{seq}-primary")
+        yield ops.Fork(self._hedge_racer, state, primary, cls,
+                       name=f"hedge{seq}-hedge")
+        yield ops.Lock(self._hedge_mutex)
+        while not state["done"]:
+            yield ops.Wait(self._hedge_cond, self._hedge_mutex)
+        yield ops.Unlock(self._hedge_mutex)
+        attempts = 2 if state["hedged"] else 1
+        return CallOutcome("ok", attempts, hedged=state["hedged"],
+                           server=state["winner"])
+
+    def _primary_racer(self, state, idx: int, cls: str):
+        breaker = self.breakers[idx] if self.breakers else None
+        if breaker is not None:
+            breaker.note_attempt()
+        yield from self.transports[idx].call(cls=cls)
+        self._record_attempt(idx, True)
+        yield from self._finish_race(state, idx)
+
+    def _hedge_racer(self, state, primary: int, cls: str):
+        sim = self.kernel.sim
+        yield ops.DeviceCall(_sleep(sim, self.params.hedge_after_cycles),
+                             label="hedge-delay")
+        if state["done"]:
+            return            # primary already won; no hedge issued
+        idx = self._pick_server(sim.now, avoid=primary)
+        if idx is None:
+            return
+        state["hedged"] = True
+        self.stats.incr("hedges")
+        if self.probe.active:
+            self.probe.instant("serve.hedge", "serve", cls=cls, server=idx)
+        breaker = self.breakers[idx] if self.breakers else None
+        if breaker is not None:
+            breaker.note_attempt()
+        yield from self.transports[idx].call(cls=cls)
+        self._record_attempt(idx, True)
+        yield from self._finish_race(state, idx)
+
+    def _finish_race(self, state, idx: int):
+        yield ops.Lock(self._hedge_mutex)
+        if not state["done"]:
+            state["done"] = True
+            state["winner"] = idx
+        else:
+            self.stats.incr("hedge_waste")
+        yield ops.Broadcast(self._hedge_cond)
+        yield ops.Unlock(self._hedge_mutex)
+
+    # -- server selection and breaker accounting -------------------------
+
+    def _pick_server(self, now: int,
+                     avoid: Optional[int] = None) -> Optional[int]:
+        """Round-robin over servers whose breaker admits an attempt."""
+        n = len(self.transports)
+        for off in range(n):
+            idx = (self._pick + off) % n
+            if avoid is not None and idx == avoid and n > 1:
+                continue
+            breaker = self.breakers[idx] if self.breakers else None
+            if breaker is None:
+                self._pick = (idx + 1) % n
+                return idx
+            transitions = breaker.allow(now)
+            if transitions is None:
+                continue
+            self._emit_breaker(breaker, transitions)
+            self._pick = (idx + 1) % n
+            return idx
+        return None
+
+    def _record_attempt(self, idx: int, ok: bool) -> None:
+        breaker = self.breakers[idx] if self.breakers else None
+        if breaker is None:
+            return
+        transitions = breaker.record(ok, self.kernel.sim.now)
+        self._emit_breaker(breaker, transitions or ())
+
+    def _emit_breaker(self, breaker: CircuitBreaker, transitions) -> None:
+        for (old, new) in transitions:
+            self.stats.incr("breaker_transitions")
+            if self.probe.active:
+                self.probe.instant("serve.breaker", "serve",
+                                   server=breaker.name,
+                                   **{"from": old, "to": new})
+
+    # -- measurement -----------------------------------------------------
+
+    def mark_window(self) -> None:
+        self.stats.mark_all()
+        for transport in self.transports:
+            transport.mark_window()
+
+    def counters(self) -> Dict[str, int]:
+        """Windowed policy counters, fixed keys (report-stable)."""
+        return {key: self.stats[key].windowed
+                for key in ("calls", "ok", "failed.deadline", "shed",
+                            "retries", "late_attempts", "hedges",
+                            "hedge_waste", "breaker_transitions")}

@@ -36,6 +36,7 @@ from repro.telemetry.instrument import (
     attach_kernel,
     attach_machine,
     attach_rpc,
+    attach_serving,
     kernel_sampler,
     machine_sampler,
     telemetry_for_kernel,
@@ -63,6 +64,7 @@ __all__ = [
     "attach_kernel",
     "attach_machine",
     "attach_rpc",
+    "attach_serving",
     "kernel_sampler",
     "machine_sampler",
     "telemetry_for_kernel",

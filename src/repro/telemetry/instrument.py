@@ -53,6 +53,19 @@ def attach_rpc(hub: TelemetryHub, transport,
     return hub
 
 
+def attach_serving(hub: TelemetryHub, resilient,
+                   track_prefix: str = "") -> TelemetryHub:
+    """Wire a probe into a resilient transport (policy decisions).
+
+    The wrapper emits the outer ``rpc.call`` request span plus the
+    ``serve.*`` instants (retry, shed, hedge, breaker, late); the
+    wrapped transports stay unprobed so each logical request assembles
+    as exactly one record.
+    """
+    resilient.probe = hub.probe("serving", track_prefix)
+    return hub
+
+
 def machine_sampler(machine, interval: int = DEFAULT_SAMPLE_INTERVAL,
                     capacity: int = 4096) -> Sampler:
     """The standard machine trajectory: bus load, TPI, miss rate.

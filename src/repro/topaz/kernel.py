@@ -475,6 +475,9 @@ class TopazKernel:
         if isinstance(op, ops.Fork):
             child = self._create_thread(op.fn, op.args, op.name, thread.space,
                                         parent=thread)
+            # Deadline propagation: a child spawned inside a deadlined
+            # request shares the request's remaining budget.
+            child.deadline = thread.deadline
             self.stats.incr("forks")
             if self.probe.active:
                 ctx = child.ctx

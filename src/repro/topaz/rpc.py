@@ -56,10 +56,17 @@ class RpcParams:
     server_turnaround_cycles: int = 30_000
 
     def __post_init__(self) -> None:
-        if self.payload_bytes <= 0 or self.packets_per_call <= 0:
-            raise ConfigurationError("call must carry data")
-        if self.reply_bytes <= 0:
-            raise ConfigurationError("reply must be non-empty")
+        for field in ("payload_bytes", "packets_per_call", "reply_bytes"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"RpcParams.{field} must be positive, got {value!r}")
+        for field in ("marshal_instructions", "unmarshal_instructions",
+                      "server_turnaround_cycles"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ConfigurationError(
+                    f"RpcParams.{field} must be >= 0, got {value!r}")
 
     @property
     def data_bits_per_call(self) -> int:

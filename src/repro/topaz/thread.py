@@ -186,6 +186,10 @@ class TopazThread:
         self.joiners: Deque["TopazThread"] = deque()
         self.wait_mutex = None  # set while blocked in Condition.Wait
         self.ctx = None  # TraceContext, assigned by the kernel at creation
+        # Absolute sim-time deadline (cycles), or None.  Maintained by
+        # the serving layer; forked children inherit it so a nested
+        # call can never outlive its parent's budget.
+        self.deadline: Optional[int] = None
 
         # Execution-expansion state, driven by the kernel:
         self.compute_remaining = 0

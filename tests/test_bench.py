@@ -145,7 +145,7 @@ class TestBenchFiles:
     def test_pinned_scenario_registry(self):
         assert scenario_names() == ["exerciser-1cpu", "exerciser-5cpu",
                                     "table1-sweep", "protocol-comparison",
-                                    "chaos-smoke"]
+                                    "chaos-smoke", "serve-smoke"]
         for scenario in SCENARIOS:
             assert scenario.quick.total < scenario.full.total
 

@@ -164,6 +164,8 @@ class TestSpecValidation:
         ({"kind": "sweep", "generation": "vax9000"}, "generation"),
         ({"kind": "bench", "scenarios": ["no-such"]}, "scenario"),
         ({"kind": "chaos", "scenarios": ["no-such"]}, "scenario"),
+        ({"kind": "serve", "scenarios": ["no-such"]}, "scenario"),
+        ({"kind": "serve", "warmup": 100}, "unknown key"),
         ({"kind": "probe", "name": ""}, "name"),
         ({"kind": "sweep", "exclude": [{"threads": 1}]}, "unknown axis"),
         ({"kind": "sweep", "exclude": ["np1"]}, "mapping"),
@@ -223,6 +225,19 @@ class TestExpansion:
             "sweep/np1/firefly/microvax/s1987",
             "sweep/np2/firefly/microvax/s1987",
             "sweep/np2/write-through/microvax/s1987",
+        ]
+
+    def test_serve_group_labels(self):
+        data = spec_dict(matrix=[{
+            "kind": "serve",
+            "scenarios": ["steady-poisson", "bursty-shed"],
+            "quick": True,
+            "seeds": [1987],
+        }])
+        labels = [t.label for t in parse_spec(data).expand("sha")]
+        assert labels == [
+            "serve/steady-poisson/quick/s1987",
+            "serve/bursty-shed/quick/s1987",
         ]
 
     def test_group_seeds_override_default(self):

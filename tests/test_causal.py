@@ -329,6 +329,7 @@ class TestExactSum:
         assert record.segments == {
             "run": 280, "sched_wait": 100, "bus_arb_wait": 10,
             "transfer": 10, "blocked_on_lock": 100,
+            "backoff": 0, "hedge_wait": 0,
         }
         assert sum(record.segments.values()) == record.turnaround == 500
 

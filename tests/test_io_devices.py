@@ -67,6 +67,27 @@ class TestEthernet:
         gap = abs(finish_times[1] - finish_times[0])
         assert gap >= EthernetParams().frame_bits(500)
 
+    def test_zero_and_negative_payloads_rejected_eagerly(self):
+        machine, io = io_machine()
+        # The ValueError fires at call time, before any simulated step:
+        # a bad transfer never enqueues work on the controller.
+        with pytest.raises(ValueError,
+                           match=r"EthernetController\.transmit_from: "
+                                 r"payload_bytes must be positive, "
+                                 r"got 0"):
+            io.ethernet.transmit_from(0, 0)
+        with pytest.raises(ValueError,
+                           match=r"EthernetController\.receive_into: "
+                                 r"payload_bytes must be positive, "
+                                 r"got -4"):
+            io.ethernet.receive_into(0, -4)
+        with pytest.raises(ValueError,
+                           match=r"EthernetController\."
+                                 r"receive_delivered_into"):
+            io.ethernet.receive_delivered_into(0, -1)
+        assert io.ethernet.stats["tx_frames"].total == 0
+        assert machine.sim.now == 0
+
     def test_receive_lands_in_memory(self):
         machine, io = io_machine()
         base, qbus_addr = io.alloc(16, "rx buffer")

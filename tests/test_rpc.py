@@ -71,6 +71,32 @@ class TestCallMechanics:
             RpcParams(reply_bytes=0)
         assert RpcParams().data_bits_per_call == 1400 * 4 * 8
 
+    def test_params_errors_name_field_and_value(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.payload_bytes must be "
+                                 r"positive, got 0"):
+            RpcParams(payload_bytes=0)
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.packets_per_call must be "
+                                 r"positive, got -3"):
+            RpcParams(packets_per_call=-3)
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.reply_bytes must be "
+                                 r"positive, got -1"):
+            RpcParams(reply_bytes=-1)
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.marshal_instructions must "
+                                 r"be >= 0, got -5"):
+            RpcParams(marshal_instructions=-5)
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.unmarshal_instructions must "
+                                 r"be >= 0, got -2"):
+            RpcParams(unmarshal_instructions=-2)
+        with pytest.raises(ConfigurationError,
+                           match=r"RpcParams\.server_turnaround_cycles "
+                                 r"must be >= 0, got -7"):
+            RpcParams(server_turnaround_cycles=-7)
+
 
 class TestThroughputShape:
     def test_saturation_near_paper_figure(self):
