@@ -36,7 +36,25 @@ BENCH_TMP=$(mktemp -d)
 trap 'rm -rf "$BENCH_TMP"' EXIT
 python -m repro.cli bench --quick --trials 1 --jobs 2 \
     --scenario exerciser-1cpu --scenario table1-sweep \
+    --scenario core-microbench --scenario vector-stat \
     --out-dir "$BENCH_TMP"
+
+echo "== bench regression gate vs committed baseline =="
+# The scheduler-only microbenchmark compared against the newest
+# committed BENCH_*.json at the repo root: an event-core regression
+# fails CI here before any model-level scenario would notice.  The
+# committed baselines are full-mode runs from a different host, so the
+# threshold is deliberately loose (the noise-aware margin widens it
+# further) — it catches order-of-magnitude scheduler breakage, not
+# single-digit host drift.  Heap engine smoke rides along, proving the
+# equivalence-oracle path stays runnable.
+python -m repro.cli bench --quick --trials 1 \
+    --scenario core-microbench --engine heap \
+    --skip-overhead --out-dir "$BENCH_TMP" >/dev/null
+python -m repro.cli bench --quick --trials 1 \
+    --scenario core-microbench --scenario vector-stat \
+    --skip-overhead --out-dir "$BENCH_TMP" \
+    --baseline-dir . --compare --threshold 0.6
 
 echo "== chaos smoke (firefly-sim chaos) =="
 # One quick seeded fault campaign: proves every recovery path end to

@@ -61,7 +61,13 @@ def campaign_trial(spec: Tuple[str, str, int, Dict]):
     if kind == "bench":
         from repro.observatory.runner import bench_trial
 
-        record = bench_trial((params["scenario"], params["quick"], seed))
+        spec_tuple = (params["scenario"], params["quick"], seed)
+        if params.get("engine"):
+            # Engine rides in the worker spec; it never changes the
+            # simulated result (the equivalence contract), so trials
+            # with and without the axis stay digest-compatible.
+            spec_tuple += (params["engine"],)
+        record = bench_trial(spec_tuple)
         return {"seed": record["seed"], "cycles": record["cycles"],
                 "metrics": record["metrics"]}
     if kind == "chaos":
@@ -76,6 +82,18 @@ def campaign_trial(spec: Tuple[str, str, int, Dict]):
         outcome = serve_scenario((params["scenario"], params["quick"],
                                   seed))
         return outcome.to_dict()
+    if kind == "vector":
+        from repro.trace.vectorized import run_vectorized
+
+        result = run_vectorized(params["processors"],
+                                params["instructions"], seed,
+                                backend=params.get("backend"))
+        metrics = result.metrics()
+        # The backend is a host property (numpy present or not), and
+        # the counts are backend-identical by construction; drop it so
+        # the report and golden digests stay host-independent.
+        metrics.pop("backend", None)
+        return {"seed": seed, "cycles": result.ticks, "metrics": metrics}
     if kind == "probe":
         return _probe_trial(seed, params)
     raise ConfigurationError(f"unknown trial kind {kind!r}")

@@ -20,6 +20,10 @@ into ad-hoc CLI loops.  Top level::
       - kind: bench              # pinned observatory scenarios
         scenarios: [exerciser-1cpu]
         quick: true
+        engine: [wheel, heap]    # optional event-engine axis
+      - kind: vector             # vectorized §5.2 statistical runs
+        processors: [2, 4, 6]
+        instructions: 100000
       - kind: chaos              # seeded fault-injection scenarios
         scenarios: [bus-parity]
         quick: true
@@ -56,15 +60,16 @@ from repro.common.provenance import content_hash
 CAMPAIGN_SCHEMA = "firefly-campaign/1"
 
 #: The trial kinds a matrix group may declare.
-TRIAL_KINDS = ("sweep", "bench", "chaos", "serve", "probe")
+TRIAL_KINDS = ("sweep", "bench", "chaos", "serve", "vector", "probe")
 
 _COMMON_KEYS = {"kind", "seeds", "exclude"}
 _GROUP_KEYS = {
     "sweep": _COMMON_KEYS | {"processors", "protocol", "generation",
                              "warmup", "measure"},
-    "bench": _COMMON_KEYS | {"scenarios", "quick"},
+    "bench": _COMMON_KEYS | {"scenarios", "quick", "engine"},
     "chaos": _COMMON_KEYS | {"scenarios", "quick"},
     "serve": _COMMON_KEYS | {"scenarios", "quick"},
+    "vector": _COMMON_KEYS | {"processors", "instructions", "backend"},
     "probe": _COMMON_KEYS | {"name", "offset", "fail_env", "spin"},
 }
 
@@ -252,7 +257,7 @@ def _validate_group(group, where: str) -> Dict:
                                              f"{where}: seeds")
     validator = {"sweep": _validate_sweep, "bench": _validate_bench,
                  "chaos": _validate_chaos, "serve": _validate_serve,
-                 "probe": _validate_probe}[kind]
+                 "vector": _validate_vector, "probe": _validate_probe}[kind]
     validated.update(validator(group, where))
     validated["exclude"] = _validate_exclude(group.get("exclude", []),
                                              validated, where)
@@ -310,9 +315,48 @@ def _validate_scenarios(group: Dict, where: str, names: List[str]) -> Dict:
 
 
 def _validate_bench(group: Dict, where: str) -> Dict:
+    from repro.common.events import ENGINES
     from repro.observatory.bench import scenario_names
 
-    return _validate_scenarios(group, where, scenario_names())
+    validated = _validate_scenarios(group, where, scenario_names())
+    if "engine" in group:
+        # An explicit engine axis: cross-product like any other axis.
+        # Omitted entirely (the compatible default) the trials keep the
+        # worker's default engine and their pre-engine-era labels, so
+        # existing golden pins and ledger keys stay resolvable.
+        engines = [str(e) for e in _as_list(group["engine"])]
+        bad = sorted(set(engines) - set(ENGINES))
+        if bad:
+            raise ConfigurationError(
+                f"{where}: unknown engine(s) {', '.join(bad)}; "
+                f"known: {', '.join(ENGINES)}")
+        if len(set(engines)) != len(engines):
+            raise ConfigurationError(f"{where}: duplicate engines")
+        validated["engine"] = engines
+    return validated
+
+
+def _validate_vector(group: Dict, where: str) -> Dict:
+    processors = _as_list(group.get("processors", [2, 4, 6]))
+    if not processors or not all(isinstance(p, int) and p >= 1
+                                 for p in processors):
+        raise ConfigurationError(f"{where}: processors must be "
+                                 f"integer(s) >= 1")
+    instructions = group.get("instructions", 100_000)
+    if not isinstance(instructions, int) or instructions < 1:
+        raise ConfigurationError(f"{where}: instructions must be a "
+                                 f"positive integer")
+    validated = {"processors": processors, "instructions": instructions}
+    backend = group.get("backend")
+    if backend is not None:
+        from repro.trace.vectorized import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"{where}: backend must be one of {', '.join(BACKENDS)}; "
+                f"got {backend!r}")
+        validated["backend"] = backend
+    return validated
 
 
 def _validate_chaos(group: Dict, where: str) -> Dict:
@@ -375,8 +419,9 @@ def _validate_exclude(value, validated: Dict, where: str) -> List[Dict]:
 def _axis_names(group: Dict) -> List[str]:
     """The parameter names that expand for this group, seeds excluded."""
     return {"sweep": ["processors", "protocol"],
-            "bench": ["scenarios"], "chaos": ["scenarios"],
-            "serve": ["scenarios"], "probe": []}[group["kind"]]
+            "bench": ["scenarios", "engine"], "chaos": ["scenarios"],
+            "serve": ["scenarios"], "vector": ["processors"],
+            "probe": []}[group["kind"]]
 
 
 def _excluded(entry_params: Dict, excludes: Sequence[Dict]) -> bool:
@@ -410,13 +455,37 @@ def _expand_group(group: Dict, default_seeds: Sequence[int]
                     out.append((label, seed, params))
     elif kind in ("bench", "chaos", "serve"):
         mode = "quick" if group["quick"] else "full"
+        # The engine axis is bench-only and optional; when omitted the
+        # labels keep their pre-engine shape so existing golden pins
+        # and ledger keys survive the axis's introduction.
+        engines = group.get("engine") or [None]
         for scenario in group["scenarios"]:
+            for engine in engines:
+                for seed in seeds:
+                    match = {"scenarios": scenario, "seed": seed}
+                    if engine is not None:
+                        match["engine"] = engine
+                    if _excluded(match, excludes):
+                        continue
+                    params = {"scenario": scenario,
+                              "quick": group["quick"]}
+                    label = f"{kind}/{scenario}/{mode}"
+                    if engine is not None:
+                        params["engine"] = engine
+                        label += f"/{engine}"
+                    out.append((f"{label}/s{seed}", seed, params))
+    elif kind == "vector":
+        for processors in group["processors"]:
             for seed in seeds:
-                match = {"scenarios": scenario, "seed": seed}
+                match = {"processors": processors, "seed": seed}
                 if _excluded(match, excludes):
                     continue
-                params = {"scenario": scenario, "quick": group["quick"]}
-                out.append((f"{kind}/{scenario}/{mode}/s{seed}",
+                params = {"processors": processors,
+                          "instructions": group["instructions"]}
+                if "backend" in group:
+                    params["backend"] = group["backend"]
+                out.append((f"vector/np{processors}"
+                            f"/i{group['instructions']}/s{seed}",
                             seed, params))
     else:  # probe
         for seed in seeds:

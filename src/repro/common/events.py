@@ -32,15 +32,63 @@ Example
 >>> sim.run()
 >>> log
 [5]
+
+Engines
+-------
+The pending-event structure is pluggable: ``Simulator(engine="wheel")``
+(the default) uses a calendar-queue **event wheel** tuned for the
+dominant fixed-latency events (bus transfer slots, interned timeouts,
+scheduler quanta); ``engine="heap"`` keeps the classic binary heap.
+Both engines pop events in *identical* ``(time, seq)`` order — the
+wheel is a pure host-side optimisation, proven equivalent by
+``tests/test_engine_equivalence.py`` — so every simulated metric and
+telemetry byte is engine-independent.  See docs/PERFORMANCE.md for the
+wheel design (bucket width, overflow heap, rotation cost).
 """
 
 from __future__ import annotations
 
-import heapq
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterator, List, Optional
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
 
-from repro.common.errors import DeadlockError, SimulationError
+from repro.common.errors import (ConfigurationError, DeadlockError,
+                                 SimulationError)
+
+#: The two pending-event engines a Simulator can run on.
+ENGINES = ("wheel", "heap")
+
+#: Slots in the event wheel (one simulated tick per slot).  Power of
+#: two so slot indexing is a mask.  Delays below this land directly in
+#: a slot; longer delays wait in the overflow heap and migrate as the
+#: wheel rotates.  1024 covers every fixed hardware latency in the
+#: models (bus cycles, tick widths, scheduler quanta) with room to
+#: spare, while keeping a full empty-wheel rotation scan cheap.
+WHEEL_SIZE = 1024
+
+_DEFAULT_ENGINE = "wheel"
+
+
+def default_engine() -> str:
+    """The engine ``Simulator()`` uses when none is requested."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one.
+
+    This is the plumbing behind ``firefly-sim bench --engine``: bench
+    scenario runners build machines deep inside workloads, so the
+    engine choice travels as an ambient default rather than threading a
+    parameter through every constructor.  Pure host-side switch — the
+    simulated behaviour is engine-independent.
+    """
+    global _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown event engine {engine!r}; known: {', '.join(ENGINES)}")
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
 
 
 class Event:
@@ -144,6 +192,7 @@ class Process:
     def _step(self, send_value: Any) -> None:
         """Advance the generator by one yield, then dispatch the waitable."""
         sim = self._sim
+        sim._current = self
         try:
             waitable = self._gen.send(send_value)
         except StopIteration as stop:
@@ -156,14 +205,15 @@ class Process:
                 sim._schedule(0, j, self._result)
             return
         # Timeouts dominate every workload (one per simulated tick), so
-        # that branch is checked first and its scheduling is inlined —
-        # no _schedule() frame, no negative-delay re-check (the _Timeout
-        # constructor already validated the delay).
+        # that branch is checked first and its scheduling goes straight
+        # through the engine's pre-bound push — no _schedule() frame, no
+        # negative-delay re-check (the _Timeout constructor already
+        # validated the delay).
         if waitable.__class__ is _Timeout:
             self._blocked_on = "timeout"
             sim._seq += 1
-            heappush(sim._heap, (sim.now + waitable.delay, sim._seq, self,
-                                 waitable.value, None))
+            sim._push(sim.now + waitable.delay, sim._seq, self,
+                      waitable.value, None)
         elif waitable.__class__ is _AcquireRequest:
             # Second-hottest waitable (one per bus transaction); exact
             # class check, mirroring the timeout branch.  The isinstance
@@ -268,34 +318,290 @@ class Resource:
         self._grant_next()
 
     def _enqueue(self, request: _AcquireRequest, proc: Process) -> None:
+        # heappush is the pre-bound C function (module import), matching
+        # the treated run-loop/_step sites: one per bus transaction.
         self._seq += 1
-        heapq.heappush(self._queue, (request.priority, self._seq, self._sim.now, proc))
+        heappush(self._queue, (request.priority, self._seq, self._sim.now, proc))
         if self._holder is None:
             self._grant_next()
 
     def _grant_next(self) -> None:
         if self._holder is not None or not self._queue:
             return
-        _, _, enqueued, proc = heapq.heappop(self._queue)
+        _, _, enqueued, proc = heappop(self._queue)
         self._holder = proc
         self._grants += 1
         self._wait_cycles += self._sim.now - enqueued
         self._sim._schedule(0, proc, self)
 
 
+class _HeapScheduler:
+    """The classic binary-heap pending-event structure.
+
+    Entries are ``(time, seq, proc, value, callback)`` tuples popped in
+    ``(time, seq)`` order — ``seq`` is the simulator's global schedule
+    counter, so same-time events resume in scheduling order.
+    """
+
+    __slots__ = ("_heap",)
+
+    kind = "heap"
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._heap: List[Tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, seq: int, proc: Optional[Process],
+             value: Any, callback: Optional[Callable[[], None]]) -> None:
+        heappush(self._heap, (time, seq, proc, value, callback))
+
+    def peek(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self, sim: "Simulator", limit: Optional[int]) -> None:
+        """Dispatch events in order; all of them (``limit=None``) or
+        only those with ``time <= limit``.
+
+        This single loop body serves both :meth:`Simulator.run` and
+        :meth:`Simulator.run_until`; it is inlined (no per-event call
+        frames beyond the process step itself) with the heap and
+        ``heappop`` bound locally, because it runs once per simulated
+        event and dominates the wall-clock of every heap-engine run.
+        """
+        heap = self._heap
+        pop = heappop
+        if limit is None:
+            while heap:
+                time, _, proc, value, callback = pop(heap)
+                sim.now = time
+                if callback is None:
+                    if proc is not None:
+                        proc._step(value)
+                else:
+                    sim._current = None
+                    callback()
+        else:
+            while heap and heap[0][0] <= limit:
+                time, _, proc, value, callback = pop(heap)
+                sim.now = time
+                if callback is None:
+                    if proc is not None:
+                        proc._step(value)
+                else:
+                    sim._current = None
+                    callback()
+
+
+class _WheelScheduler:
+    """A calendar-queue event wheel with an overflow heap.
+
+    ``size`` slots of one simulated tick each; an event ``delay`` ticks
+    out lands in slot ``time & mask`` when ``delay < size`` (the
+    overwhelmingly common case: bus transfer slots, interned timeouts,
+    scheduler quanta are all small fixed latencies), else waits in a
+    binary heap of far-future events and migrates into a slot once the
+    wheel's rotation brings it inside the horizon.
+
+    Order contract (the whole point): pops occur in exactly the heap
+    engine's ``(time, seq)`` order.  The invariants that guarantee it:
+
+    - every pending slotted entry has ``now <= time < now + size``, so
+      within one rotation each residue class maps to exactly *one*
+      pending timestamp — a slot never mixes timestamps;
+    - same-slot entries are appended in increasing ``seq`` (the global
+      schedule counter), except entries migrating from the overflow
+      heap, which may arrive out of order — so a multi-entry slot is
+      (cheaply, usually already-sorted) sorted before dispatch;
+    - entries scheduled for the *current* timestamp while its slot is
+      being drained append behind the cursor and are dispatched in the
+      same pass, exactly as the heap engine would pop them.
+
+    Cost model: push is O(1) (append) for in-horizon delays, O(log f)
+    for the far-future fraction f; pop is O(1) amortised plus the
+    empty-slot rotation scan, which is bounded by one slot check per
+    elapsed simulated tick — negligible for the dense event populations
+    the models generate (the exerciser dispatches roughly one event per
+    tick) and bounded by ``size`` checks even for a lone sleeper.
+    """
+
+    __slots__ = ("_sim", "_size", "_mask", "_slots", "_overflow", "_count")
+
+    kind = "wheel"
+
+    def __init__(self, sim: "Simulator", size: int = WHEEL_SIZE) -> None:
+        if size < 2 or size & (size - 1):
+            raise ConfigurationError(
+                f"wheel size must be a power of two >= 2, got {size}")
+        self._sim = sim
+        self._size = size
+        self._mask = size - 1
+        self._slots: List[List[Tuple]] = [[] for _ in range(size)]
+        self._overflow: List[Tuple] = []
+        self._count = 0  # entries currently in slots (not overflow)
+
+    def __len__(self) -> int:
+        return self._count + len(self._overflow)
+
+    def push(self, time: int, seq: int, proc: Optional[Process],
+             value: Any, callback: Optional[Callable[[], None]]) -> None:
+        # Horizon test against sim.now: pushes only ever happen with the
+        # clock at the instant of the causing event, so ``now`` is the
+        # wheel cursor.  Entries admitted here satisfy
+        # ``time < now + size``, preserving the one-timestamp-per-slot
+        # invariant documented above.
+        if time - self._sim.now < self._size:
+            self._slots[time & self._mask].append(
+                (time, seq, proc, value, callback))
+            self._count += 1
+        else:
+            heappush(self._overflow, (time, seq, proc, value, callback))
+
+    def peek(self) -> Optional[int]:
+        """Next pending timestamp without dispatching (not a hot path)."""
+        soonest: Optional[int] = None
+        if self._count:
+            slots, mask = self._slots, self._mask
+            cur = self._sim.now
+            for _ in range(self._size):
+                slot = slots[cur & mask]
+                if slot:
+                    soonest = slot[0][0]
+                    break
+                cur += 1
+        if self._overflow:
+            head = self._overflow[0][0]
+            if soonest is None or head < soonest:
+                soonest = head
+        return soonest
+
+    def drain(self, sim: "Simulator", limit: Optional[int]) -> None:
+        """Dispatch events in ``(time, seq)`` order; all of them
+        (``limit=None``) or only those with ``time <= limit``.
+
+        One loop body for both :meth:`Simulator.run` and
+        :meth:`Simulator.run_until`, mirroring the heap engine.  Each
+        outer iteration migrates newly in-horizon overflow entries,
+        finds the next populated slot, and dispatches that entire
+        timestamp in one pass — ``sim.now`` is written once per
+        timestamp, not once per event, and same-tick reschedules
+        (event fires, resource grants, zero-delay timeouts) append
+        behind the cursor with no heap traffic at all.
+        """
+        slots = self._slots
+        mask = self._mask
+        size = self._size
+        overflow = self._overflow
+        pop = heappop
+        cur = sim.now
+        while True:
+            count = self._count
+            if overflow:
+                # Rotation brought some far-future entries inside the
+                # horizon: move them into their slots.  Migration can
+                # land behind pending same-time entries with higher
+                # seq; the pre-dispatch sort below restores order.
+                head = overflow[0][0]
+                while head - cur < size:
+                    entry = pop(overflow)
+                    slots[entry[0] & mask].append(entry)
+                    count += 1
+                    if not overflow:
+                        break
+                    head = overflow[0][0]
+                self._count = count
+            if count == 0:
+                if not overflow:
+                    break
+                # Wheel empty: jump straight to the overflow head (a
+                # lone far-future timer costs no rotation scan at all).
+                head = overflow[0][0]
+                if limit is not None and head > limit:
+                    break
+                cur = head
+                continue
+            # Find the next populated slot.  Bounded by one rotation:
+            # every pending slotted entry lies within [cur, cur + size).
+            slot = slots[cur & mask]
+            if not slot:
+                end = cur + size
+                while True:
+                    cur += 1
+                    slot = slots[cur & mask]
+                    if slot:
+                        break
+                    if cur >= end:  # pragma: no cover - invariant guard
+                        raise SimulationError(
+                            "event wheel lost track of pending events")
+            time = slot[0][0]
+            if limit is not None and time > limit:
+                break
+            if len(slot) > 1:
+                # Usually already sorted (append order == seq order);
+                # Timsort makes this one comparison per entry.  Tuples
+                # compare by (time, seq) and seq is unique, so the
+                # payload fields never participate.
+                slot.sort()
+            sim.now = time
+            index = 0
+            # len(slot) is re-read every iteration on purpose: handlers
+            # scheduling work for *this* timestamp append to this very
+            # slot, and the heap engine would dispatch those too.
+            while index < len(slot):
+                entry = slot[index]
+                index += 1
+                callback = entry[4]
+                if callback is None:
+                    proc = entry[2]
+                    if proc is not None:
+                        proc._step(entry[3])
+                else:
+                    sim._current = None
+                    callback()
+            slot.clear()
+            # Handlers may have pushed entries for other slots too, so
+            # reconcile against the authoritative counter.
+            self._count -= index
+            cur += 1
+
+
+_ENGINE_CLASSES = {"heap": _HeapScheduler, "wheel": _WheelScheduler}
+
+
 class Simulator:
-    """The event loop: an integer clock plus a heap of pending resumptions.
+    """The event loop: an integer clock plus a pending-event engine.
 
     The kernel distinguishes *processes* (coroutines stepped by the
     loop) from *callbacks* (bare functions, used by periodic hardware
     like the MDC's poll timer).
+
+    ``engine`` selects the pending-event structure: ``"wheel"`` (the
+    default — a calendar queue tuned for the models' fixed small
+    latencies) or ``"heap"`` (the classic binary heap, kept as the
+    equivalence oracle).  Pop order, and therefore every simulated
+    metric and telemetry byte, is identical between the two.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_live", "_timeouts")
+    __slots__ = ("now", "engine", "_sched", "_push", "_seq", "_live",
+                 "_timeouts", "_current")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: Optional[str] = None,
+                 wheel_size: int = WHEEL_SIZE) -> None:
+        if engine is None:
+            engine = _DEFAULT_ENGINE
+        cls = _ENGINE_CLASSES.get(engine)
+        if cls is None:
+            raise ConfigurationError(
+                f"unknown event engine {engine!r}; known: "
+                f"{', '.join(ENGINES)}")
         self.now: int = 0
-        self._heap: List = []  # (time, seq, proc_or_None, value, callback)
+        self.engine = engine
+        self._sched = (cls(self, wheel_size) if engine == "wheel"
+                       else cls(self))
+        #: The engine's push, pre-bound: _step and _schedule call this
+        #: once per scheduled event.
+        self._push = self._sched.push
         self._seq = 0
         self._live: set = set()
         # Interned value-less timeouts, keyed by delay.  _Timeout is
@@ -305,15 +611,26 @@ class Simulator:
         # allocation.  Delays in practice form a tiny set (tick widths,
         # bus cycles, residual instruction budgets).
         self._timeouts: dict = {}
+        #: The process whose generator is currently being stepped (None
+        #: while idle or inside a bare callback); lets scheduling errors
+        #: name their culprit.
+        self._current: Optional[Process] = None
 
     # -- scheduling ---------------------------------------------------
 
     def _schedule(self, delay: int, proc: Optional[Process], value: Any = None,
                   callback: Optional[Callable[[], None]] = None) -> None:
         if delay < 0:
-            raise SimulationError(f"cannot schedule {delay} units in the past")
+            raise SimulationError(
+                f"cannot schedule {delay} units in the past "
+                f"(now={self.now}{self._blame()})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value, callback))
+        self._push(self.now + delay, self._seq, proc, value, callback)
+
+    def _blame(self) -> str:
+        """``", process 'name'"`` when a process is being stepped."""
+        current = self._current
+        return f", process {current.name!r}" if current is not None else ""
 
     def process(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process, starting it at the current time."""
@@ -331,8 +648,16 @@ class Simulator:
         if value is None:
             cached = self._timeouts.get(delay)
             if cached is None:
+                if delay < 0:
+                    raise SimulationError(
+                        f"negative timeout {delay} requested at "
+                        f"now={self.now}{self._blame()}")
                 cached = self._timeouts[delay] = _Timeout(delay)
             return cached
+        if delay < 0:
+            raise SimulationError(
+                f"negative timeout {delay} requested at "
+                f"now={self.now}{self._blame()}")
         return _Timeout(delay, value)
 
     def event(self, name: str = "") -> Event:
@@ -345,36 +670,14 @@ class Simulator:
 
     # -- running ------------------------------------------------------
 
-    def _pop_and_run(self) -> None:
-        time, _, proc, value, callback = heapq.heappop(self._heap)
-        if time < self.now:  # pragma: no cover - heap guarantees order
-            raise SimulationError("time ran backwards")
-        self.now = time
-        if callback is not None:
-            callback()
-        elif proc is not None:
-            proc._step(value)
-
     def run(self, check_deadlock: bool = False) -> None:
-        """Run until the event heap is empty.
+        """Run until no pending events remain.
 
         With ``check_deadlock=True``, raise :class:`DeadlockError` if
-        live processes remain blocked when the heap drains (useful in
+        live processes remain blocked when the queue drains (useful in
         tests of the synchronisation primitives).
         """
-        # The dispatch loop is inlined (no _pop_and_run call frame) with
-        # the heap and heappop bound locally: this loop runs once per
-        # simulated event and dominates the wall-clock of every run.
-        heap = self._heap
-        pop = heappop
-        while heap:
-            time, _, proc, value, callback = pop(heap)
-            self.now = time
-            if callback is None:
-                if proc is not None:
-                    proc._step(value)
-            else:
-                callback()
+        self._sched.drain(self, None)
         if check_deadlock and self._live:
             blocked = sorted(
                 (p.name, p._blocked_on or "?")
@@ -417,21 +720,12 @@ class Simulator:
             raise SimulationError(
                 f"run_until({end_time}) is in the past (now={self.now})"
             )
-        heap = self._heap
-        pop = heappop
-        while heap and heap[0][0] <= end_time:
-            time, _, proc, value, callback = pop(heap)
-            self.now = time
-            if callback is None:
-                if proc is not None:
-                    proc._step(value)
-            else:
-                callback()
+        self._sched.drain(self, end_time)
         self.now = end_time
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if idle."""
-        return self._heap[0][0] if self._heap else None
+        return self._sched.peek()
 
     def blocked_processes(self) -> Iterator[Process]:
         """Yield live processes that have not finished (debug/tests)."""

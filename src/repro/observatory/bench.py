@@ -32,7 +32,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analytic.queueing import AnalyticParameters, FireflyAnalyticModel
 from repro.common.errors import ConfigurationError
+from repro.common.events import Simulator, default_engine, set_default_engine
 from repro.common.provenance import provenance_stamp
+from repro.common.rng import RandomStream
 from repro.system import FireflyConfig, FireflyMachine
 from repro.telemetry.probe import NULL_PROBE, TelemetryHub
 from repro.telemetry.instrument import attach_kernel
@@ -232,6 +234,88 @@ def _serve_smoke_runner(scenario: Scenario, horizon: Horizon,
     return cycles, metrics
 
 
+def _core_microbench_runner(scenario: Scenario, horizon: Horizon,
+                            seed: int) -> Tuple[int, Dict]:
+    """Scheduler-only microbenchmark: the event core with no models.
+
+    Nothing here touches caches, buses or telemetry — the run is pure
+    kernel traffic shaped like the models generate it: a dense
+    population of small fixed-delay tickers (the dominant event class),
+    priority-arbitrated resource contention (the MBus pattern), and a
+    handful of far-future sleepers that force the wheel's overflow
+    path.  Its ticks/s therefore isolates the engine itself, which is
+    exactly what the wheel-vs-heap comparison needs; its metrics
+    (events scheduled, grants, queue waits) are engine-independent, so
+    any drift between engines fails the equivalence tests.
+    """
+    sim = Simulator()
+    rng = RandomStream(seed, "core.microbench")
+    delays = (1, 2, 3, 5, 8, 13, 21, 34)
+
+    def ticker(steps):
+        while True:
+            for step in steps:
+                yield sim.timeout(step)
+
+    def contender(resource, priority, gap, cell):
+        # cell[0] is this very Process, filled in right after
+        # sim.process() returns — release() must name the holder.
+        while True:
+            yield resource.acquire(priority=priority)
+            yield sim.timeout(2)
+            resource.release(cell[0])
+            yield sim.timeout(gap)
+
+    def sleeper(period):
+        while True:
+            yield sim.timeout(period)
+
+    for i in range(256):
+        steps = tuple(rng.choice(delays) for _ in range(4))
+        sim.process(ticker(steps), name=f"tick{i}")
+    resources = [sim.resource(f"res{r}") for r in range(4)]
+    for i in range(64):
+        cell: List = []
+        gen = contender(resources[i % 4], i & 7, 1 + (i & 3), cell)
+        cell.append(sim.process(gen, name=f"cont{i}"))
+    for i in range(8):
+        sim.process(sleeper(2000 + 500 * i), name=f"sleep{i}")
+    sim.run_until(horizon.total)
+    metrics: Dict = {
+        "events_scheduled": sim._seq,
+        "grants": sum(r.grants for r in resources),
+        "total_wait": sum(r.total_wait for r in resources),
+        "live_processes": len(list(sim.blocked_processes())),
+    }
+    return sim.now, metrics
+
+
+def _vector_stat_runner(scenario: Scenario, horizon: Horizon,
+                        seed: int) -> Tuple[int, Dict]:
+    """The vectorized statistical mode at Table 1 processor counts.
+
+    ``horizon.measure`` is the per-CPU instruction budget; the reported
+    cycles are the simulated ticks the statistics cover (instructions x
+    TPI), making ticks/s directly comparable with the coroutine
+    scenarios it replaces for pure (M, D, S) runs.  Imported lazily:
+    the vectorized mode lives in :mod:`repro.trace`, which benches
+    must not pay for unless this scenario is selected.
+    """
+    from repro.trace.vectorized import run_vectorized
+
+    counts = (2, 4) if horizon is scenario.quick else (2, 4, 6)
+    cycles = 0
+    metrics: Dict = {"processor_counts": list(counts)}
+    for processors in counts:
+        result = run_vectorized(processors, horizon.measure, seed)
+        cycles += result.ticks
+        metrics[f"np{processors}.bus_load"] = result.bus_load
+        metrics[f"np{processors}.mean_tpi"] = result.mean_tpi
+        metrics[f"np{processors}.miss_rate"] = result.miss_rate
+        metrics["backend"] = result.backend
+    return cycles, metrics
+
+
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("exerciser-1cpu",
              "Threads exerciser, 1 CPU x 8 threads (Table 2 left column)",
@@ -258,6 +342,14 @@ SCENARIOS: Tuple[Scenario, ...] = (
              full=Horizon(150_000, 1_200_000),
              quick=Horizon(60_000, 400_000),
              runner=_serve_smoke_runner),
+    Scenario("core-microbench",
+             "scheduler-only event-core microbenchmark (no models)",
+             full=Horizon(0, 20_000), quick=Horizon(0, 5_000),
+             runner=_core_microbench_runner),
+    Scenario("vector-stat",
+             "vectorized statistical mode at Table 1 processor counts",
+             full=Horizon(0, 400_000), quick=Horizon(0, 100_000),
+             runner=_vector_stat_runner),
 )
 
 
@@ -440,7 +532,7 @@ def _trial_count(quick: bool, trials: Optional[int]) -> int:
 
 
 def _run_suite_parallel(selected: List[Scenario], quick: bool, count: int,
-                        jobs: int,
+                        jobs: int, engine: str,
                         progress: Optional[Callable[[str], None]]
                         ) -> Dict[str, Dict]:
     """All (scenario x trial) cells fanned out across worker processes.
@@ -449,12 +541,14 @@ def _run_suite_parallel(selected: List[Scenario], quick: bool, count: int,
     the simulated fields of the result are identical to the serial
     path's; only the wall-clock measurements differ (they describe the
     host, and a loaded host at ``jobs=N`` is a different host).
-    Results are merged back in (scenario, trial) order.
+    Results are merged back in (scenario, trial) order.  The engine
+    travels in every spec — worker processes do not inherit the
+    parent's ambient default.
     """
     from repro.observatory.runner import (bench_trial, describe_bench_spec,
                                           run_ordered)
 
-    specs = [(scenario.name, quick, TRIAL_SEEDS[index])
+    specs = [(scenario.name, quick, TRIAL_SEEDS[index], engine)
              for scenario in selected for index in range(count)]
     records = run_ordered(specs, bench_trial, jobs=jobs,
                           describe=describe_bench_spec)
@@ -482,13 +576,22 @@ def run_suite(quick: bool = False, trials: Optional[int] = None,
               scenarios: Optional[List[str]] = None,
               skip_overhead: bool = False,
               jobs: int = 1,
+              engine: Optional[str] = None,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
     """Run the pinned suite and return the BENCH document.
 
     ``jobs > 1`` fans the (scenario x trial) grid out over worker
     processes via :mod:`repro.observatory.runner`; the simulated
     content of the document is identical at any job count.
+
+    ``engine`` pins the event engine for every trial (default: the
+    process-wide default, normally ``"wheel"``).  The engine is a pure
+    host-side choice — identical pop order, metrics and telemetry —
+    so the document's simulated fields are engine-independent; only
+    ticks/s moves, which is exactly what ``--engine heap`` exists to
+    measure.
     """
+    engine = engine or default_engine()
     selected = list(SCENARIOS)
     if scenarios:
         by_name = {s.name: s for s in SCENARIOS}
@@ -501,6 +604,7 @@ def run_suite(quick: bool = False, trials: Optional[int] = None,
     document: Dict = {
         "schema": BENCH_SCHEMA,
         "mode": "quick" if quick else "full",
+        "engine": engine,
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -515,25 +619,30 @@ def run_suite(quick: bool = False, trials: Optional[int] = None,
             "trials": trials,
             "scenarios": [s.name for s in selected],
             "skip_overhead": skip_overhead,
+            "engine": engine,
         }, schema=BENCH_SCHEMA),
         "scenarios": {},
         "overhead": None,
     }
-    if jobs is not None and jobs > 1:
-        count = _trial_count(quick, trials)
-        document["scenarios"] = _run_suite_parallel(
-            selected, quick, count, jobs, progress)
-    else:
-        for scenario in selected:
+    previous = set_default_engine(engine)
+    try:
+        if jobs is not None and jobs > 1:
+            count = _trial_count(quick, trials)
+            document["scenarios"] = _run_suite_parallel(
+                selected, quick, count, jobs, engine, progress)
+        else:
+            for scenario in selected:
+                if progress is not None:
+                    progress(f"{scenario.name}: {scenario.description}")
+                result = run_scenario(scenario, quick=quick, trials=trials,
+                                      progress=progress)
+                document["scenarios"][scenario.name] = result.to_dict()
+        if not skip_overhead:
             if progress is not None:
-                progress(f"{scenario.name}: {scenario.description}")
-            result = run_scenario(scenario, quick=quick, trials=trials,
-                                  progress=progress)
-            document["scenarios"][scenario.name] = result.to_dict()
-    if not skip_overhead:
-        if progress is not None:
-            progress("overhead: disabled-tracing wall-clock guard")
-        document["overhead"] = measure_overhead(quick=quick)
+                progress("overhead: disabled-tracing wall-clock guard")
+            document["overhead"] = measure_overhead(quick=quick)
+    finally:
+        set_default_engine(previous)
     return document
 
 

@@ -145,7 +145,8 @@ class TestBenchFiles:
     def test_pinned_scenario_registry(self):
         assert scenario_names() == ["exerciser-1cpu", "exerciser-5cpu",
                                     "table1-sweep", "protocol-comparison",
-                                    "chaos-smoke", "serve-smoke"]
+                                    "chaos-smoke", "serve-smoke",
+                                    "core-microbench", "vector-stat"]
         for scenario in SCENARIOS:
             assert scenario.quick.total < scenario.full.total
 

@@ -1,0 +1,264 @@
+"""The engine contract: wheel and heap are indistinguishable in-sim.
+
+The event wheel exists purely for host throughput.  These tests pin
+the contract from docs/PERFORMANCE.md: for any schedule — adversarial
+ones included — the wheel dispatches events in exactly the heap's
+``(time, seq)`` order, so every simulated metric and every telemetry
+event is identical; and the bench/campaign plumbing that selects an
+engine never changes a simulated byte at any job count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.events import (ENGINES, WHEEL_SIZE, Simulator,
+                                 default_engine, set_default_engine)
+from repro.system import FireflyConfig, FireflyMachine
+from repro.telemetry import telemetry_for_machine
+
+#: Adversarial delay palette: same-tick ties (0 twice), dense small
+#: delays, the wheel-size boundary itself, and far-future overflow.
+DELAYS = (0, 0, 1, 1, 2, 3, 7, 64, 1023, 1024, 1500, 4096)
+
+SEEDS = range(1987, 2002)
+
+
+def _schedule_log(engine: str, seed: int, wheel_size=None,
+                  until=None) -> list:
+    """Dispatch log of one randomized adversarial schedule.
+
+    The schedule is generated *outside* the simulation from ``seed``,
+    so both engines replay the identical script: worker processes
+    cycling through pre-drawn delay plans (including zero-delay
+    self-reschedules and same-tick ties) plus bare callback chains
+    whose offsets cross the wheel's horizon repeatedly.
+    """
+    kwargs = {"engine": engine}
+    if wheel_size is not None:
+        kwargs["wheel_size"] = wheel_size
+    sim = Simulator(**kwargs)
+    rng = random.Random(seed)
+    plans = [[rng.choice(DELAYS) for _ in range(30)] for _ in range(12)]
+    chains = [[rng.choice(DELAYS) for _ in range(10)] for _ in range(6)]
+    log = []
+
+    def worker(wid, plan):
+        for delay in plan:
+            yield sim.timeout(delay)
+            log.append(("proc", wid, sim.now))
+
+    for wid, plan in enumerate(plans):
+        sim.process(worker(wid, plan), name=f"w{wid}")
+
+    def start_chain(cid, offsets):
+        pending = iter(offsets)
+
+        def fire():
+            log.append(("call", cid, sim.now))
+            nxt = next(pending, None)
+            if nxt is not None:
+                sim.call_at(nxt, fire)
+
+        sim.call_at(next(pending), fire)
+
+    for cid, offsets in enumerate(chains):
+        start_chain(cid, offsets)
+
+    if until is None:
+        sim.run()
+    else:
+        sim.run_until(until)
+        log.append(("peek", sim.peek(), sim.now))
+        sim.run()
+    return log
+
+
+class TestPopOrderEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_wheel_matches_heap(self, seed):
+        assert _schedule_log("wheel", seed) == _schedule_log("heap", seed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tiny_wheel_forces_overflow_churn(self, seed):
+        """wheel_size=4 pushes almost every delay through the overflow
+        heap and its migration path; order must still be exact."""
+        assert (_schedule_log("wheel", seed, wheel_size=4)
+                == _schedule_log("heap", seed))
+
+    @pytest.mark.parametrize("seed", (1987, 1993))
+    def test_run_until_then_run(self, seed):
+        """Partial drains and peek() agree mid-schedule too."""
+        assert (_schedule_log("wheel", seed, until=900)
+                == _schedule_log("heap", seed, until=900))
+
+    def test_zero_delay_storm(self):
+        """Zero-delay self-reschedules dispatch in schedule order
+        within one tick, identically on both engines."""
+        logs = {}
+        for engine in ENGINES:
+            sim = Simulator(engine=engine)
+            log = []
+
+            def storm(wid, sim=sim, log=log):
+                for hop in range(50):
+                    yield sim.timeout(0)
+                    log.append((wid, hop, sim.now))
+
+            for wid in range(8):
+                sim.process(storm(wid), name=f"s{wid}")
+            sim.run()
+            logs[engine] = log
+        assert logs["wheel"] == logs["heap"]
+        assert all(entry[2] == 0 for entry in logs["wheel"])
+
+    def test_lone_far_future_sleeper_skips_rotation(self):
+        """An empty wheel jumps straight to the overflow head."""
+        for engine in ENGINES:
+            sim = Simulator(engine=engine)
+            fired = []
+            sim.call_at(10 * WHEEL_SIZE, lambda: fired.append(sim.now))
+            sim.run()
+            assert fired == [10 * WHEEL_SIZE]
+            assert sim.now == 10 * WHEEL_SIZE
+
+
+def _run_machine(engine: str, seed: int = 1987,
+                 with_telemetry: bool = False):
+    previous = set_default_engine(engine)
+    try:
+        machine = FireflyMachine(FireflyConfig(processors=2, seed=seed))
+        assert machine.sim.engine == engine
+        hub = None
+        if with_telemetry:
+            hub, sampler = telemetry_for_machine(machine)
+            sampler.start()
+        metrics = machine.run(warmup_cycles=2_000, measure_cycles=10_000)
+    finally:
+        set_default_engine(previous)
+    return metrics.to_dict(), (hub.emitted if hub is not None else None)
+
+
+class TestModelEquivalence:
+    def test_exerciser_metrics_identical(self):
+        wheel, _ = _run_machine("wheel")
+        heap, _ = _run_machine("heap")
+        assert wheel == heap
+
+    def test_telemetry_event_counts_identical(self):
+        wheel_metrics, wheel_events = _run_machine("wheel",
+                                                   with_telemetry=True)
+        heap_metrics, heap_events = _run_machine("heap",
+                                                 with_telemetry=True)
+        assert wheel_metrics == heap_metrics
+        assert wheel_events == heap_events
+        assert wheel_events > 0
+
+    def test_core_microbench_metrics_identical(self):
+        from repro.observatory.bench import SCENARIOS
+
+        scenario = next(s for s in SCENARIOS
+                        if s.name == "core-microbench")
+        results = {}
+        for engine in ENGINES:
+            previous = set_default_engine(engine)
+            try:
+                results[engine] = scenario.runner(
+                    scenario, scenario.quick, 1987)
+            finally:
+                set_default_engine(previous)
+        assert results["wheel"] == results["heap"]
+        cycles, metrics = results["wheel"]
+        assert cycles == scenario.quick.total
+        assert metrics["events_scheduled"] > 0
+        assert metrics["grants"] > 0
+
+
+def _simulated_view(document):
+    """A BENCH document with every host/wall-clock field stripped."""
+    return {
+        name: {
+            "metrics": entry["metrics"],
+            "trials": [(t["seed"], t["cycles"]) for t in entry["trials"]],
+        }
+        for name, entry in document["scenarios"].items()
+    }
+
+
+class TestBenchEngineAxis:
+    def test_engine_and_jobs_never_change_simulated_fields(self):
+        """wheel@jobs=1 vs heap@jobs=4: identical simulated content."""
+        from repro.observatory.bench import run_suite
+
+        serial = run_suite(quick=True, trials=2,
+                           scenarios=["core-microbench"],
+                           skip_overhead=True, jobs=1, engine="wheel")
+        fanned = run_suite(quick=True, trials=2,
+                           scenarios=["core-microbench"],
+                           skip_overhead=True, jobs=4, engine="heap")
+        assert serial["engine"] == "wheel"
+        assert fanned["engine"] == "heap"
+        assert _simulated_view(serial) == _simulated_view(fanned)
+
+    def test_run_suite_restores_ambient_default(self):
+        from repro.observatory.bench import run_suite
+
+        before = default_engine()
+        run_suite(quick=True, trials=1, scenarios=["core-microbench"],
+                  skip_overhead=True, engine="heap")
+        assert default_engine() == before
+
+
+class TestEngineConfiguration:
+    def test_default_is_wheel(self):
+        assert default_engine() == "wheel"
+        assert Simulator().engine == "wheel"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event engine"):
+            Simulator(engine="splay")
+        with pytest.raises(ConfigurationError, match="unknown event engine"):
+            set_default_engine("splay")
+
+    def test_set_default_returns_previous(self):
+        previous = set_default_engine("heap")
+        try:
+            assert previous == "wheel"
+            assert Simulator().engine == "heap"
+        finally:
+            set_default_engine(previous)
+
+    def test_wheel_size_must_be_power_of_two(self):
+        for bad in (0, 1, 3, 1000):
+            with pytest.raises(ConfigurationError, match="power of two"):
+                Simulator(engine="wheel", wheel_size=bad)
+
+
+class TestSchedulingErrorContext:
+    def test_negative_timeout_names_process_and_now(self):
+        sim = Simulator()
+
+        def offender():
+            yield sim.timeout(5)
+            yield sim.timeout(-3)
+
+        sim.process(offender(), name="culprit")
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "-3" in message
+        assert "now=5" in message
+        assert "'culprit'" in message
+
+    def test_negative_call_at_names_delay_and_now(self):
+        sim = Simulator()
+        sim.call_at(7, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError) as excinfo:
+            sim.call_at(-2, lambda: None)
+        message = str(excinfo.value)
+        assert "-2" in message
+        assert "now=7" in message
